@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2SingleBench(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-bench", "du", "-table", "2", "-sanity"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "du") || !strings.Contains(out.String(), "# Nodes") {
+		t.Errorf("table 2 missing content:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "sanity: du ok") {
+		t.Error("sanity line missing")
+	}
+}
+
+func TestUnknownBenchAndTable(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-bench", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown bench exit = %d", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-bench", "du", "-table", "9"}, &out, &errb); code != 2 {
+		t.Errorf("unknown table exit = %d", code)
+	}
+	if code := run([]string{"-zzz"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d", code)
+	}
+}

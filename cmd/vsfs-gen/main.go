@@ -1,0 +1,65 @@
+// Command vsfs-gen emits synthetic workloads as textual IR, either from
+// one of the 15 named benchmark profiles or from explicit knobs:
+//
+//	vsfs-gen -profile bake > bake.vir
+//	vsfs-gen -seed 7 -funcs 20 -instrs 40 -heap 0.5 > prog.vir
+//
+// The output parses back with cmd/vsfs and the irparse package.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vsfs/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vsfs-gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	profile := fs.String("profile", "", "named benchmark profile (du … hyriseConsole)")
+	list := fs.Bool("list", false, "list profile names and exit")
+	seed := fs.Int64("seed", 1, "generator seed")
+	funcs := fs.Int("funcs", 10, "number of functions")
+	instrs := fs.Int("instrs", 40, "instruction budget per function")
+	globals := fs.Int("globals", 4, "number of globals")
+	heap := fs.Float64("heap", 0.3, "heap allocation fraction")
+	chains := fs.Float64("chains", 0.15, "pointer-chase chain fraction")
+	chainLen := fs.Int("chainlen", 3, "pointer-chase chain length")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, p := range workload.Profiles() {
+			fmt.Fprintf(stdout, "%-14s %s\n", p.Name, p.Desc)
+		}
+		return 0
+	}
+
+	if *profile != "" {
+		p := workload.ProfileByName(*profile)
+		if p == nil {
+			fmt.Fprintf(stderr, "vsfs-gen: unknown profile %q (use -list)\n", *profile)
+			return 2
+		}
+		fmt.Fprint(stdout, p.Build().String())
+		return 0
+	}
+
+	cfg := workload.DefaultRandomConfig()
+	cfg.Funcs = *funcs
+	cfg.InstrsPerFunc = *instrs
+	cfg.Globals = *globals
+	cfg.HeapFrac = *heap
+	cfg.ChainFrac = *chains
+	cfg.ChainLen = *chainLen
+	fmt.Fprint(stdout, workload.Random(*seed, cfg).String())
+	return 0
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"vsfs/internal/irparse"
+)
+
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"du", "lynx", "hyriseConsole"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestGenerateParsesBack(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-seed", "3", "-funcs", "4", "-instrs", "15"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	if _, err := irparse.Parse(out.String()); err != nil {
+		t.Fatalf("generated IR does not reparse: %v", err)
+	}
+}
+
+func TestProfileOutput(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-profile", "du"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "func main()") {
+		t.Error("profile output missing main")
+	}
+}
+
+func TestUnknownProfile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-profile", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown profile") {
+		t.Error("missing error message")
+	}
+}

@@ -1,0 +1,259 @@
+// Command vsfs analyses a mini-C (.c / .mc) or textual-IR (.vir) file
+// and prints the points-to solution, the resolved call graph, and
+// analysis statistics.
+//
+//	vsfs -mode vsfs prog.c         analyse with VSFS (default)
+//	vsfs -mode sfs prog.vir        analyse with the SFS baseline
+//	vsfs -mode andersen prog.c     flow-insensitive only
+//	vsfs -compare prog.c           run SFS and VSFS, verify equal results
+//	vsfs -dump-ir prog.c           print the lowered IR and exit
+//	vsfs -dot prog.c               print the SVFG as Graphviz dot
+//	vsfs -callgraph prog.c         print the call graph
+//	vsfs -check prog.c             run the bug-finding clients
+//	vsfs -why p prog.c             explain why p points to what it does
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"vsfs"
+	"vsfs/internal/andersen"
+	"vsfs/internal/checker"
+	"vsfs/internal/core"
+	"vsfs/internal/ir"
+	"vsfs/internal/irparse"
+	"vsfs/internal/lang"
+	"vsfs/internal/memssa"
+	"vsfs/internal/svfg"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, performs the
+// requested action, writes to the given streams and returns the exit
+// code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vsfs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "vsfs", "analysis: vsfs, sfs, or andersen")
+	compare := fs.Bool("compare", false, "run SFS and VSFS and verify identical results")
+	dumpIR := fs.Bool("dump-ir", false, "print the lowered IR and exit")
+	dot := fs.Bool("dot", false, "print the SVFG in Graphviz dot format and exit")
+	callgraph := fs.Bool("callgraph", false, "print the resolved call graph")
+	stats := fs.Bool("stats", false, "print analysis statistics")
+	check := fs.Bool("check", false, "run the bug-finding clients (null-deref, dangling returns, stack escapes)")
+	why := fs.String("why", "", "explain a points-to fact: print value-flow witnesses for every object the named variable may reference (name or func.name)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: vsfs [flags] <file.c|file.vir>")
+		fs.PrintDefaults()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "vsfs:", err)
+		return 1
+	}
+	path := fs.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return fail(err)
+	}
+	isIR := strings.HasSuffix(path, ".vir")
+
+	if *dot {
+		var prog *ir.Program
+		var perr error
+		if isIR {
+			prog, perr = irparse.Parse(string(src))
+		} else {
+			prog, perr = lang.Compile(string(src))
+		}
+		if perr != nil {
+			return fail(perr)
+		}
+		aux := andersen.Analyze(prog)
+		mssa := memssa.Build(prog, aux)
+		g := svfg.Build(prog, aux, mssa)
+		if err := g.WriteDot(stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	if *dumpIR {
+		if isIR {
+			prog, err := irparse.Parse(string(src))
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprint(stdout, prog.String())
+			return 0
+		}
+		prog, err := lang.Compile(string(src))
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, prog.String())
+		return 0
+	}
+
+	analyze := func(m vsfs.Mode) (*vsfs.Result, error) {
+		if isIR {
+			return vsfs.AnalyzeIR(string(src), vsfs.Options{Mode: m})
+		}
+		return vsfs.AnalyzeC(string(src), vsfs.Options{Mode: m})
+	}
+
+	if *check {
+		var prog *ir.Program
+		var perr error
+		if isIR {
+			prog, perr = irparse.Parse(string(src))
+		} else {
+			prog, perr = lang.Compile(string(src))
+		}
+		if perr != nil {
+			return fail(perr)
+		}
+		aux := andersen.Analyze(prog)
+		mssa := memssa.Build(prog, aux)
+		g := svfg.Build(prog, aux, mssa)
+		solved := core.Solve(g)
+		var all []checker.Finding
+		all = append(all, checker.NullDerefs(prog, solved)...)
+		all = append(all, checker.DanglingReturns(prog, solved)...)
+		all = append(all, checker.StackEscapes(prog, solved)...)
+		for _, f := range all {
+			fmt.Fprintln(stdout, f)
+		}
+		fmt.Fprintf(stdout, "%d finding(s)\n", len(all))
+		if len(all) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	if *why != "" {
+		var prog *ir.Program
+		var perr error
+		if isIR {
+			prog, perr = irparse.Parse(string(src))
+		} else {
+			prog, perr = lang.Compile(string(src))
+		}
+		if perr != nil {
+			return fail(perr)
+		}
+		aux := andersen.Analyze(prog)
+		mssa := memssa.Build(prog, aux)
+		g := svfg.Build(prog, aux, mssa)
+		solved := core.Solve(g)
+		holds := func(x, o ir.ID) bool {
+			if prog.IsPointer(x) {
+				return solved.PointsTo(x).Has(uint32(o))
+			}
+			return solved.ObjectSummary(x).Has(uint32(o))
+		}
+		// Match variables by exact name or by suffix after a function
+		// qualifier, covering both IR names and lowered temps.
+		name := *why
+		if i := strings.IndexByte(name, '.'); i > 0 {
+			name = name[i+1:]
+		}
+		found := 0
+		for v := ir.ID(1); int(v) < prog.NumValues(); v++ {
+			if !prog.IsPointer(v) {
+				continue
+			}
+			n := prog.Value(v).Name
+			if n != *why && n != name && !strings.HasPrefix(n, name+".") {
+				continue
+			}
+			if strings.Contains(n, ".addr") {
+				continue
+			}
+			solved.PointsTo(v).ForEach(func(o uint32) {
+				if w := g.ExplainPointsTo(holds, v, ir.ID(o)); w != nil {
+					found++
+					fmt.Fprint(stdout, w.Format(prog))
+				}
+			})
+		}
+		if found == 0 {
+			fmt.Fprintf(stdout, "no points-to facts found for %q\n", *why)
+		}
+		return 0
+	}
+
+	if *compare {
+		rs, err := analyze(vsfs.SFS)
+		if err != nil {
+			return fail(err)
+		}
+		rv, err := analyze(vsfs.VSFS)
+		if err != nil {
+			return fail(err)
+		}
+		stripHeader := func(s string) string {
+			if i := strings.IndexByte(s, '\n'); i >= 0 {
+				return s[i+1:]
+			}
+			return s
+		}
+		if stripHeader(rs.Dump()) != stripHeader(rv.Dump()) {
+			fmt.Fprintln(stderr, "MISMATCH: SFS and VSFS disagree")
+			fmt.Fprintln(stderr, "--- SFS ---\n"+rs.Dump())
+			fmt.Fprintln(stderr, "--- VSFS ---\n"+rv.Dump())
+			return 1
+		}
+		fmt.Fprintln(stdout, "SFS ≡ VSFS: identical points-to solutions")
+		fmt.Fprint(stdout, rv.Dump())
+		return 0
+	}
+
+	m, err := vsfs.ParseMode(*mode)
+	if err != nil {
+		return fail(err)
+	}
+	r, err := analyze(m)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprint(stdout, r.Dump())
+
+	if *callgraph {
+		cg := r.CallGraph()
+		fns := make([]string, 0, len(cg))
+		for fn := range cg {
+			fns = append(fns, fn)
+		}
+		sort.Strings(fns)
+		fmt.Fprintln(stdout, "\ncall graph:")
+		for _, fn := range fns {
+			fmt.Fprintf(stdout, "  %s → %s\n", fn, strings.Join(cg[fn], ", "))
+		}
+	}
+	if *stats {
+		s := r.Stats()
+		fmt.Fprintf(stdout, "\nstats: mode=%s funcs=%d nodes=%d dEdges=%d iEdges=%d topLevel=%d addrTaken=%d\n",
+			s.Mode, s.Functions, s.SVFGNodes, s.DirectEdges, s.IndirectEdges, s.TopLevelVars, s.AddressTaken)
+		if s.Mode != "andersen" {
+			fmt.Fprintf(stdout, "       processed=%d propagations=%d ptsSets=%d\n",
+				s.NodesProcessed, s.Propagations, s.PtsSets)
+		}
+		if s.Mode == "vsfs" {
+			fmt.Fprintf(stdout, "       prelabels=%d distinctVersions=%d\n", s.Prelabels, s.DistinctVersions)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const okC = `
+int main() {
+  int a;
+  int *p;
+  p = &a;
+  int *q;
+  q = p;
+  return 0;
+}
+`
+
+const buggyC = `
+int *g;
+int main() {
+  int a;
+  g = &a;
+  return 0;
+}
+`
+
+const okIR = `
+func main() {
+entry:
+  p = alloc a 0
+  q = copy p
+  ret
+}
+`
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunBasicC(t *testing.T) {
+	path := writeTemp(t, "p.c", okC)
+	code, out, _ := runCLI(t, path)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "func main:") || !strings.Contains(out, "main.a") {
+		t.Errorf("dump missing content:\n%s", out)
+	}
+}
+
+func TestRunModesAndStats(t *testing.T) {
+	path := writeTemp(t, "p.c", okC)
+	for _, mode := range []string{"vsfs", "sfs", "andersen"} {
+		code, out, _ := runCLI(t, "-mode", mode, "-stats", path)
+		if code != 0 {
+			t.Fatalf("mode %s exit = %d", mode, code)
+		}
+		if !strings.Contains(out, "stats: mode="+mode) {
+			t.Errorf("mode %s missing stats header:\n%s", mode, out)
+		}
+	}
+}
+
+func TestRunIRFile(t *testing.T) {
+	path := writeTemp(t, "p.vir", okIR)
+	code, out, _ := runCLI(t, "-callgraph", path)
+	if code != 0 || !strings.Contains(out, "call graph:") {
+		t.Errorf("exit = %d out:\n%s", code, out)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	path := writeTemp(t, "p.c", okC)
+	code, out, _ := runCLI(t, "-compare", path)
+	if code != 0 || !strings.Contains(out, "SFS ≡ VSFS") {
+		t.Errorf("exit = %d out:\n%s", code, out)
+	}
+}
+
+func TestRunDumpIRAndDot(t *testing.T) {
+	path := writeTemp(t, "p.c", okC)
+	code, out, _ := runCLI(t, "-dump-ir", path)
+	if code != 0 || !strings.Contains(out, "func main()") {
+		t.Errorf("dump-ir: exit = %d out:\n%s", code, out)
+	}
+	code, out, _ = runCLI(t, "-dot", path)
+	if code != 0 || !strings.Contains(out, "digraph svfg") {
+		t.Errorf("dot: exit = %d out:\n%s", code, out)
+	}
+	irPath := writeTemp(t, "p.vir", okIR)
+	code, out, _ = runCLI(t, "-dump-ir", irPath)
+	if code != 0 || !strings.Contains(out, "p = alloc a 0") {
+		t.Errorf("dump-ir .vir: exit = %d out:\n%s", code, out)
+	}
+	code, out, _ = runCLI(t, "-dot", irPath)
+	if code != 0 || !strings.Contains(out, "digraph svfg") {
+		t.Errorf("dot .vir: exit = %d out:\n%s", code, out)
+	}
+}
+
+func TestRunCheckFindsBugs(t *testing.T) {
+	clean := writeTemp(t, "ok.c", okC)
+	code, out, _ := runCLI(t, "-check", clean)
+	if code != 0 || !strings.Contains(out, "0 finding(s)") {
+		t.Errorf("clean check: exit = %d out:\n%s", code, out)
+	}
+	buggy := writeTemp(t, "bug.c", buggyC)
+	code, out, _ = runCLI(t, "-check", buggy)
+	if code != 1 || !strings.Contains(out, "stack-escape") {
+		t.Errorf("buggy check: exit = %d out:\n%s", code, out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Error("no args should exit 2")
+	}
+	if code, _, stderr := runCLI(t, "/no/such/file.c"); code != 1 || stderr == "" {
+		t.Error("missing file should exit 1 with a message")
+	}
+	bad := writeTemp(t, "bad.c", "int main() { return x; }")
+	if code, _, stderr := runCLI(t, bad); code != 1 || !strings.Contains(stderr, "undefined name") {
+		t.Errorf("bad source: exit = %d stderr = %q", code, stderr)
+	}
+	p := writeTemp(t, "p.c", okC)
+	if code, _, _ := runCLI(t, "-mode", "nope", p); code != 1 {
+		t.Error("bad mode should exit 1")
+	}
+	if code, _, _ := runCLI(t, "-badflag", p); code != 2 {
+		t.Error("bad flag should exit 2")
+	}
+}
+
+func TestRunWhy(t *testing.T) {
+	path := writeTemp(t, "p.c", okC)
+	code, out, _ := runCLI(t, "-why", "p", path)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "why may") || !strings.Contains(out, "allocation") {
+		t.Errorf("witness output missing:\n%s", out)
+	}
+	code, out, _ = runCLI(t, "-why", "nosuchvar", path)
+	if code != 0 || !strings.Contains(out, "no points-to facts") {
+		t.Errorf("missing-var output: %d %q", code, out)
+	}
+}

@@ -1,0 +1,85 @@
+// Bug-finding clients: the internal/checker package consumes any
+// solver's points-to facts. This example runs its three checkers over a
+// buggy program with the flow-sensitive results and contrasts the
+// null-dereference answer with the flow-insensitive one, which misses a
+// bug only flow-sensitivity can see (the pointer is nulled *after*
+// acquiring a valid target).
+//
+//	go run ./examples/nullderef
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vsfs/internal/andersen"
+	"vsfs/internal/checker"
+	"vsfs/internal/core"
+	"vsfs/internal/lang"
+	"vsfs/internal/memssa"
+	"vsfs/internal/svfg"
+)
+
+const src = `
+int *leaked;
+
+int *dangling() {
+  int local;
+  return &local;       // BUG: pointer into a dead frame
+}
+
+int escape() {
+  int temp;
+  leaked = &temp;      // BUG: local address outlives the frame
+  return 0;
+}
+
+int main() {
+  int a;
+  int *pa;
+  pa = &a;
+
+  int **ok;
+  ok = &pa;
+  *ok = &a;            // fine
+
+  int **bug;
+  bug = &pa;
+  bug = null;          // strong update clears the singleton slot
+  *bug = &a;           // BUG: bug is null here
+
+  int *d;
+  d = dangling();
+  escape();
+  return 0;
+}
+`
+
+func main() {
+	prog, err := lang.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aux := andersen.Analyze(prog)
+	mssa := memssa.Build(prog, aux)
+	g := svfg.Build(prog, aux, mssa)
+	fs := core.Solve(g)
+
+	fmt.Println("flow-sensitive findings:")
+	var all []checker.Finding
+	all = append(all, checker.NullDerefs(prog, fs)...)
+	all = append(all, checker.DanglingReturns(prog, fs)...)
+	all = append(all, checker.StackEscapes(prog, fs)...)
+	for _, f := range all {
+		fmt.Printf("  %s\n", f)
+	}
+
+	fiNull := checker.NullDerefs(prog, aux)
+	fmt.Printf("\nflow-insensitive (Andersen) null-deref findings: %d\n", len(fiNull))
+	fmt.Println("the nulled-pointer store is invisible without flow-sensitivity:")
+	fmt.Println("Andersen still believes 'bug' points at 'pa' somewhere in the program.")
+
+	if len(all) != 3 {
+		log.Fatalf("expected 3 flow-sensitive findings, got %d", len(all))
+	}
+}

@@ -1,0 +1,3 @@
+module vsfs
+
+go 1.22

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vsfs/internal/workload"
+)
+
+// tinyProfile is a fast profile for harness tests.
+func tinyProfile() workload.Profile {
+	cfg := workload.DefaultRandomConfig()
+	cfg.Funcs = 8
+	cfg.InstrsPerFunc = 30
+	return workload.Profile{Name: "tiny", Desc: "test profile", Seed: 42, Cfg: cfg}
+}
+
+func TestRunProfilePopulatesRow(t *testing.T) {
+	row := RunProfile(tinyProfile(), Options{Runs: 1})
+	if row.Nodes == 0 || row.IndirectEdges == 0 || row.TopLevel == 0 {
+		t.Errorf("Table II fields empty: %+v", row)
+	}
+	if row.SFSTime <= 0 || row.VSFSTime <= 0 {
+		t.Errorf("times not measured: sfs=%v vsfs=%v", row.SFSTime, row.VSFSTime)
+	}
+	if row.SFSMem <= 0 || row.VSFSMem <= 0 {
+		t.Errorf("memory models empty: %d %d", row.SFSMem, row.VSFSMem)
+	}
+	if row.Speedup <= 0 || row.MemRatio <= 0 {
+		t.Errorf("ratios not computed: %f %f", row.Speedup, row.MemRatio)
+	}
+	if row.SFSOOM {
+		t.Error("OOM marked without a limit")
+	}
+}
+
+func TestMemLimitMarksOOM(t *testing.T) {
+	row := RunProfile(tinyProfile(), Options{Runs: 1, MemLimit: 1})
+	if !row.SFSOOM {
+		t.Error("1-byte limit did not mark SFS OOM")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	rows := Run([]workload.Profile{tinyProfile()}, Options{Runs: 1}, nil)
+	t2 := FormatTable2(rows)
+	t3 := FormatTable3(rows)
+	for _, want := range []string{"tiny", "# Nodes", "I.Edges"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table II missing %q:\n%s", want, t2)
+		}
+	}
+	for _, want := range []string{"tiny", "Time diff", "Mem diff", "Average"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table III missing %q:\n%s", want, t3)
+		}
+	}
+	// OOM formatting path.
+	rows[0].SFSOOM = true
+	if got := FormatTable3(rows); !strings.Contains(got, "OOM") {
+		t.Errorf("OOM row not rendered:\n%s", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := geoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geoMean(2,8) = %f", g)
+	}
+	if g := geoMean([]float64{5, 0, -1}); math.Abs(g-5) > 1e-9 {
+		t.Errorf("geoMean skipping nonpositive = %f", g)
+	}
+	if g := geoMean(nil); g != 0 {
+		t.Errorf("geoMean(nil) = %f", g)
+	}
+}
+
+func TestSanity(t *testing.T) {
+	if err := Sanity(tinyProfile()); err != nil {
+		t.Errorf("Sanity: %v", err)
+	}
+}
+
+func TestSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep point is slow")
+	}
+	points := RunSweep([]float64{0.2}, nil)
+	if len(points) != 1 || points[0].Speedup <= 0 {
+		t.Errorf("sweep = %+v", points)
+	}
+	if !strings.Contains(FormatSweep(points), "0.20") {
+		t.Error("sweep formatting missing point")
+	}
+}
+
+func TestVersionStats(t *testing.T) {
+	rows := RunVersionStats([]workload.Profile{tinyProfile()}, nil)
+	if len(rows) != 1 {
+		t.Fatal("no rows")
+	}
+	r := rows[0]
+	if r.IndirectEdges == 0 || r.SFSSets == 0 || r.VSFSSets == 0 {
+		t.Errorf("row empty: %+v", r)
+	}
+	if r.VSFSSets > r.SFSSets {
+		t.Errorf("VSFS stores more sets than SFS: %+v", r)
+	}
+	if r.VersionConstraints > r.IndirectEdges {
+		t.Errorf("more version constraints than edges: %+v", r)
+	}
+	if !strings.Contains(FormatVersionStats(rows), "tiny") {
+		t.Error("formatting missing row")
+	}
+}

@@ -1,0 +1,44 @@
+package bitset
+
+// Interner assigns stable dense uint32 IDs to distinct Sparse contents.
+// Two sets with equal members always intern to the same ID, which lets the
+// meld labelling represent a version (a set of prelabel atoms) as a single
+// comparable integer.
+type Interner struct {
+	byHash map[uint64][]uint32 // content hash -> candidate IDs
+	sets   []*Sparse           // ID -> canonical (frozen) set
+}
+
+// NewInterner returns an empty interner. ID 0 is pre-assigned to the empty
+// set, so the zero ID doubles as the meld identity ε.
+func NewInterner() *Interner {
+	in := &Interner{byHash: make(map[uint64][]uint32)}
+	empty := New()
+	in.byHash[empty.Hash()] = []uint32{0}
+	in.sets = append(in.sets, empty)
+	return in
+}
+
+// Intern returns the ID for the contents of s, assigning a new one if the
+// contents have not been seen. The caller must not mutate s afterwards if
+// it was newly interned; pass a private copy when in doubt (Intern clones
+// defensively, so mutation is always safe but costs a copy).
+func (in *Interner) Intern(s *Sparse) uint32 {
+	h := s.Hash()
+	for _, id := range in.byHash[h] {
+		if in.sets[id].Equal(s) {
+			return id
+		}
+	}
+	id := uint32(len(in.sets))
+	in.sets = append(in.sets, s.Clone())
+	in.byHash[h] = append(in.byHash[h], id)
+	return id
+}
+
+// Get returns the canonical set for an ID. The result must not be mutated.
+func (in *Interner) Get(id uint32) *Sparse { return in.sets[id] }
+
+// Len returns the number of distinct sets interned (including the empty
+// set).
+func (in *Interner) Len() int { return len(in.sets) }

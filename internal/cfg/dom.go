@@ -1,0 +1,188 @@
+// Package cfg computes per-function control-flow facts needed by the
+// memory-SSA construction: reverse postorder, immediate dominators
+// (Cooper–Harvey–Kennedy, "A Simple, Fast Dominance Algorithm"), and
+// dominance frontiers (Cytron et al.), which determine where MEMPHI nodes
+// are placed.
+package cfg
+
+import "vsfs/internal/ir"
+
+// Info holds the control-flow facts for one function. Blocks unreachable
+// from the entry have Idom == nil and empty frontiers; the memory-SSA pass
+// skips them.
+type Info struct {
+	Fn *ir.Function
+
+	// RPO is the reverse postorder of reachable blocks, starting with the
+	// entry block.
+	RPO []*ir.Block
+
+	// rpoNum maps block index (within Fn.Blocks) to its position in RPO,
+	// or -1 if unreachable.
+	rpoNum []int
+
+	// idom maps block index to immediate dominator (nil for entry and
+	// unreachable blocks).
+	idom []*ir.Block
+
+	// frontier maps block index to its dominance frontier.
+	frontier [][]*ir.Block
+}
+
+// Compute builds the Info for f.
+func Compute(f *ir.Function) *Info {
+	n := len(f.Blocks)
+	info := &Info{
+		Fn:       f,
+		rpoNum:   make([]int, n),
+		idom:     make([]*ir.Block, n),
+		frontier: make([][]*ir.Block, n),
+	}
+	for i := range info.rpoNum {
+		info.rpoNum[i] = -1
+	}
+	info.buildRPO()
+	info.buildIdom()
+	info.buildFrontiers()
+	return info
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (i *Info) Reachable(b *ir.Block) bool { return i.rpoNum[b.Index] >= 0 }
+
+// Idom returns the immediate dominator of b (nil for the entry block and
+// unreachable blocks).
+func (i *Info) Idom(b *ir.Block) *ir.Block { return i.idom[b.Index] }
+
+// Frontier returns the dominance frontier of b.
+func (i *Info) Frontier(b *ir.Block) []*ir.Block { return i.frontier[b.Index] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (i *Info) Dominates(a, b *ir.Block) bool {
+	if !i.Reachable(a) || !i.Reachable(b) {
+		return false
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = i.idom[b.Index]
+	}
+	return false
+}
+
+func (i *Info) buildRPO() {
+	f := i.Fn
+	var post []*ir.Block
+	state := make([]uint8, len(f.Blocks)) // 0 unseen, 1 on stack, 2 done
+
+	type frame struct {
+		b    *ir.Block
+		next int
+	}
+	stack := []frame{{b: f.Entry}}
+	state[f.Entry.Index] = 1
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(fr.b.Succs) {
+			s := fr.b.Succs[fr.next]
+			fr.next++
+			if state[s.Index] == 0 {
+				state[s.Index] = 1
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		state[fr.b.Index] = 2
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	i.RPO = make([]*ir.Block, len(post))
+	for k := range post {
+		b := post[len(post)-1-k]
+		i.RPO[k] = b
+		i.rpoNum[b.Index] = k
+	}
+}
+
+// buildIdom runs the CHK iteration-to-fixpoint over RPO.
+func (i *Info) buildIdom() {
+	if len(i.RPO) == 0 {
+		return
+	}
+	entry := i.RPO[0]
+	// doms, indexed by RPO number.
+	doms := make([]int, len(i.RPO))
+	for k := range doms {
+		doms[k] = -1
+	}
+	doms[0] = 0
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for a > b {
+				a = doms[a]
+			}
+			for b > a {
+				b = doms[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for k := 1; k < len(i.RPO); k++ {
+			b := i.RPO[k]
+			newIdom := -1
+			for _, p := range b.Preds {
+				pn := i.rpoNum[p.Index]
+				if pn < 0 || doms[pn] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = pn
+				} else {
+					newIdom = intersect(newIdom, pn)
+				}
+			}
+			if newIdom >= 0 && doms[k] != newIdom {
+				doms[k] = newIdom
+				changed = true
+			}
+		}
+	}
+	for k := 1; k < len(i.RPO); k++ {
+		if doms[k] >= 0 {
+			i.idom[i.RPO[k].Index] = i.RPO[doms[k]]
+		}
+	}
+	_ = entry
+}
+
+// buildFrontiers computes DF(b) with the standard two-predecessor walk.
+func (i *Info) buildFrontiers() {
+	for _, b := range i.RPO {
+		for _, p := range b.Preds {
+			if !i.Reachable(p) {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != i.idom[b.Index] {
+				if !frontierHas(i.frontier[runner.Index], b) {
+					i.frontier[runner.Index] = append(i.frontier[runner.Index], b)
+				}
+				runner = i.idom[runner.Index]
+			}
+		}
+	}
+}
+
+func frontierHas(fs []*ir.Block, b *ir.Block) bool {
+	for _, f := range fs {
+		if f == b {
+			return true
+		}
+	}
+	return false
+}

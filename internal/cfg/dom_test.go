@@ -1,0 +1,242 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vsfs/internal/ir"
+)
+
+// diamond builds:  entry → {then, else} → join → exit
+func diamond(t *testing.T) (*ir.Program, *ir.Function) {
+	t.Helper()
+	p := ir.NewProgram()
+	f := p.NewFunction("f", 0)
+	entry := f.Entry
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+	entry.AddSucc(then)
+	entry.AddSucc(els)
+	then.AddSucc(join)
+	els.AddSucc(join)
+	f.Exit = join
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return p, f
+}
+
+func TestDiamondDominators(t *testing.T) {
+	_, f := diamond(t)
+	info := Compute(f)
+
+	entry, then, els, join := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	if info.Idom(entry) != nil {
+		t.Error("entry has an idom")
+	}
+	for _, b := range []*ir.Block{then, els, join} {
+		if info.Idom(b) != entry {
+			t.Errorf("idom(%s) = %v, want entry", b, info.Idom(b))
+		}
+	}
+	if !info.Dominates(entry, join) {
+		t.Error("entry should dominate join")
+	}
+	if info.Dominates(then, join) {
+		t.Error("then should not dominate join")
+	}
+	if !info.Dominates(join, join) {
+		t.Error("dominance should be reflexive")
+	}
+	// DF(then) = DF(else) = {join}; DF(entry) = DF(join) = {}.
+	if df := info.Frontier(then); len(df) != 1 || df[0] != join {
+		t.Errorf("DF(then) = %v", df)
+	}
+	if df := info.Frontier(els); len(df) != 1 || df[0] != join {
+		t.Errorf("DF(else) = %v", df)
+	}
+	if df := info.Frontier(entry); len(df) != 0 {
+		t.Errorf("DF(entry) = %v", df)
+	}
+}
+
+func TestLoopFrontier(t *testing.T) {
+	// entry → header; header → {body, exit}; body → header
+	p := ir.NewProgram()
+	f := p.NewFunction("f", 0)
+	entry := f.Entry
+	header := f.NewBlock("header")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	entry.AddSucc(header)
+	header.AddSucc(body)
+	header.AddSucc(exit)
+	body.AddSucc(header)
+	f.Exit = exit
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	info := Compute(f)
+	if info.Idom(header) != entry || info.Idom(body) != header || info.Idom(exit) != header {
+		t.Errorf("idoms wrong: header←%v body←%v exit←%v",
+			info.Idom(header), info.Idom(body), info.Idom(exit))
+	}
+	// header is in its own frontier (loop) and in body's.
+	if df := info.Frontier(body); len(df) != 1 || df[0] != header {
+		t.Errorf("DF(body) = %v", df)
+	}
+	found := false
+	for _, b := range info.Frontier(header) {
+		if b == header {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DF(header) = %v, want to contain header", info.Frontier(header))
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	p := ir.NewProgram()
+	f := p.NewFunction("f", 0)
+	dead := f.NewBlock("dead")
+	f.Exit = f.Entry
+	dead.AddSucc(f.Entry)
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	info := Compute(f)
+	if info.Reachable(dead) {
+		t.Error("dead block marked reachable")
+	}
+	if info.Idom(dead) != nil {
+		t.Error("dead block has idom")
+	}
+	if len(info.RPO) != 1 {
+		t.Errorf("RPO = %v", info.RPO)
+	}
+	if info.Dominates(dead, f.Entry) || info.Dominates(f.Entry, dead) {
+		t.Error("dominance involving unreachable block")
+	}
+}
+
+// Property: on random CFGs, Idom matches a brute-force dominator
+// computation (b dominates c iff every entry→c path passes through b,
+// checked by deleting b and testing reachability).
+func TestQuickIdomMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := ir.NewProgram()
+		fn := p.NewFunction("f", 0)
+		n := 2 + r.Intn(8)
+		blocks := []*ir.Block{fn.Entry}
+		for i := 1; i < n; i++ {
+			blocks = append(blocks, fn.NewBlock("b"))
+		}
+		for e := 0; e < 2*n; e++ {
+			blocks[r.Intn(n)].AddSucc(blocks[r.Intn(n)])
+		}
+		fn.Exit = blocks[n-1]
+		if err := p.Finalize(); err != nil {
+			return true // malformed; skip
+		}
+		info := Compute(fn)
+
+		// Brute force dominance: c reachable from entry avoiding b?
+		reachAvoiding := func(avoid, target *ir.Block) bool {
+			if avoid == fn.Entry {
+				return target == fn.Entry // nothing else reachable
+			}
+			seen := map[*ir.Block]bool{fn.Entry: true}
+			work := []*ir.Block{fn.Entry}
+			for len(work) > 0 {
+				b := work[len(work)-1]
+				work = work[:len(work)-1]
+				for _, s := range b.Succs {
+					if s == avoid || seen[s] {
+						continue
+					}
+					seen[s] = true
+					work = append(work, s)
+				}
+			}
+			return seen[target]
+		}
+		dominates := func(a, b *ir.Block) bool {
+			if !info.Reachable(b) || !info.Reachable(a) {
+				return false
+			}
+			if a == b {
+				return true
+			}
+			return !reachAvoiding(a, b)
+		}
+		for _, a := range blocks {
+			for _, b := range blocks {
+				if info.Dominates(a, b) != dominates(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the dominance-frontier definition holds — c ∈ DF(b) iff b
+// dominates a predecessor of c but does not strictly dominate c.
+func TestQuickFrontierDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := ir.NewProgram()
+		fn := p.NewFunction("f", 0)
+		n := 2 + r.Intn(8)
+		blocks := []*ir.Block{fn.Entry}
+		for i := 1; i < n; i++ {
+			blocks = append(blocks, fn.NewBlock("b"))
+		}
+		for e := 0; e < 2*n; e++ {
+			blocks[r.Intn(n)].AddSucc(blocks[r.Intn(n)])
+		}
+		fn.Exit = blocks[n-1]
+		if err := p.Finalize(); err != nil {
+			return true
+		}
+		info := Compute(fn)
+		inDF := func(b, c *ir.Block) bool {
+			for _, x := range info.Frontier(b) {
+				if x == c {
+					return true
+				}
+			}
+			return false
+		}
+		for _, b := range blocks {
+			if !info.Reachable(b) {
+				continue
+			}
+			for _, c := range blocks {
+				if !info.Reachable(c) {
+					continue
+				}
+				want := false
+				for _, pb := range c.Preds {
+					if info.Reachable(pb) && info.Dominates(b, pb) && !(info.Dominates(b, c) && b != c) {
+						want = true
+					}
+				}
+				if inDF(b, c) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

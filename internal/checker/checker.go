@@ -1,0 +1,136 @@
+// Package checker hosts client analyses built on the pointer-analysis
+// results: a null/uninitialised-dereference checker and a
+// dangling-stack-pointer checker. They consume any solver's results
+// through the PointsTo interface, so the same client runs on Andersen's,
+// SFS or VSFS facts — with flow-sensitive facts finding strictly more
+// (and more precise) issues.
+package checker
+
+import (
+	"fmt"
+
+	"vsfs/internal/bitset"
+	"vsfs/internal/ir"
+)
+
+// PointsTo abstracts a solved analysis.
+type PointsTo interface {
+	PointsTo(v ir.ID) *bitset.Sparse
+}
+
+// Kind classifies a finding.
+type Kind string
+
+const (
+	// NullDeref: a load or store whose base pointer has an empty
+	// points-to set at that point — null or uninitialised.
+	NullDeref Kind = "null-deref"
+	// DanglingReturn: a function returns a pointer that may reference
+	// its own stack frame.
+	DanglingReturn Kind = "dangling-return"
+	// StackEscape: a store publishes the address of a local variable
+	// into a global or heap object that outlives the frame.
+	StackEscape Kind = "stack-escape"
+)
+
+// Finding is one reported issue.
+type Finding struct {
+	Kind    Kind
+	Func    string
+	Label   uint32 // instruction label
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s (ℓ%d): %s", f.Kind, f.Func, f.Label, f.Message)
+}
+
+// NullDerefs reports loads and stores whose base pointer may be null or
+// uninitialised under the given analysis results.
+func NullDerefs(prog *ir.Program, res PointsTo) []Finding {
+	var out []Finding
+	for _, f := range prog.Funcs {
+		f.ForEachInstr(func(in *ir.Instr) {
+			var base ir.ID
+			var what string
+			switch in.Op {
+			case ir.Load:
+				base, what = in.Uses[0], "load"
+			case ir.Store:
+				base, what = in.Uses[0], "store"
+			default:
+				return
+			}
+			if res.PointsTo(base).IsEmpty() {
+				out = append(out, Finding{
+					Kind:  NullDeref,
+					Func:  f.Name,
+					Label: in.Label,
+					Message: fmt.Sprintf("%s through %s, which points to nothing here",
+						what, prog.NameOf(base)),
+				})
+			}
+		})
+	}
+	return out
+}
+
+// DanglingReturns reports functions that may return a pointer into
+// their own stack frame.
+func DanglingReturns(prog *ir.Program, res PointsTo) []Finding {
+	var out []Finding
+	for _, f := range prog.Funcs {
+		if f.Ret == ir.None {
+			continue
+		}
+		res.PointsTo(f.Ret).ForEach(func(o uint32) {
+			v := prog.Value(ir.ID(o))
+			if v.ObjKind == ir.StackObj && v.DefFunc == f {
+				out = append(out, Finding{
+					Kind:  DanglingReturn,
+					Func:  f.Name,
+					Label: f.ExitInstr.Label,
+					Message: fmt.Sprintf("returns a pointer to its own local %s",
+						v.Name),
+				})
+			}
+		})
+	}
+	return out
+}
+
+// ObjectSummaries abstracts per-object "may ever hold" queries, provided
+// by the flow-sensitive solvers and by Andersen's PointsTo directly.
+type ObjectSummaries interface {
+	ObjectSummary(o ir.ID) *bitset.Sparse
+}
+
+// StackEscapes reports stores that publish a local's address into
+// storage that outlives the frame: a global or heap object whose summary
+// contains a stack object of another frame's future dead local.
+func StackEscapes(prog *ir.Program, sums ObjectSummaries) []Finding {
+	var out []Finding
+	for id := ir.ID(1); int(id) < prog.NumValues(); id++ {
+		holder := prog.Value(id)
+		if holder.Kind != ir.Object {
+			continue
+		}
+		if holder.ObjKind != ir.GlobalObj && holder.ObjKind != ir.HeapObj {
+			continue
+		}
+		sums.ObjectSummary(id).ForEach(func(o uint32) {
+			pointee := prog.Value(ir.ID(o))
+			if pointee.ObjKind != ir.StackObj || pointee.DefFunc == nil {
+				return
+			}
+			out = append(out, Finding{
+				Kind:  StackEscape,
+				Func:  pointee.DefFunc.Name,
+				Label: pointee.DefFunc.ExitInstr.Label,
+				Message: fmt.Sprintf("address of local %s escapes into %s %s",
+					pointee.Name, holder.ObjKind, holder.Name),
+			})
+		})
+	}
+	return out
+}

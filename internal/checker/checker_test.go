@@ -1,0 +1,199 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"vsfs/internal/andersen"
+	"vsfs/internal/core"
+	"vsfs/internal/ir"
+	"vsfs/internal/lang"
+	"vsfs/internal/memssa"
+	"vsfs/internal/svfg"
+)
+
+func solve(t *testing.T, src string) (*ir.Program, *core.Result) {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	aux := andersen.Analyze(prog)
+	mssa := memssa.Build(prog, aux)
+	g := svfg.Build(prog, aux, mssa)
+	return prog, core.Solve(g)
+}
+
+func kinds(fs []Finding) map[Kind]int {
+	out := map[Kind]int{}
+	for _, f := range fs {
+		out[f.Kind]++
+	}
+	return out
+}
+
+func TestNullDerefFlowSensitive(t *testing.T) {
+	prog, fs := solve(t, `
+int main() {
+  int a;
+  int *pa;
+  pa = &a;
+  int **ok;
+  ok = &pa;
+  *ok = &a;
+
+  int **bug;
+  bug = &pa;
+  bug = null;
+  *bug = &a;
+
+  return 0;
+}
+`)
+	findings := NullDerefs(prog, fs)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the null store", findings)
+	}
+	f := findings[0]
+	if f.Kind != NullDeref || f.Func != "main" || !strings.Contains(f.Message, "store") {
+		t.Errorf("finding = %v", f)
+	}
+	if !strings.Contains(f.String(), "null-deref") {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+func TestDanglingReturn(t *testing.T) {
+	prog, fs := solve(t, `
+int *bad() {
+  int local;
+  return &local;
+}
+int *good(int *x) {
+  return x;
+}
+int main() {
+  int a;
+  int *p;
+  p = bad();
+  int *q;
+  q = good(&a);
+  return 0;
+}
+`)
+	findings := DanglingReturns(prog, fs)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want 1", findings)
+	}
+	if findings[0].Func != "bad" || !strings.Contains(findings[0].Message, "local") {
+		t.Errorf("finding = %v", findings[0])
+	}
+}
+
+func TestStackEscape(t *testing.T) {
+	prog, fs := solve(t, `
+int *g;
+
+int leak() {
+  int local;
+  g = &local;
+  return 0;
+}
+int fine() {
+  int local2;
+  int *p;
+  p = &local2;
+  return 0;
+}
+int main() {
+  leak();
+  fine();
+  return 0;
+}
+`)
+	findings := StackEscapes(prog, fs)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want 1 (the global leak)", findings)
+	}
+	f := findings[0]
+	if f.Kind != StackEscape || f.Func != "leak" || !strings.Contains(f.Message, "g.obj") {
+		t.Errorf("finding = %v", f)
+	}
+}
+
+func TestHeapEscape(t *testing.T) {
+	prog, fs := solve(t, `
+struct Box { int *v; };
+int use(struct Box *b) {
+  int local;
+  b->v = &local;
+  return 0;
+}
+int main() {
+  struct Box *b;
+  b = malloc();
+  use(b);
+  return 0;
+}
+`)
+	findings := StackEscapes(prog, fs)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want 1 heap escape", findings)
+	}
+	if findings[0].Func != "use" {
+		t.Errorf("finding = %v", findings[0])
+	}
+}
+
+func TestCleanProgramNoFindings(t *testing.T) {
+	prog, fs := solve(t, `
+int *g;
+int x;
+
+int main() {
+  g = &x;
+  int *p;
+  p = g;
+  int *v;
+  v = p;
+  return 0;
+}
+`)
+	if f := NullDerefs(prog, fs); len(f) != 0 {
+		t.Errorf("null derefs = %v", f)
+	}
+	if f := DanglingReturns(prog, fs); len(f) != 0 {
+		t.Errorf("dangling = %v", f)
+	}
+	if f := StackEscapes(prog, fs); len(f) != 0 {
+		t.Errorf("escapes = %v", f)
+	}
+}
+
+// The checkers accept any solver: Andersen's results work too, with
+// fewer (flow-insensitive) findings.
+func TestWorksOnAndersen(t *testing.T) {
+	prog, err := lang.Compile(`
+int main() {
+  int a;
+  int *pa;
+  pa = &a;
+  int **bug;
+  bug = &pa;
+  bug = null;
+  *bug = &a;
+  return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux := andersen.Analyze(prog)
+	findings := NullDerefs(prog, aux)
+	// Flow-insensitively bug still points to pa: the bug is invisible.
+	for _, f := range findings {
+		if strings.Contains(f.Message, "bug") {
+			t.Errorf("flow-insensitive analysis should miss the nulled pointer: %v", f)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package core implements the paper's contribution: versioned staged
+// flow-sensitive points-to analysis (VSFS). A fast pre-analysis versions
+// every (instruction, object) pair by meld labelling the SVFG — each
+// STORE yields a fresh version for the objects it may define ([STORE]^P)
+// and each δ node consumes a fresh version ([OTF-CG]^P); versions then
+// propagate along object-labelled indirect edges ([EXTERNAL]^V) and from
+// consume to yield inside non-store nodes ([INTERNAL]^V). Nodes sharing
+// a version of o provably see the same points-to set for o, so the main
+// phase keeps one global points-to set per (object, version) instead of
+// per-node IN/OUT maps, eliminating SFS's redundant single-object
+// propagation and storage while producing identical results.
+package core
+
+import (
+	"time"
+
+	"vsfs/internal/bitset"
+	"vsfs/internal/ir"
+	"vsfs/internal/meld"
+	"vsfs/internal/svfg"
+)
+
+// VersionStats quantifies the pre-analysis.
+type VersionStats struct {
+	Prelabels        int           // fresh versions from [STORE]^P and [OTF-CG]^P
+	DistinctVersions int           // distinct labels at fixpoint (incl. ε)
+	MeldOps          int           // external melds applied
+	ConsumeEntries   int           // (node, object) consume slots materialised
+	YieldEntries     int           // (node, object) yield slots materialised
+	Duration         time.Duration // wall-clock versioning time
+}
+
+// versioning holds the C (consume) and Y (yield) functions of Section
+// IV-C, per node label.
+type versioning struct {
+	tab *meld.Table
+
+	consume []map[ir.ID]meld.Version // ξ_ℓ(o)
+	yield   []map[ir.ID]meld.Version // η_ℓ(o)
+
+	stats VersionStats
+}
+
+func (v *versioning) consumeOf(l uint32, o ir.ID) meld.Version {
+	if m := v.consume[l]; m != nil {
+		return m[o]
+	}
+	return meld.Epsilon
+}
+
+func (v *versioning) yieldOf(l uint32, o ir.ID) meld.Version {
+	if m := v.yield[l]; m != nil {
+		return m[o]
+	}
+	return meld.Epsilon
+}
+
+func (v *versioning) setConsume(l uint32, o ir.ID, ver meld.Version) {
+	m := v.consume[l]
+	if m == nil {
+		m = make(map[ir.ID]meld.Version)
+		v.consume[l] = m
+	}
+	m[o] = ver
+}
+
+func (v *versioning) setYield(l uint32, o ir.ID, ver meld.Version) {
+	m := v.yield[l]
+	if m == nil {
+		m = make(map[ir.ID]meld.Version)
+		v.yield[l] = m
+	}
+	m[o] = ver
+}
+
+// runVersioning performs prelabelling and meld labelling over the SVFG.
+func runVersioning(g *svfg.Graph) *versioning {
+	start := time.Now()
+	n := len(g.Prog.Instrs)
+	v := &versioning{
+		tab:     meld.NewTable(),
+		consume: make([]map[ir.ID]meld.Version, n),
+		yield:   make([]map[ir.ID]meld.Version, n),
+	}
+
+	// Prelabelling ([STORE]^P and [OTF-CG]^P), in label order for
+	// determinism; objects ascend within a node (bitset order). The
+	// fixed-point loop is event-driven: each worklist entry carries the
+	// set of objects whose version changed at that node, so a pop only
+	// touches dirty (node, object) pairs.
+	work := &objWorklist{dirty: make(map[uint32]*bitset.Sparse)}
+	for l := uint32(1); l < uint32(n); l++ {
+		in := g.Prog.Instrs[l]
+		if in.Op == ir.Store {
+			g.MSSA.ChiOf(l).ForEach(func(o uint32) {
+				v.setYield(l, ir.ID(o), v.tab.NewAtom())
+				v.stats.Prelabels++
+				work.push(l, ir.ID(o))
+			})
+		}
+		if g.Delta[l] {
+			// δ nodes consume a fresh version for each object they may
+			// propagate forward (their χ set).
+			g.MSSA.ChiOf(l).ForEach(func(o uint32) {
+				v.setConsume(l, ir.ID(o), v.tab.NewAtom())
+				v.stats.Prelabels++
+				work.push(l, ir.ID(o))
+			})
+		}
+	}
+
+	// Meld labelling to a fixed point.
+	for {
+		l, objs, ok := work.pop()
+		if !ok {
+			break
+		}
+		in := g.Prog.Instrs[l]
+		for _, o := range objs {
+			// [INTERNAL]^V: non-store nodes yield what they consume.
+			if in.Op != ir.Store {
+				cv := v.consumeOf(l, o)
+				if cv != meld.Epsilon && v.yieldOf(l, o) != cv {
+					v.setYield(l, o, cv)
+				}
+			}
+			yv := v.yieldOf(l, o)
+			if yv == meld.Epsilon {
+				continue
+			}
+			// [EXTERNAL]^V: meld this node's yield into the consumes of
+			// its indirect successors, except δ nodes (frozen consume).
+			for _, succ := range g.IndirSuccs(l, o) {
+				if g.Delta[succ] {
+					continue
+				}
+				old := v.consumeOf(succ, o)
+				melded := v.tab.Meld(old, yv)
+				if melded != old {
+					v.setConsume(succ, o, melded)
+					v.stats.MeldOps++
+					work.push(succ, o)
+				}
+			}
+		}
+	}
+
+	v.stats.DistinctVersions = v.tab.Distinct()
+	for _, m := range v.consume {
+		v.stats.ConsumeEntries += len(m)
+	}
+	for _, m := range v.yield {
+		v.stats.YieldEntries += len(m)
+	}
+	v.stats.Duration = time.Since(start)
+	return v
+}
+
+func sortIDs(ids []ir.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// objWorklist is a FIFO over nodes carrying per-node dirty object sets.
+type objWorklist struct {
+	queue []uint32
+	dirty map[uint32]*bitset.Sparse
+}
+
+func (w *objWorklist) push(n uint32, o ir.ID) {
+	set := w.dirty[n]
+	if set == nil {
+		set = bitset.New()
+		w.dirty[n] = set
+		w.queue = append(w.queue, n)
+	} else if set.IsEmpty() {
+		w.queue = append(w.queue, n)
+	}
+	set.Set(uint32(o))
+}
+
+func (w *objWorklist) pop() (uint32, []ir.ID, bool) {
+	if len(w.queue) == 0 {
+		return 0, nil, false
+	}
+	n := w.queue[0]
+	w.queue = w.queue[1:]
+	set := w.dirty[n]
+	objs := make([]ir.ID, 0, set.Len())
+	set.ForEach(func(o uint32) { objs = append(objs, ir.ID(o)) })
+	set.Copy(emptyScratch)
+	return n, objs, true
+}
+
+var emptyScratch = bitset.New()
+
+// worklist is FIFO with membership dedup over node labels (used by the
+// solving phase).
+type worklist struct {
+	queue []uint32
+	mark  map[uint32]bool
+}
+
+func (w *worklist) push(n uint32) {
+	if w.mark == nil {
+		w.mark = make(map[uint32]bool)
+	}
+	if !w.mark[n] {
+		w.mark[n] = true
+		w.queue = append(w.queue, n)
+	}
+}
+
+func (w *worklist) pop() (uint32, bool) {
+	if len(w.queue) == 0 {
+		return 0, false
+	}
+	n := w.queue[0]
+	w.queue = w.queue[1:]
+	w.mark[n] = false
+	return n, true
+}

@@ -1,0 +1,217 @@
+// Package graph provides a small directed-graph toolkit used by the
+// analyses: adjacency storage over dense uint32 node IDs, Tarjan's
+// strongly-connected-components algorithm, topological ordering of the
+// condensation, and reachability. It is deliberately minimal — nodes are
+// integers and any labelling lives with the caller.
+package graph
+
+import "sort"
+
+// Digraph is a directed graph over nodes 0..N-1. Parallel edges are
+// deduplicated; self-loops are allowed.
+type Digraph struct {
+	succs [][]uint32
+	preds [][]uint32
+	edges int
+}
+
+// New returns a digraph with n nodes and no edges.
+func New(n int) *Digraph {
+	return &Digraph{
+		succs: make([][]uint32, n),
+		preds: make([][]uint32, n),
+	}
+}
+
+// Len returns the number of nodes.
+func (g *Digraph) Len() int { return len(g.succs) }
+
+// NumEdges returns the number of distinct edges.
+func (g *Digraph) NumEdges() int { return g.edges }
+
+// AddNode appends a fresh node and returns its ID.
+func (g *Digraph) AddNode() uint32 {
+	g.succs = append(g.succs, nil)
+	g.preds = append(g.preds, nil)
+	return uint32(len(g.succs) - 1)
+}
+
+// AddEdge inserts the edge from→to, reporting whether it was new.
+func (g *Digraph) AddEdge(from, to uint32) bool {
+	if contains(g.succs[from], to) {
+		return false
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+	g.edges++
+	return true
+}
+
+// HasEdge reports whether the edge from→to exists.
+func (g *Digraph) HasEdge(from, to uint32) bool { return contains(g.succs[from], to) }
+
+// Succs returns the successor list of n. The caller must not mutate it.
+func (g *Digraph) Succs(n uint32) []uint32 { return g.succs[n] }
+
+// Preds returns the predecessor list of n. The caller must not mutate it.
+func (g *Digraph) Preds(n uint32) []uint32 { return g.preds[n] }
+
+func contains(xs []uint32, x uint32) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// SCCs computes the strongly connected components with Tarjan's algorithm
+// (iterative, so deep graphs do not overflow the stack). It returns a
+// slice mapping node → component ID and the number of components.
+// Component IDs are assigned in reverse topological order of the
+// condensation: if there is a path from component a to component b (a≠b),
+// then ID(a) > ID(b).
+func (g *Digraph) SCCs() (comp []uint32, n int) {
+	const unvisited = ^uint32(0)
+	nn := g.Len()
+	comp = make([]uint32, nn)
+	index := make([]uint32, nn)
+	lowlink := make([]uint32, nn)
+	onStack := make([]bool, nn)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []uint32
+	var next uint32
+
+	type frame struct {
+		node uint32
+		succ int
+	}
+	var frames []frame
+
+	for root := 0; root < nn; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{node: uint32(root)})
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, uint32(root))
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.node
+			if f.succ < len(g.succs[v]) {
+				w := g.succs[v][f.succ]
+				f.succ++
+				if index[w] == unvisited {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w})
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+				continue
+			}
+			// v is complete.
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = uint32(n)
+					if w == v {
+						break
+					}
+				}
+				n++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].node
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+		}
+	}
+	return comp, n
+}
+
+// Condense builds the condensation graph of g given the SCC assignment
+// from SCCs. Self-edges within a component are dropped.
+func (g *Digraph) Condense(comp []uint32, n int) *Digraph {
+	c := New(n)
+	for v := 0; v < g.Len(); v++ {
+		for _, w := range g.succs[v] {
+			if comp[v] != comp[w] {
+				c.AddEdge(comp[v], comp[w])
+			}
+		}
+	}
+	return c
+}
+
+// TopoOrder returns a topological order of an acyclic digraph via Kahn's
+// algorithm, or ok=false if the graph has a cycle. Ties are broken by
+// node ID so the result is deterministic.
+func (g *Digraph) TopoOrder() (order []uint32, ok bool) {
+	nn := g.Len()
+	indeg := make([]int, nn)
+	for v := 0; v < nn; v++ {
+		for range g.preds[v] {
+			indeg[v]++
+		}
+	}
+	ready := make([]uint32, 0, nn)
+	for v := 0; v < nn; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, uint32(v))
+		}
+	}
+	order = make([]uint32, 0, nn)
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, w := range g.succs[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	return order, len(order) == nn
+}
+
+// Reachable returns the set of nodes reachable from the given roots
+// (including the roots themselves), as a boolean slice.
+func (g *Digraph) Reachable(roots ...uint32) []bool {
+	seen := make([]bool, g.Len())
+	var work []uint32
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			work = append(work, r)
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, w := range g.succs[v] {
+			if !seen[w] {
+				seen[w] = true
+				work = append(work, w)
+			}
+		}
+	}
+	return seen
+}

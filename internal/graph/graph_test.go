@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeDedup(t *testing.T) {
+	g := New(3)
+	if !g.AddEdge(0, 1) {
+		t.Error("first AddEdge not new")
+	}
+	if g.AddEdge(0, 1) {
+		t.Error("duplicate AddEdge reported new")
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("HasEdge wrong")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if len(g.Preds(1)) != 1 || g.Preds(1)[0] != 0 {
+		t.Errorf("Preds(1) = %v", g.Preds(1))
+	}
+	n := g.AddNode()
+	if n != 3 || g.Len() != 4 {
+		t.Errorf("AddNode = %d, Len = %d", n, g.Len())
+	}
+}
+
+func TestSCCsSimpleCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0, 2 -> 3
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	comp, n := g.SCCs()
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("cycle nodes in different components: %v", comp)
+	}
+	if comp[3] == comp[0] {
+		t.Error("node 3 merged into cycle")
+	}
+	// Reverse topological numbering: {0,1,2} can reach {3}, so its ID is larger.
+	if comp[0] < comp[3] {
+		t.Errorf("component order not reverse-topological: %v", comp)
+	}
+}
+
+func TestSCCsSelfLoopAndIsolated(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 0)
+	comp, n := g.SCCs()
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	if comp[0] == comp[1] || comp[1] == comp[2] || comp[0] == comp[2] {
+		t.Errorf("distinct nodes share a component: %v", comp)
+	}
+}
+
+func TestCondenseAndTopo(t *testing.T) {
+	// Two 2-cycles joined: (0<->1) -> (2<->3) -> 4
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(3, 4)
+	comp, n := g.SCCs()
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	c := g.Condense(comp, n)
+	order, ok := c.TopoOrder()
+	if !ok {
+		t.Fatal("condensation not acyclic")
+	}
+	pos := make(map[uint32]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	if !(pos[comp[0]] < pos[comp[2]] && pos[comp[2]] < pos[comp[4]]) {
+		t.Errorf("topo order wrong: comp=%v order=%v", comp, order)
+	}
+}
+
+func TestTopoOrderCycleFails(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, ok := g.TopoOrder(); ok {
+		t.Error("TopoOrder succeeded on a cyclic graph")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	seen := g.Reachable(0)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("Reachable(0)[%d] = %v, want %v", i, seen[i], want[i])
+		}
+	}
+	seen = g.Reachable(0, 3)
+	if !seen[4] {
+		t.Error("multi-root reachability missed node 4")
+	}
+}
+
+func TestDeepGraphNoStackOverflow(t *testing.T) {
+	// A 200k-node path would overflow a recursive Tarjan.
+	const n = 200000
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(uint32(i), uint32(i+1))
+	}
+	_, comps := g.SCCs()
+	if comps != n {
+		t.Errorf("comps = %d, want %d", comps, n)
+	}
+}
+
+// Property: SCC assignment matches a brute-force mutual-reachability check
+// on small random graphs.
+func TestQuickSCCMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(9)
+		g := New(n)
+		for e := 0; e < r.Intn(3*n); e++ {
+			g.AddEdge(uint32(r.Intn(n)), uint32(r.Intn(n)))
+		}
+		comp, _ := g.SCCs()
+		// Brute-force reachability.
+		reach := make([][]bool, n)
+		for i := 0; i < n; i++ {
+			reach[i] = g.Reachable(uint32(i))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				mutual := reach[i][j] && reach[j][i]
+				if (comp[i] == comp[j]) != mutual {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: condensation is always acyclic and edge-consistent.
+func TestQuickCondensationAcyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g := New(n)
+		for e := 0; e < r.Intn(4*n); e++ {
+			g.AddEdge(uint32(r.Intn(n)), uint32(r.Intn(n)))
+		}
+		comp, k := g.SCCs()
+		c := g.Condense(comp, k)
+		_, ok := c.TopoOrder()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

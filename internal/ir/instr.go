@@ -1,0 +1,186 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates the instruction kinds of the paper's Table I. CAST is
+// folded into Copy (a cast is a points-to-preserving copy), and the two
+// interprocedural pseudo-instructions FUNENTRY/FUNEXIT are explicit nodes
+// so the SVFG can attach χ/μ value-flows to them.
+type Op uint8
+
+const (
+	// BadOp is the zero Op; a validated program never contains it.
+	BadOp Op = iota
+	// Alloc: p = alloc_o — makes p point to object o.
+	Alloc
+	// Copy: p = q — covers CAST and plain pointer copies.
+	Copy
+	// Phi: p = φ(q, r, ...) — top-level join.
+	Phi
+	// Field: p = &q->f_k — field address computation.
+	Field
+	// Load: p = *q.
+	Load
+	// Store: *p = q.
+	Store
+	// Call: p = q(r1..rn) or p = f(r1..rn).
+	Call
+	// FunEntry: fun(r1..rn) — single entry pseudo-instruction.
+	FunEntry
+	// FunExit: ret_fun p — single exit pseudo-instruction.
+	FunExit
+	// MemPhi: o = φ(o, o) — address-taken join, inserted by memory SSA.
+	MemPhi
+	// CallRet is the receive side of a call site (SVF's ActualOUT):
+	// the χ functions of a CALL live on this companion node, inserted
+	// immediately after the call by the memory-SSA pass, so that values
+	// returning from the callee's FUNEXIT do not merge into the values
+	// sent to the callee's FUNENTRY.
+	CallRet
+)
+
+var opNames = [...]string{
+	BadOp:    "bad",
+	Alloc:    "alloc",
+	Copy:     "copy",
+	Phi:      "phi",
+	Field:    "field",
+	Load:     "load",
+	Store:    "store",
+	Call:     "call",
+	FunEntry: "funentry",
+	FunExit:  "funexit",
+	MemPhi:   "memphi",
+	CallRet:  "callret",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Instr is a single instruction, identified program-wide by Label (the ℓ
+// of the paper) once Program.Finalize has run.
+type Instr struct {
+	Label uint32 // dense program-wide instruction label; assigned by Finalize
+	Op    Op
+
+	// Def is the defined top-level pointer (Alloc, Copy, Phi, Field, Load,
+	// Call with a result) or None.
+	Def ID
+
+	// Uses are the used top-level pointers:
+	//   Copy:  [src]
+	//   Phi:   [incoming...] (parallel to block preds, but treated as a set)
+	//   Field: [base]
+	//   Load:  [addr]
+	//   Store: [addr, val]
+	//   Call:  direct   → [args...]
+	//          indirect → [fptr, args...]
+	//   FunExit: [retval] or nil
+	Uses []ID
+
+	// Obj is the allocated object for Alloc, or the object selected by a
+	// MemPhi.
+	Obj ID
+
+	// Off is the field offset for Field.
+	Off int
+
+	// Callee is the direct call target; nil means the call is indirect
+	// through Uses[0].
+	Callee *Function
+
+	// CallSite links a CallRet back to its CALL instruction.
+	CallSite *Instr
+
+	Block  *Block
+	Parent *Function
+}
+
+// IsIndirectCall reports whether i is a call through a function pointer.
+func (i *Instr) IsIndirectCall() bool { return i.Op == Call && i.Callee == nil }
+
+// CallArgs returns the argument operands of a Call.
+func (i *Instr) CallArgs() []ID {
+	if i.Op != Call {
+		return nil
+	}
+	if i.Callee != nil {
+		return i.Uses
+	}
+	return i.Uses[1:]
+}
+
+// CalleePtr returns the function-pointer operand of an indirect Call.
+func (i *Instr) CalleePtr() ID {
+	if i.IsIndirectCall() {
+		return i.Uses[0]
+	}
+	return None
+}
+
+// format renders the instruction using a name lookup. It is used in
+// validator diagnostics, so it must tolerate malformed operand lists.
+func (i *Instr) format(name func(ID) string) string {
+	var b strings.Builder
+	use := func(k int) string {
+		if k < len(i.Uses) {
+			return name(i.Uses[k])
+		}
+		return "<missing>"
+	}
+	switch i.Op {
+	case Alloc:
+		fmt.Fprintf(&b, "%s = alloc %s", name(i.Def), name(i.Obj))
+	case Copy:
+		fmt.Fprintf(&b, "%s = copy %s", name(i.Def), use(0))
+	case Phi:
+		fmt.Fprintf(&b, "%s = phi(%s)", name(i.Def), joinNames(i.Uses, name))
+	case Field:
+		fmt.Fprintf(&b, "%s = field %s, %d", name(i.Def), use(0), i.Off)
+	case Load:
+		fmt.Fprintf(&b, "%s = load %s", name(i.Def), use(0))
+	case Store:
+		fmt.Fprintf(&b, "store %s, %s", use(0), use(1))
+	case Call:
+		if i.Def != None {
+			fmt.Fprintf(&b, "%s = ", name(i.Def))
+		}
+		if i.Callee != nil {
+			fmt.Fprintf(&b, "call %s(%s)", i.Callee.Name, joinNames(i.Uses, name))
+		} else if len(i.Uses) > 0 {
+			fmt.Fprintf(&b, "calli %s(%s)", use(0), joinNames(i.Uses[1:], name))
+		} else {
+			b.WriteString("calli <missing>()")
+		}
+	case FunEntry:
+		fmt.Fprintf(&b, "funentry(%s)", joinNames(i.Uses, name))
+	case FunExit:
+		if len(i.Uses) > 0 {
+			fmt.Fprintf(&b, "funexit %s", name(i.Uses[0]))
+		} else {
+			b.WriteString("funexit")
+		}
+	case MemPhi:
+		fmt.Fprintf(&b, "%s = memphi", name(i.Obj))
+	case CallRet:
+		b.WriteString("callret")
+	default:
+		fmt.Fprintf(&b, "bad op %d", i.Op)
+	}
+	return b.String()
+}
+
+func joinNames(ids []ID, name func(ID) string) string {
+	parts := make([]string, len(ids))
+	for k, id := range ids {
+		parts[k] = name(id)
+	}
+	return strings.Join(parts, ", ")
+}

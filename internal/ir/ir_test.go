@@ -1,0 +1,264 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFig1 constructs the paper's Figure 1 program:
+//
+//	p = &a; x = &b; *p = x; y = *p; q = alloca; *q = y
+//
+// (shape only; exact temporaries differ).
+func buildFig1(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram()
+	f := p.NewFunction("main", 0)
+	b := f.Entry
+	a := p.NewObject("a", StackObj, 0, f)
+	bb := p.NewObject("b", StackObj, 0, f)
+	h := p.NewObject("h", HeapObj, 0, f)
+	vp := p.NewPointer("p")
+	vx := p.NewPointer("x")
+	vy := p.NewPointer("y")
+	vq := p.NewPointer("q")
+	f.EmitAlloc(b, vp, a)
+	f.EmitAlloc(b, vx, bb)
+	f.EmitStore(b, vp, vx)
+	f.EmitLoad(b, vy, vp)
+	f.EmitAlloc(b, vq, h)
+	f.EmitStore(b, vq, vy)
+	f.Exit = b
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return p
+}
+
+func TestBuildAndFinalize(t *testing.T) {
+	p := buildFig1(t)
+	if got := len(p.Instrs); got != 1+8 { // nil slot + 6 emitted + entry + exit
+		t.Errorf("len(Instrs) = %d, want 9", got)
+	}
+	// Labels dense, back-pointers consistent.
+	for l, in := range p.Instrs {
+		if l == 0 {
+			if in != nil {
+				t.Error("label 0 not reserved")
+			}
+			continue
+		}
+		if int(in.Label) != l {
+			t.Errorf("instr at slot %d has label %d", l, in.Label)
+		}
+		if in.Parent == nil || in.Block == nil {
+			t.Errorf("instr %d missing parent/block", l)
+		}
+	}
+	f := p.FuncByName("main")
+	if f.EntryInstr.Op != FunEntry || f.ExitInstr.Op != FunExit {
+		t.Error("entry/exit pseudo-instructions wrong")
+	}
+	if f.Entry.Instrs[0] != f.EntryInstr {
+		t.Error("FunEntry not first instruction of entry block")
+	}
+}
+
+func TestFinalizeTwiceFails(t *testing.T) {
+	p := buildFig1(t)
+	if err := p.Finalize(); err == nil {
+		t.Error("second Finalize did not fail")
+	}
+}
+
+func TestPartialSSAViolation(t *testing.T) {
+	p := NewProgram()
+	f := p.NewFunction("f", 0)
+	o := p.NewObject("o", StackObj, 0, f)
+	v := p.NewPointer("v")
+	f.EmitAlloc(f.Entry, v, o)
+	f.EmitAlloc(f.Entry, v, o) // second def of v
+	f.Exit = f.Entry
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "partial SSA") {
+		t.Errorf("Finalize error = %v, want partial SSA violation", err)
+	}
+}
+
+func TestValidateRejectsObjectOperand(t *testing.T) {
+	p := NewProgram()
+	f := p.NewFunction("f", 0)
+	o := p.NewObject("o", StackObj, 0, f)
+	v := p.NewPointer("v")
+	f.EmitCopy(f.Entry, v, o) // object used as pointer operand
+	f.Exit = f.Entry
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "not a top-level pointer") {
+		t.Errorf("Finalize error = %v", err)
+	}
+}
+
+func TestValidateRejectsBadAlloc(t *testing.T) {
+	p := NewProgram()
+	f := p.NewFunction("f", 0)
+	v := p.NewPointer("v")
+	w := p.NewPointer("w")
+	f.append(f.Entry, &Instr{Op: Alloc, Def: v, Obj: w}) // alloc of a pointer
+	f.Exit = f.Entry
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "non-object") {
+		t.Errorf("Finalize error = %v", err)
+	}
+}
+
+func TestFieldObj(t *testing.T) {
+	p := NewProgram()
+	f := p.NewFunction("f", 0)
+	s := p.NewObject("s", StackObj, 3, f)
+
+	f1 := p.FieldObj(s, 1)
+	if f1 == s {
+		t.Fatal("field object equals base")
+	}
+	if again := p.FieldObj(s, 1); again != f1 {
+		t.Error("FieldObj not memoised")
+	}
+	v := p.Value(f1)
+	if !v.IsField() || v.Base != s || v.Offset != 1 {
+		t.Errorf("field object metadata wrong: %+v", v)
+	}
+
+	// Field of field accumulates from the base: (s.f1).f1 = s.f2.
+	f2 := p.FieldObj(f1, 1)
+	if p.Value(f2).Offset != 2 {
+		t.Errorf("nested field offset = %d, want 2", p.Value(f2).Offset)
+	}
+
+	// Clamping: offset past the end collapses to the last field.
+	fLast := p.FieldObj(s, 99)
+	if p.Value(fLast).Offset != 2 {
+		t.Errorf("clamped offset = %d, want 2", p.Value(fLast).Offset)
+	}
+
+	// Offset 0 is the base itself.
+	if p.FieldObj(s, 0) != s {
+		t.Error("FieldObj(s, 0) != s")
+	}
+
+	// Scalars have no fields.
+	sc := p.NewObject("sc", StackObj, 0, f)
+	if p.FieldObj(sc, 2) != sc {
+		t.Error("field of scalar did not collapse to base")
+	}
+}
+
+func TestFuncObjMarksAddressTaken(t *testing.T) {
+	p := NewProgram()
+	callee := p.NewFunction("callee", 1)
+	if callee.AddressTaken {
+		t.Fatal("fresh function already address-taken")
+	}
+	o1 := p.FuncObj(callee)
+	o2 := p.FuncObj(callee)
+	if o1 != o2 {
+		t.Error("FuncObj not memoised")
+	}
+	if !callee.AddressTaken {
+		t.Error("FuncObj did not mark function address-taken")
+	}
+	if v := p.Value(o1); v.ObjKind != FuncObj || v.Func != callee {
+		t.Errorf("func object metadata wrong: %+v", v)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	p := NewProgram()
+	g, gobj := p.NewGlobal("g", 2)
+	if !p.IsPointer(g) || !p.IsObject(gobj) {
+		t.Fatal("global kinds wrong")
+	}
+	if p.Value(gobj).ObjKind != GlobalObj {
+		t.Error("global object kind wrong")
+	}
+	gf := p.GlobalsFunc()
+	if gf == nil {
+		t.Fatal("no globals function")
+	}
+	found := false
+	gf.ForEachInstr(func(in *Instr) {
+		if in.Op == Alloc && in.Def == g && in.Obj == gobj {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("no ALLOC for global in __globals__")
+	}
+}
+
+func TestCallHelpers(t *testing.T) {
+	p := NewProgram()
+	callee := p.NewFunction("callee", 2)
+	f := p.NewFunction("f", 0)
+	a := p.NewPointer("a")
+	bp := p.NewPointer("b")
+	o := p.NewObject("o", StackObj, 0, f)
+	f.EmitAlloc(f.Entry, a, o)
+	f.EmitCopy(f.Entry, bp, a)
+	r1 := p.NewPointer("r1")
+	direct := f.EmitCall(f.Entry, r1, callee, a, bp)
+	fp := p.NewPointer("fp")
+	f.EmitAlloc(f.Entry, fp, p.FuncObj(callee))
+	r2 := p.NewPointer("r2")
+	indirect := f.EmitCallIndirect(f.Entry, r2, fp, a)
+
+	if direct.IsIndirectCall() {
+		t.Error("direct call classified indirect")
+	}
+	if !indirect.IsIndirectCall() {
+		t.Error("indirect call classified direct")
+	}
+	if got := direct.CallArgs(); len(got) != 2 || got[0] != a || got[1] != bp {
+		t.Errorf("direct CallArgs = %v", got)
+	}
+	if got := indirect.CallArgs(); len(got) != 1 || got[0] != a {
+		t.Errorf("indirect CallArgs = %v", got)
+	}
+	if indirect.CalleePtr() != fp {
+		t.Error("CalleePtr wrong")
+	}
+	if direct.CalleePtr() != None {
+		t.Error("CalleePtr of direct call not None")
+	}
+}
+
+func TestBlocksAndCFG(t *testing.T) {
+	p := NewProgram()
+	f := p.NewFunction("f", 0)
+	b1 := f.Entry
+	b2 := f.NewBlock("then")
+	b3 := f.NewBlock("join")
+	b1.AddSucc(b2)
+	b1.AddSucc(b3)
+	b1.AddSucc(b2) // dup
+	b2.AddSucc(b3)
+	if len(b1.Succs) != 2 {
+		t.Errorf("dup succ not deduplicated: %v", b1.Succs)
+	}
+	if len(b3.Preds) != 2 {
+		t.Errorf("preds of join = %d, want 2", len(b3.Preds))
+	}
+	f.Exit = b3
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if f.ExitInstr.Block != b3 {
+		t.Error("FunExit not in designated exit block")
+	}
+}
+
+func TestStringContainsInstrs(t *testing.T) {
+	p := buildFig1(t)
+	s := p.String()
+	for _, want := range []string{"func main()", "p = alloc a 0", "store p, x", "y = load p", "alloc.heap h 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

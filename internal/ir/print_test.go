@@ -1,0 +1,250 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringers(t *testing.T) {
+	if Pointer.String() != "pointer" || Object.String() != "object" {
+		t.Error("ValueKind.String wrong")
+	}
+	if ValueKind(9).String() == "" {
+		t.Error("unknown ValueKind has no rendering")
+	}
+	kinds := map[ObjKind]string{
+		StackObj: "stack", GlobalObj: "global", HeapObj: "heap", FuncObj: "func",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("ObjKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if ObjKind(9).String() == "" {
+		t.Error("unknown ObjKind has no rendering")
+	}
+	ops := map[Op]string{
+		Alloc: "alloc", Copy: "copy", Phi: "phi", Field: "field", Load: "load",
+		Store: "store", Call: "call", FunEntry: "funentry", FunExit: "funexit",
+		MemPhi: "memphi", CallRet: "callret", BadOp: "bad",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown Op has no rendering")
+	}
+}
+
+func TestValueAndBlockString(t *testing.T) {
+	p := NewProgram()
+	f := p.NewFunction("f", 0)
+	o := p.NewObject("obj", StackObj, 0, f)
+	if got := p.Value(o).String(); got != "obj" {
+		t.Errorf("Value.String = %q", got)
+	}
+	var nilv *Value
+	if nilv.String() != "<nil>" {
+		t.Error("nil Value String")
+	}
+	if f.Entry.String() != "entry" {
+		t.Errorf("Block.String = %q", f.Entry.String())
+	}
+	if f.String() != "f" {
+		t.Errorf("Function.String = %q", f.String())
+	}
+	if p.NameOf(None) != "_" {
+		t.Error("NameOf(None)")
+	}
+	if p.NumValues() < 2 {
+		t.Error("NumValues")
+	}
+}
+
+// TestProgramStringAllForms drives the printer over every printable
+// instruction form, then reparses mentally — the irparse round-trip test
+// covers the inverse; here we pin the shapes.
+func TestProgramStringAllForms(t *testing.T) {
+	p := NewProgram()
+	g, _ := p.NewGlobal("g", 1)
+	callee := p.NewFunction("callee", 1)
+	f := p.NewFunction("main", 0)
+	b := f.Entry
+	then := f.NewBlock("then")
+	els := f.NewBlock("els")
+	join := f.NewBlock("join")
+	b.AddSucc(then)
+	b.AddSucc(els)
+	then.AddSucc(join)
+	els.AddSucc(join)
+
+	o := p.NewObject("o", StackObj, 2, f)
+	h := p.NewObject("h", HeapObj, 0, nil)
+	a := p.NewPointer("a")
+	hp := p.NewPointer("hp")
+	c := p.NewPointer("c")
+	ph := p.NewPointer("ph")
+	fl := p.NewPointer("fl")
+	v := p.NewPointer("v")
+	r1 := p.NewPointer("r1")
+	r2 := p.NewPointer("r2")
+	fp := p.NewPointer("fp")
+
+	f.EmitAlloc(b, a, o)
+	f.EmitAlloc(b, hp, h)
+	f.EmitAlloc(b, fp, p.FuncObj(callee))
+	f.EmitCopy(b, c, a)
+	f.EmitPhi(join, ph, a, c)
+	f.EmitField(b, fl, a, 1)
+	f.EmitLoad(b, v, a)
+	f.EmitStore(b, a, c)
+	f.EmitCall(b, r1, callee, a)
+	f.EmitCall(b, None, callee, g)
+	f.EmitCallIndirect(b, r2, fp, a)
+	f.EmitCallIndirect(b, None, fp)
+	f.Exit = join
+	f.Ret = ph
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+
+	s := p.String()
+	for _, want := range []string{
+		"global g 1",
+		"a = alloc o 2",
+		"hp = alloc.heap h 0",
+		"fp = funcaddr callee",
+		"c = copy a",
+		"ph = phi(a, c)",
+		"fl = field a, 1",
+		"v = load a",
+		"store a, c",
+		"r1 = call callee(a)",
+		"call callee(g)",
+		"r2 = calli fp(a)",
+		"calli fp()",
+		"br then, els",
+		"jmp join",
+		"ret ph",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInstrFormatDiagnostics(t *testing.T) {
+	// The format method surfaces in validator errors; exercise the
+	// remaining shapes directly.
+	p := NewProgram()
+	f := p.NewFunction("f", 2)
+	in := &Instr{Op: FunEntry, Uses: f.Params}
+	if got := in.format(p.NameOf); !strings.HasPrefix(got, "funentry(") {
+		t.Errorf("funentry format = %q", got)
+	}
+	ret := &Instr{Op: FunExit, Uses: []ID{f.Params[0]}}
+	if got := ret.format(p.NameOf); !strings.HasPrefix(got, "funexit ") {
+		t.Errorf("funexit format = %q", got)
+	}
+	bare := &Instr{Op: FunExit}
+	if got := bare.format(p.NameOf); got != "funexit" {
+		t.Errorf("bare funexit format = %q", got)
+	}
+	o := p.NewObject("o", StackObj, 0, f)
+	mp := &Instr{Op: MemPhi, Obj: o}
+	if got := mp.format(p.NameOf); got != "o = memphi" {
+		t.Errorf("memphi format = %q", got)
+	}
+	cr := &Instr{Op: CallRet}
+	if got := cr.format(p.NameOf); got != "callret" {
+		t.Errorf("callret format = %q", got)
+	}
+	badop := &Instr{Op: Op(77)}
+	if got := badop.format(p.NameOf); !strings.Contains(got, "bad op") {
+		t.Errorf("bad op format = %q", got)
+	}
+	dcall := &Instr{Op: Call, Callee: f, Uses: []ID{f.Params[0]}}
+	if got := dcall.format(p.NameOf); !strings.Contains(got, "call f(") {
+		t.Errorf("direct call format = %q", got)
+	}
+	icall := &Instr{Op: Call, Def: f.Params[0], Uses: []ID{f.Params[1]}}
+	if got := icall.format(p.NameOf); !strings.Contains(got, "calli") {
+		t.Errorf("indirect call format = %q", got)
+	}
+}
+
+func TestValidatorMoreErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(p *Program, f *Function)
+		want string
+	}{
+		{"copy arity", func(p *Program, f *Function) {
+			v := p.NewPointer("v")
+			f.append(f.Entry, &Instr{Op: Copy, Def: v, Uses: nil})
+		}, "wants 1 operand"},
+		{"phi empty", func(p *Program, f *Function) {
+			v := p.NewPointer("v")
+			f.append(f.Entry, &Instr{Op: Phi, Def: v, Uses: nil})
+		}, "no operands"},
+		{"field arity", func(p *Program, f *Function) {
+			v := p.NewPointer("v")
+			f.append(f.Entry, &Instr{Op: Field, Def: v, Uses: nil})
+		}, "wants 1 operand"},
+		{"field negative", func(p *Program, f *Function) {
+			v := p.NewPointer("v")
+			w := p.NewPointer("w")
+			f.append(f.Entry, &Instr{Op: Field, Def: v, Uses: []ID{w}, Off: -1})
+		}, "negative field offset"},
+		{"store arity", func(p *Program, f *Function) {
+			v := p.NewPointer("v")
+			f.append(f.Entry, &Instr{Op: Store, Uses: []ID{v}})
+		}, "wants 2 operands"},
+		{"icall no fp", func(p *Program, f *Function) {
+			f.append(f.Entry, &Instr{Op: Call})
+		}, "without function pointer"},
+		{"bad opcode", func(p *Program, f *Function) {
+			f.append(f.Entry, &Instr{Op: Op(55), Uses: nil})
+		}, "invalid opcode"},
+		{"invalid id", func(p *Program, f *Function) {
+			v := p.NewPointer("v")
+			f.append(f.Entry, &Instr{Op: Copy, Def: v, Uses: []ID{9999}})
+		}, "not a valid value ID"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := NewProgram()
+			f := p.NewFunction("f", 0)
+			c.mk(p, f)
+			f.Exit = f.Entry
+			err := p.Finalize()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Finalize err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate NewFunction did not panic")
+		}
+	}()
+	p := NewProgram()
+	p.NewFunction("f", 0)
+	p.NewFunction("f", 0)
+}
+
+func TestFieldObjOfPointerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FieldObj of pointer did not panic")
+		}
+	}()
+	p := NewProgram()
+	v := p.NewPointer("v")
+	p.FieldObj(v, 1)
+}

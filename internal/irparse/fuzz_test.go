@@ -1,0 +1,30 @@
+package irparse
+
+import "testing"
+
+// FuzzParse checks the IR parser never panics on arbitrary input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() {\nentry:\n  ret\n}",
+		"global g 3\nfunc f(a, b) {\nentry:\n  p = alloc o 1\n  ret p\n}",
+		"func f() {\nentry:\n  br a, b\na:\n  ret\nb:\n  ret\n}",
+		"func f() {\nentry:\n  x = phi(y, z)\n  ret\n}",
+		"func f() {",
+		"func f() {\nentry:\n  x = calli y(z)\n  ret\n}",
+		"func f() {\nentry:\n  store a, b\n  jmp entry\n}",
+		"wibble",
+		"global",
+		"func f(,) {\nentry:\n  ret\n}",
+		"func f() }{",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Error("Parse returned nil, nil")
+		}
+	})
+}

@@ -1,0 +1,580 @@
+// Package irparse reads and writes the textual form of the ir package's
+// programs. The syntax is line-oriented:
+//
+//	// comment (or #)
+//	global g 2
+//	func main(p, q) {
+//	entry:
+//	  a = alloc o 0
+//	  h = alloc.heap ho 3
+//	  fp = funcaddr callee
+//	  b = copy a
+//	  c = phi(a, b)
+//	  d = field a, 1
+//	  e = load a
+//	  store a, b
+//	  r = call callee(a, b)
+//	  r2 = calli fp(a)
+//	  br then, join
+//	then:
+//	  jmp join
+//	join:
+//	  ret r
+//	}
+//
+// Each alloc creates a fresh abstract object (an allocation site); object
+// names are display-only. Pointer names are function-scoped, with globals
+// as a fallback scope. Multiple ret blocks are legal in the source and
+// are unified into a single exit (as LLVM's UnifyFunctionExitNodes does),
+// introducing a phi for the return value when needed.
+package irparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vsfs/internal/ir"
+)
+
+// Parse builds and finalizes a program from source text.
+func Parse(src string) (*ir.Program, error) {
+	p := &parser{
+		prog:    ir.NewProgram(),
+		lines:   strings.Split(src, "\n"),
+		globals: make(map[string]ir.ID),
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	if err := p.prog.Finalize(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// MustParse is Parse for tests and examples with known-good sources.
+func MustParse(src string) *ir.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	prog    *ir.Program
+	lines   []string
+	globals map[string]ir.ID
+}
+
+type srcError struct {
+	line int
+	msg  string
+}
+
+func (e *srcError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+func errAt(line int, format string, args ...any) error {
+	return &srcError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// run performs two passes: signatures first (so calls can reference
+// functions defined later), then bodies.
+func (p *parser) run() error {
+	type fnSpan struct {
+		name   string
+		params []string
+		start  int // first body line
+		end    int // line of closing brace
+	}
+	var spans []fnSpan
+
+	for i := 0; i < len(p.lines); i++ {
+		toks, err := lex(p.lines[i])
+		if err != nil {
+			return errAt(i+1, "%v", err)
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		switch toks[0] {
+		case "global":
+			if len(toks) < 2 {
+				return errAt(i+1, "global wants a name")
+			}
+			nf := 0
+			if len(toks) == 3 {
+				nf, err = strconv.Atoi(toks[2])
+				if err != nil || nf < 0 {
+					return errAt(i+1, "bad field count %q", toks[2])
+				}
+			} else if len(toks) != 2 {
+				return errAt(i+1, "global wants: global <name> [fields]")
+			}
+			if _, dup := p.globals[toks[1]]; dup {
+				return errAt(i+1, "duplicate global %q", toks[1])
+			}
+			g, _ := p.prog.NewGlobal(toks[1], nf)
+			p.globals[toks[1]] = g
+		case "func":
+			name, params, err := parseSignature(toks)
+			if err != nil {
+				return errAt(i+1, "%v", err)
+			}
+			span := fnSpan{name: name, params: params, start: i + 1}
+			depth := 1
+			j := i + 1
+			for ; j < len(p.lines); j++ {
+				t, err := lex(p.lines[j])
+				if err != nil {
+					return errAt(j+1, "%v", err)
+				}
+				if len(t) == 1 && t[0] == "}" {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+			}
+			if depth != 0 {
+				return errAt(i+1, "function %s: missing closing brace", name)
+			}
+			span.end = j
+			spans = append(spans, span)
+			i = j
+		default:
+			return errAt(i+1, "expected 'global' or 'func', got %q", toks[0])
+		}
+	}
+
+	// Pass 1: declare functions.
+	for _, s := range spans {
+		if p.prog.FuncByName(s.name) != nil {
+			return errAt(s.start, "duplicate function %q", s.name)
+		}
+		f := p.prog.NewFunction(s.name, len(s.params))
+		for i, prm := range f.Params {
+			p.prog.Value(prm).Name = s.params[i]
+		}
+	}
+
+	// Pass 2: bodies.
+	for _, s := range spans {
+		if err := p.parseBody(p.prog.FuncByName(s.name), s.params, s.start, s.end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseSignature(toks []string) (name string, params []string, err error) {
+	// func name ( a , b ) {
+	rest := toks[1:]
+	if len(rest) < 4 || rest[1] != "(" || rest[len(rest)-1] != "{" || rest[len(rest)-2] != ")" {
+		return "", nil, fmt.Errorf("malformed function signature")
+	}
+	name = rest[0]
+	inner := rest[2 : len(rest)-2]
+	for i := 0; i < len(inner); i++ {
+		if i%2 == 0 {
+			if !isIdent(inner[i]) {
+				return "", nil, fmt.Errorf("bad parameter %q", inner[i])
+			}
+			params = append(params, inner[i])
+		} else if inner[i] != "," {
+			return "", nil, fmt.Errorf("expected ',' in parameter list")
+		}
+	}
+	if len(inner) > 0 && len(inner)%2 == 0 {
+		return "", nil, fmt.Errorf("trailing ',' in parameter list")
+	}
+	return name, params, nil
+}
+
+// fnScope resolves pointer names within one function.
+type fnScope struct {
+	p    *parser
+	f    *ir.Function
+	vars map[string]ir.ID
+}
+
+func (s *fnScope) lookup(name string) ir.ID {
+	if id, ok := s.vars[name]; ok {
+		return id
+	}
+	if id, ok := s.p.globals[name]; ok {
+		return id
+	}
+	id := s.p.prog.NewPointer(name)
+	s.vars[name] = id
+	return id
+}
+
+type pendingRet struct {
+	block *ir.Block
+	val   ir.ID // ir.None for bare ret
+	line  int
+}
+
+func (p *parser) parseBody(f *ir.Function, params []string, start, end int) error {
+	scope := &fnScope{p: p, f: f, vars: make(map[string]ir.ID)}
+	for i, prm := range f.Params {
+		scope.vars[params[i]] = prm
+	}
+
+	blocks := map[string]*ir.Block{"entry": f.Entry}
+	getBlock := func(name string) *ir.Block {
+		if b, ok := blocks[name]; ok {
+			return b
+		}
+		b := f.NewBlock(name)
+		blocks[name] = b
+		return b
+	}
+
+	cur := f.Entry
+	terminated := false
+	sawBlock := false
+	var rets []pendingRet
+	// Track source definition order so printing is a fixed point of
+	// parsing (forward-referenced blocks are created early internally).
+	defined := map[*ir.Block]bool{f.Entry: true}
+	defOrder := []*ir.Block{f.Entry}
+
+	for ln := start; ln < end; ln++ {
+		toks, err := lex(p.lines[ln])
+		if err != nil {
+			return errAt(ln+1, "%v", err)
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		// Block label?
+		if len(toks) == 2 && toks[1] == ":" {
+			nb := getBlock(toks[0])
+			if len(nb.Instrs) > 0 && nb != f.Entry || nb == f.Entry && sawBlock {
+				return errAt(ln+1, "block %q defined twice", toks[0])
+			}
+			started := sawBlock || len(cur.Instrs) > 1 // entry holds FunEntry
+			if !terminated && started {
+				return errAt(ln, "block %q not terminated before %q", cur.Name, toks[0])
+			}
+			if !sawBlock && nb != f.Entry && len(f.Entry.Instrs) == 1 {
+				// Source names its first block something other than
+				// "entry"; alias it to the entry block.
+				delete(blocks, toks[0])
+				blocks[toks[0]] = f.Entry
+				f.Entry.Name = toks[0]
+				nb = f.Entry
+				f.Blocks = f.Blocks[:1]
+			}
+			cur = nb
+			terminated = false
+			sawBlock = true
+			if !defined[nb] {
+				defined[nb] = true
+				defOrder = append(defOrder, nb)
+			}
+			continue
+		}
+		if terminated {
+			return errAt(ln+1, "instruction after terminator in block %q", cur.Name)
+		}
+		term, err := p.parseInstr(f, scope, cur, getBlock, toks, ln+1, &rets)
+		if err != nil {
+			return err
+		}
+		terminated = term
+	}
+	if !terminated {
+		return errAt(end, "function %s: final block %q not terminated", f.Name, cur.Name)
+	}
+
+	// Every referenced label must be defined, and blocks are reordered
+	// to source order so the printer round-trips.
+	for name, b := range blocks {
+		if !defined[b] {
+			return errAt(end, "function %s: jump to undefined block %q", f.Name, name)
+		}
+	}
+	f.Blocks = defOrder
+	for i, b := range f.Blocks {
+		b.Index = i
+	}
+
+	return p.unifyReturns(f, scope, rets)
+}
+
+// unifyReturns gives f a single exit block, adding a phi for the return
+// value when several ret sites return different pointers.
+func (p *parser) unifyReturns(f *ir.Function, scope *fnScope, rets []pendingRet) error {
+	switch len(rets) {
+	case 0:
+		return fmt.Errorf("function %s has no ret", f.Name)
+	case 1:
+		f.Exit = rets[0].block
+		f.Ret = rets[0].val
+		return nil
+	}
+	exit := f.NewBlock("__exit__")
+	var vals []ir.ID
+	for _, r := range rets {
+		r.block.AddSucc(exit)
+		if r.val != ir.None {
+			vals = append(vals, r.val)
+		}
+	}
+	f.Exit = exit
+	switch {
+	case len(vals) == 0:
+		f.Ret = ir.None
+	case len(vals) == 1:
+		f.Ret = vals[0]
+	default:
+		ret := p.prog.NewPointer("__ret__")
+		f.EmitPhi(exit, ret, vals...)
+		f.Ret = ret
+	}
+	return nil
+}
+
+// parseInstr handles one instruction or terminator line. It returns
+// whether the line terminated the block.
+func (p *parser) parseInstr(f *ir.Function, scope *fnScope, b *ir.Block,
+	getBlock func(string) *ir.Block, toks []string, line int, rets *[]pendingRet) (bool, error) {
+
+	switch toks[0] {
+	case "jmp":
+		if len(toks) != 2 {
+			return false, errAt(line, "jmp wants one target")
+		}
+		b.AddSucc(getBlock(toks[1]))
+		return true, nil
+	case "br":
+		targets, err := splitCommaList(toks[1:])
+		if err != nil || len(targets) < 1 {
+			return false, errAt(line, "br wants comma-separated targets")
+		}
+		for _, tgt := range targets {
+			b.AddSucc(getBlock(tgt))
+		}
+		return true, nil
+	case "ret":
+		switch len(toks) {
+		case 1:
+			*rets = append(*rets, pendingRet{block: b, val: ir.None, line: line})
+		case 2:
+			*rets = append(*rets, pendingRet{block: b, val: scope.lookup(toks[1]), line: line})
+		default:
+			return false, errAt(line, "ret wants at most one value")
+		}
+		return true, nil
+	case "store":
+		// store addr , val
+		args, err := splitCommaList(toks[1:])
+		if err != nil || len(args) != 2 {
+			return false, errAt(line, "store wants: store <addr>, <val>")
+		}
+		f.EmitStore(b, scope.lookup(args[0]), scope.lookup(args[1]))
+		return false, nil
+	case "call", "calli":
+		// result-less call
+		return false, p.parseCall(f, scope, b, ir.None, toks, line)
+	}
+
+	// def-producing forms: name = op ...
+	if len(toks) < 3 || toks[1] != "=" {
+		return false, errAt(line, "cannot parse instruction %q", strings.Join(toks, " "))
+	}
+	def := toks[0]
+	op := toks[2]
+	rest := toks[3:]
+	defID := func() ir.ID {
+		if _, exists := scope.vars[def]; exists {
+			// Redefinition is caught by the validator; still build it.
+			return scope.vars[def]
+		}
+		if _, isGlobal := p.globals[def]; isGlobal {
+			return p.globals[def]
+		}
+		id := p.prog.NewPointer(def)
+		scope.vars[def] = id
+		return id
+	}
+
+	switch op {
+	case "alloc", "alloc.heap", "alloc.global":
+		if len(rest) < 1 || len(rest) > 2 {
+			return false, errAt(line, "%s wants: <p> = %s <obj> [fields]", op, op)
+		}
+		nf := 0
+		if len(rest) == 2 {
+			var err error
+			nf, err = strconv.Atoi(rest[1])
+			if err != nil || nf < 0 {
+				return false, errAt(line, "bad field count %q", rest[1])
+			}
+		}
+		kind := ir.StackObj
+		var owner *ir.Function = f
+		switch op {
+		case "alloc.heap":
+			kind = ir.HeapObj
+			owner = nil
+		case "alloc.global":
+			kind = ir.GlobalObj
+			owner = nil
+		}
+		obj := p.prog.NewObject(rest[0], kind, nf, owner)
+		f.EmitAlloc(b, defID(), obj)
+	case "funcaddr":
+		if len(rest) != 1 {
+			return false, errAt(line, "funcaddr wants a function name")
+		}
+		callee := p.prog.FuncByName(rest[0])
+		if callee == nil {
+			return false, errAt(line, "funcaddr of unknown function %q", rest[0])
+		}
+		f.EmitAlloc(b, defID(), p.prog.FuncObj(callee))
+	case "copy":
+		if len(rest) != 1 {
+			return false, errAt(line, "copy wants one operand")
+		}
+		f.EmitCopy(b, defID(), scope.lookup(rest[0]))
+	case "load":
+		if len(rest) != 1 {
+			return false, errAt(line, "load wants one operand")
+		}
+		f.EmitLoad(b, defID(), scope.lookup(rest[0]))
+	case "field":
+		args, err := splitCommaList(rest)
+		if err != nil || len(args) != 2 {
+			return false, errAt(line, "field wants: <p> = field <q>, <offset>")
+		}
+		off, err := strconv.Atoi(args[1])
+		if err != nil || off < 0 {
+			return false, errAt(line, "bad field offset %q", args[1])
+		}
+		f.EmitField(b, defID(), scope.lookup(args[0]), off)
+	case "phi":
+		names, err := parenList(rest)
+		if err != nil || len(names) == 0 {
+			return false, errAt(line, "phi wants: <p> = phi(<q>, ...)")
+		}
+		ids := make([]ir.ID, len(names))
+		for i, n := range names {
+			ids[i] = scope.lookup(n)
+		}
+		f.EmitPhi(b, defID(), ids...)
+	case "call", "calli":
+		return false, p.parseCall(f, scope, b, defID(), toks[2:], line)
+	default:
+		return false, errAt(line, "unknown opcode %q", op)
+	}
+	return false, nil
+}
+
+// parseCall parses "call name(args)" or "calli fp(args)"; toks starts at
+// the call keyword.
+func (p *parser) parseCall(f *ir.Function, scope *fnScope, b *ir.Block, def ir.ID, toks []string, line int) error {
+	if len(toks) < 2 {
+		return errAt(line, "malformed call")
+	}
+	kw, target := toks[0], toks[1]
+	args, err := parenList(toks[2:])
+	if err != nil {
+		return errAt(line, "malformed call arguments: %v", err)
+	}
+	ids := make([]ir.ID, len(args))
+	for i, a := range args {
+		ids[i] = scope.lookup(a)
+	}
+	switch kw {
+	case "call":
+		callee := p.prog.FuncByName(target)
+		if callee == nil {
+			return errAt(line, "call to unknown function %q (use calli for indirect calls)", target)
+		}
+		f.EmitCall(b, def, callee, ids...)
+	case "calli":
+		f.EmitCallIndirect(b, def, scope.lookup(target), ids...)
+	default:
+		return errAt(line, "unknown call keyword %q", kw)
+	}
+	return nil
+}
+
+// parenList parses "( a , b , c )" token sequences into names.
+func parenList(toks []string) ([]string, error) {
+	if len(toks) < 2 || toks[0] != "(" || toks[len(toks)-1] != ")" {
+		return nil, fmt.Errorf("expected parenthesised list")
+	}
+	return splitCommaList(toks[1 : len(toks)-1])
+}
+
+func splitCommaList(toks []string) ([]string, error) {
+	var out []string
+	for i, t := range toks {
+		if i%2 == 0 {
+			if t == "," {
+				return nil, fmt.Errorf("unexpected ','")
+			}
+			out = append(out, t)
+		} else if t != "," {
+			return nil, fmt.Errorf("expected ',', got %q", t)
+		}
+	}
+	if len(toks) > 0 && len(toks)%2 == 0 {
+		return nil, fmt.Errorf("trailing ','")
+	}
+	return out, nil
+}
+
+// lex splits one line into tokens: identifiers/numbers, and the symbols
+// = ( ) , : { }. Comments start with // or #.
+func lex(line string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			return toks, nil
+		case c == '/' && i+1 < len(line) && line[i+1] == '/':
+			return toks, nil
+		case strings.ContainsRune("=(),:{}", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		case isIdentByte(c) || (c >= '0' && c <= '9'):
+			j := i
+			for j < len(line) && (isIdentByte(line[j]) || line[j] >= '0' && line[j] <= '9') {
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '.' || c == '$' || c == '&'
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !isIdentByte(c) && !(c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return !(s[0] >= '0' && s[0] <= '9')
+}

@@ -1,0 +1,219 @@
+package irparse
+
+import (
+	"strings"
+	"testing"
+
+	"vsfs/internal/ir"
+)
+
+const fig1Src = `
+// Figure 1 of the paper, intraprocedural fragment.
+func main() {
+entry:
+  p = alloc a 0
+  x = alloc b 0
+  store p, x
+  y = load p
+  q = alloc.heap h 0
+  store q, y
+  ret
+}
+`
+
+func TestParseFig1(t *testing.T) {
+	prog, err := Parse(fig1Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f := prog.FuncByName("main")
+	if f == nil {
+		t.Fatal("no main")
+	}
+	var ops []ir.Op
+	f.ForEachInstr(func(in *ir.Instr) { ops = append(ops, in.Op) })
+	want := []ir.Op{ir.FunEntry, ir.Alloc, ir.Alloc, ir.Store, ir.Load, ir.Alloc, ir.Store, ir.FunExit}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op[%d] = %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestParseInterprocedural(t *testing.T) {
+	src := `
+global gp 0
+
+func id(x) {
+entry:
+  r = copy x
+  ret r
+}
+
+func main() {
+entry:
+  a = alloc o 2
+  fld = field a, 1
+  fp = funcaddr id
+  r1 = call id(a)
+  r2 = calli fp(fld)
+  store gp, r1
+  br then, else
+then:
+  v = load gp
+  ret v
+else:
+  ret r2
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := prog.FuncByName("main")
+	if m == nil || prog.FuncByName("id") == nil {
+		t.Fatal("functions missing")
+	}
+	if !prog.FuncByName("id").AddressTaken {
+		t.Error("id not address-taken despite funcaddr")
+	}
+	// Two rets → unified exit with a phi.
+	if m.Exit.Name != "__exit__" {
+		t.Errorf("exit block = %q, want __exit__", m.Exit.Name)
+	}
+	if m.Ret == ir.None {
+		t.Fatal("no unified return value")
+	}
+	var phis int
+	m.ForEachInstr(func(in *ir.Instr) {
+		if in.Op == ir.Phi && in.Def == m.Ret {
+			phis++
+			if len(in.Uses) != 2 {
+				t.Errorf("return phi has %d operands", len(in.Uses))
+			}
+		}
+	})
+	if phis != 1 {
+		t.Errorf("return phis = %d, want 1", phis)
+	}
+	// Global is shared across scopes.
+	gf := prog.GlobalsFunc()
+	if gf == nil {
+		t.Fatal("no globals function")
+	}
+}
+
+func TestParseFirstBlockAlias(t *testing.T) {
+	src := `
+func f() {
+start:
+  a = alloc o 0
+  ret a
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f := prog.FuncByName("f")
+	if f.Entry.Name != "start" {
+		t.Errorf("entry name = %q", f.Entry.Name)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("blocks = %d, want 1", len(f.Blocks))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unterminated", "func f() {\nentry:\n  a = alloc o 0\n}", "not terminated"},
+		{"after terminator", "func f() {\nentry:\n  ret\n  a = alloc o 0\n}", "after terminator"},
+		{"unknown op", "func f() {\nentry:\n  a = frobnicate b\n  ret\n}", "unknown opcode"},
+		{"unknown callee", "func f() {\nentry:\n  call nope()\n  ret\n}", "unknown function"},
+		{"bad offset", "func f() {\nentry:\n  a = field b, x\n  ret\n}", "bad field offset"},
+		{"missing brace", "func f() {\nentry:\n  ret\n", "missing closing brace"},
+		{"dup func", "func f() {\nentry:\n  ret\n}\nfunc f() {\nentry:\n  ret\n}", "duplicate function"},
+		{"dup global", "global g\nglobal g", "duplicate global"},
+		{"no ret", "func f() {\nentry:\n  jmp entry\n}", "has no ret"},
+		{"top level junk", "wibble\n", "expected 'global' or 'func'"},
+		{"undefined label", "func f() {\nentry:\n  br nowhere, entry\n}", "undefined block"},
+		{"bad char", "func f() {\nentry:\n  a = copy b!\n  ret\n}", "unexpected character"},
+		{"store arity", "func f() {\nentry:\n  store a\n  ret\n}", "store wants"},
+		{"funcaddr unknown", "func f() {\nentry:\n  a = funcaddr nope\n  ret\n}", "unknown function"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRedefinitionCaughtByValidator(t *testing.T) {
+	src := "func f() {\nentry:\n  a = alloc o 0\n  a = alloc o2 0\n  ret\n}"
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "partial SSA") {
+		t.Errorf("err = %v, want partial SSA violation", err)
+	}
+}
+
+// Round-trip: print → parse → print must be a fixed point.
+func TestRoundTrip(t *testing.T) {
+	srcs := map[string]string{
+		"fig1": fig1Src,
+		"interproc": `
+global g 1
+
+func id(x) {
+entry:
+  r = copy x
+  ret r
+}
+
+func main() {
+entry:
+  a = alloc o 2
+  b = alloc.heap h 3
+  fld = field a, 1
+  fp = funcaddr id
+  c = phi(a, b)
+  r = calli fp(c)
+  store g, r
+  v = load g
+  br left, right
+left:
+  d1 = copy v
+  ret d1
+right:
+  ret v
+}
+`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			p1, err := Parse(src)
+			if err != nil {
+				t.Fatalf("parse 1: %v", err)
+			}
+			s1 := p1.String()
+			p2, err := Parse(s1)
+			if err != nil {
+				t.Fatalf("parse 2 of:\n%s\nerror: %v", s1, err)
+			}
+			s2 := p2.String()
+			if s1 != s2 {
+				t.Errorf("round trip not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", s1, s2)
+			}
+		})
+	}
+}

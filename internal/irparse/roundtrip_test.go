@@ -1,0 +1,34 @@
+package irparse
+
+import (
+	"fmt"
+	"testing"
+
+	"vsfs/internal/workload"
+)
+
+// TestQuickRoundTripRandom: printing any generated program and parsing
+// it back must reach a fixed point, and the reparsed program must have
+// the same instruction count and validate.
+func TestQuickRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := workload.DefaultRandomConfig()
+			cfg.InstrsPerFunc = 25
+			prog := workload.Random(seed, cfg)
+			s1 := prog.String()
+			p2, err := Parse(s1)
+			if err != nil {
+				t.Fatalf("reparse failed: %v\nsource:\n%s", err, s1)
+			}
+			s2 := p2.String()
+			if s1 != s2 {
+				t.Fatalf("round trip not a fixed point (seed %d)", seed)
+			}
+			if len(p2.Instrs) != len(prog.Instrs) {
+				t.Fatalf("instruction count changed: %d → %d", len(prog.Instrs), len(p2.Instrs))
+			}
+		})
+	}
+}

@@ -1,0 +1,313 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a mini-C type.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type      // PointerT, ArrayT
+	Len    int        // ArrayT
+	Struct *StructDef // StructT
+	Sig    *Signature // FuncT (only behind pointers)
+}
+
+// TypeKind discriminates Type.
+type TypeKind uint8
+
+const (
+	// IntT is the scalar type; not tracked by the analysis.
+	IntT TypeKind = iota
+	// VoidT is a function-return-only type.
+	VoidT
+	// PointerT is a pointer to Elem.
+	PointerT
+	// StructT is a struct by reference to its definition.
+	StructT
+	// FuncT is a function type (used behind pointers).
+	FuncT
+	// ArrayT is a fixed-size array of Elem (Len elements). The analysis
+	// models an array as one summary object, so array locations never
+	// receive strong updates.
+	ArrayT
+)
+
+// Signature is a function type.
+type Signature struct {
+	Params []*Type
+	Ret    *Type
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case IntT:
+		return "int"
+	case VoidT:
+		return "void"
+	case PointerT:
+		return t.Elem.String() + "*"
+	case StructT:
+		return "struct " + t.Struct.Name
+	case FuncT:
+		parts := make([]string, len(t.Sig.Params))
+		for i, p := range t.Sig.Params {
+			parts[i] = p.String()
+		}
+		return fmt.Sprintf("%s(%s)", t.Sig.Ret, strings.Join(parts, ", "))
+	case ArrayT:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	}
+	return "?"
+}
+
+// IsPointer reports whether t is pointer-typed (tracked by the analysis).
+func (t *Type) IsPointer() bool { return t != nil && t.Kind == PointerT }
+
+func typesEqual(a, b *Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case PointerT:
+		return typesEqual(a.Elem, b.Elem)
+	case StructT:
+		return a.Struct == b.Struct
+	case ArrayT:
+		return a.Len == b.Len && typesEqual(a.Elem, b.Elem)
+	case FuncT:
+		if len(a.Sig.Params) != len(b.Sig.Params) || !typesEqual(a.Sig.Ret, b.Sig.Ret) {
+			return false
+		}
+		for i := range a.Sig.Params {
+			if !typesEqual(a.Sig.Params[i], b.Sig.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// StructDef is a struct declaration.
+type StructDef struct {
+	Name   string
+	Fields []Field
+	Line   int
+}
+
+// Field is one struct member.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// FieldIndex returns the offset of a member, or -1.
+func (s *StructDef) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*StructDef
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a variable (global or local).
+type VarDecl struct {
+	Name string
+	Type *Type
+	Init Expr // optional initializer
+	Line int
+}
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	Name   string
+	Params []*VarDecl
+	Ret    *Type
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// AssignStmt is lhs = rhs.
+type AssignStmt struct {
+	LHS, RHS Expr
+	Line     int
+}
+
+// IfStmt is if (cond) then [else els].
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // may be nil
+	Line int
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt is return [expr];.
+type ReturnStmt struct {
+	X    Expr // may be nil
+	Line int
+}
+
+// ForStmt is for (init; cond; post) body; all three header parts are
+// optional, and init/post are assignments or expressions.
+type ForStmt struct {
+	Init Stmt // nil, *AssignStmt or *ExprStmt
+	Cond Expr // may be nil
+	Post Stmt // nil, *AssignStmt or *ExprStmt
+	Body *BlockStmt
+	Line int
+}
+
+// DoWhileStmt is do body while (cond);.
+type DoWhileStmt struct {
+	Body *BlockStmt
+	Cond Expr
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct{ Line int }
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ReturnStmt) stmt()   {}
+func (*ForStmt) stmt()      {}
+func (*DoWhileStmt) stmt()  {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is an expression node. The checker records the computed type.
+type Expr interface {
+	expr()
+	TypeOf() *Type
+	setType(*Type)
+}
+
+type exprBase struct{ typ *Type }
+
+func (b *exprBase) expr()           {}
+func (b *exprBase) TypeOf() *Type   { return b.typ }
+func (b *exprBase) setType(t *Type) { b.typ = t }
+
+// Ident references a variable or function by name.
+type Ident struct {
+	exprBase
+	Name string
+	Line int
+
+	// Resolved by the checker: exactly one is set.
+	Var *VarDecl
+	Fun *FuncDecl
+}
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	exprBase
+	Value string
+	Line  int
+}
+
+// NullLit is the null pointer constant.
+type NullLit struct {
+	exprBase
+	Line int
+}
+
+// Unary is &x, *x, !x, -x.
+type Unary struct {
+	exprBase
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is arithmetic/comparison; never pointer-producing except no-op.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// FieldAccess is x.f or x->f (Arrow selects).
+type FieldAccess struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	Line  int
+
+	// Resolved by the checker.
+	Def   *StructDef
+	Index int
+}
+
+// CallExpr is f(args) or (*fp)(args) / fp(args).
+type CallExpr struct {
+	exprBase
+	Fun  Expr
+	Args []Expr
+	Line int
+}
+
+// IndexExpr is x[i]: array indexing (one summary location per array)
+// or pointer indexing (p[i] reads through p, object-granular).
+type IndexExpr struct {
+	exprBase
+	X    Expr
+	Idx  Expr
+	Line int
+}
+
+// MallocExpr is malloc(); its type comes from the assignment context or
+// an explicit cast-like annotation in the grammar: `malloc()` assigned
+// to a T* yields a fresh T object.
+type MallocExpr struct {
+	exprBase
+	Line int
+}

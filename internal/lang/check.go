@@ -1,0 +1,427 @@
+package lang
+
+import "fmt"
+
+// Check resolves names, computes expression types, and enforces the
+// subset's typing rules. It must succeed before Lower runs.
+func Check(f *File) error {
+	c := &checker{
+		file:    f,
+		funcs:   make(map[string]*FuncDecl),
+		globals: make(map[string]*VarDecl),
+	}
+	return c.run()
+}
+
+type checker struct {
+	file    *File
+	funcs   map[string]*FuncDecl
+	globals map[string]*VarDecl
+
+	cur       *FuncDecl
+	scopes    []map[string]*VarDecl
+	loopDepth int
+}
+
+func errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (c *checker) run() error {
+	for _, sd := range c.file.Structs {
+		for _, fld := range sd.Fields {
+			if fld.Type.Kind == ArrayT {
+				return errAt(sd.Line, "struct %s: array fields are not supported; use a pointer", sd.Name)
+			}
+		}
+	}
+	for _, g := range c.file.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errAt(g.Line, "duplicate global %q", g.Name)
+		}
+		if g.Type.Kind == VoidT {
+			return errAt(g.Line, "void variable %q", g.Name)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, fd := range c.file.Funcs {
+		if _, dup := c.funcs[fd.Name]; dup {
+			return errAt(fd.Line, "duplicate function %q", fd.Name)
+		}
+		c.funcs[fd.Name] = fd
+	}
+	for _, g := range c.file.Globals {
+		if g.Init != nil {
+			if err := c.checkInit(g.Type, g.Init, g.Line); err != nil {
+				return err
+			}
+		}
+	}
+	for _, fd := range c.file.Funcs {
+		if err := c.checkFunc(fd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fd *FuncDecl) error {
+	c.cur = fd
+	c.scopes = []map[string]*VarDecl{{}}
+	if fd.Ret.Kind == StructT {
+		return errAt(fd.Line, "function %s returns a struct by value; return a pointer", fd.Name)
+	}
+	for _, prm := range fd.Params {
+		if prm.Type.Kind == VoidT {
+			return errAt(prm.Line, "void parameter %q", prm.Name)
+		}
+		if prm.Type.Kind == StructT || prm.Type.Kind == ArrayT {
+			return errAt(prm.Line, "parameter %q is an aggregate by value; pass a pointer", prm.Name)
+		}
+		if _, dup := c.scopes[0][prm.Name]; dup {
+			return errAt(prm.Line, "duplicate parameter %q", prm.Name)
+		}
+		c.scopes[0][prm.Name] = prm
+	}
+	return c.checkBlock(fd.Body)
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*VarDecl{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookupVar(name string) *VarDecl {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if d := c.scopes[i][name]; d != nil {
+			return d
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.push()
+	defer c.pop()
+	for _, st := range b.Stmts {
+		if err := c.checkStmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(st Stmt) error {
+	switch s := st.(type) {
+	case *BlockStmt:
+		return c.checkBlock(s)
+	case *DeclStmt:
+		d := s.Decl
+		if d.Type.Kind == VoidT {
+			return errAt(d.Line, "void variable %q", d.Name)
+		}
+		top := c.scopes[len(c.scopes)-1]
+		if _, dup := top[d.Name]; dup {
+			return errAt(d.Line, "redeclaration of %q", d.Name)
+		}
+		if d.Init != nil {
+			if err := c.checkInit(d.Type, d.Init, d.Line); err != nil {
+				return err
+			}
+		}
+		top[d.Name] = d
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExpr(s.X)
+		return err
+	case *AssignStmt:
+		if err := c.checkLValue(s.LHS); err != nil {
+			return err
+		}
+		lt, err := c.checkExpr(s.LHS)
+		if err != nil {
+			return err
+		}
+		return c.checkAssignable(lt, s.RHS, s.Line)
+	case *IfStmt:
+		if _, err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkBlock(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if _, err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(s.Body)
+	case *ForStmt:
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if _, err := c.checkExpr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(s.Body)
+	case *DoWhileStmt:
+		c.loopDepth++
+		err := c.checkBlock(s.Body)
+		c.loopDepth--
+		if err != nil {
+			return err
+		}
+		_, err = c.checkExpr(s.Cond)
+		return err
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return errAt(s.Line, "break outside a loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errAt(s.Line, "continue outside a loop")
+		}
+		return nil
+	case *ReturnStmt:
+		if s.X == nil {
+			if c.cur.Ret.Kind != VoidT {
+				return errAt(s.Line, "function %s must return a value", c.cur.Name)
+			}
+			return nil
+		}
+		if c.cur.Ret.Kind == VoidT {
+			return errAt(s.Line, "void function %s returns a value", c.cur.Name)
+		}
+		return c.checkAssignable(c.cur.Ret, s.X, s.Line)
+	}
+	return fmt.Errorf("unhandled statement %T", st)
+}
+
+// checkInit types an initializer against the declared type.
+func (c *checker) checkInit(typ *Type, init Expr, line int) error {
+	return c.checkAssignable(typ, init, line)
+}
+
+// checkAssignable types rhs and checks it may be assigned to lt. Malloc
+// and null adopt the target pointer type.
+func (c *checker) checkAssignable(lt *Type, rhs Expr, line int) error {
+	switch r := rhs.(type) {
+	case *MallocExpr:
+		if !lt.IsPointer() {
+			return errAt(line, "malloc assigned to non-pointer %s", lt)
+		}
+		r.setType(lt)
+		return nil
+	case *NullLit:
+		if !lt.IsPointer() {
+			return errAt(line, "null assigned to non-pointer %s", lt)
+		}
+		r.setType(lt)
+		return nil
+	}
+	rt, err := c.checkExpr(rhs)
+	if err != nil {
+		return err
+	}
+	if lt.Kind == StructT || lt.Kind == ArrayT {
+		return errAt(line, "aggregate values cannot be assigned or passed; use pointers or elements")
+	}
+	if typesEqual(lt, rt) {
+		return nil
+	}
+	return errAt(line, "cannot assign %s to %s", rt, lt)
+}
+
+// checkLValue verifies an expression designates a storage location.
+func (c *checker) checkLValue(e Expr) error {
+	switch x := e.(type) {
+	case *Ident:
+		if c.lookupVar(x.Name) == nil {
+			return errAt(x.Line, "assignment to non-variable %q", x.Name)
+		}
+		return nil
+	case *Unary:
+		if x.Op == "*" {
+			return nil
+		}
+	case *FieldAccess:
+		return nil
+	case *IndexExpr:
+		return nil
+	}
+	return fmt.Errorf("expression is not assignable")
+}
+
+func (c *checker) checkExpr(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *NumberLit:
+		t := &Type{Kind: IntT}
+		x.setType(t)
+		return t, nil
+
+	case *NullLit:
+		// Context-free null: give it int* and rely on comparisons only.
+		t := &Type{Kind: PointerT, Elem: &Type{Kind: IntT}}
+		x.setType(t)
+		return t, nil
+
+	case *MallocExpr:
+		return nil, errAt(x.Line, "malloc() needs a pointer assignment context")
+
+	case *Ident:
+		if d := c.lookupVar(x.Name); d != nil {
+			x.Var = d
+			x.setType(d.Type)
+			return d.Type, nil
+		}
+		if fd := c.funcs[x.Name]; fd != nil {
+			x.Fun = fd
+			sig := &Signature{Ret: fd.Ret}
+			for _, prm := range fd.Params {
+				sig.Params = append(sig.Params, prm.Type)
+			}
+			t := &Type{Kind: PointerT, Elem: &Type{Kind: FuncT, Sig: sig}}
+			x.setType(t)
+			return t, nil
+		}
+		return nil, errAt(x.Line, "undefined name %q", x.Name)
+
+	case *Unary:
+		switch x.Op {
+		case "&":
+			if id, ok := x.X.(*Ident); ok {
+				t, err := c.checkExpr(id)
+				if err != nil {
+					return nil, err
+				}
+				if id.Fun != nil {
+					// &f is the same as f: function designator.
+					x.setType(t)
+					return t, nil
+				}
+				pt := &Type{Kind: PointerT, Elem: t}
+				x.setType(pt)
+				return pt, nil
+			}
+			if fa, ok := x.X.(*FieldAccess); ok {
+				t, err := c.checkExpr(fa)
+				if err != nil {
+					return nil, err
+				}
+				pt := &Type{Kind: PointerT, Elem: t}
+				x.setType(pt)
+				return pt, nil
+			}
+			return nil, errAt(x.Line, "& requires a variable or field")
+		case "*":
+			t, err := c.checkExpr(x.X)
+			if err != nil {
+				return nil, err
+			}
+			if !t.IsPointer() {
+				return nil, errAt(x.Line, "cannot dereference %s", t)
+			}
+			x.setType(t.Elem)
+			return t.Elem, nil
+		case "!", "-":
+			if _, err := c.checkExpr(x.X); err != nil {
+				return nil, err
+			}
+			t := &Type{Kind: IntT}
+			x.setType(t)
+			return t, nil
+		}
+		return nil, errAt(x.Line, "unknown unary operator %q", x.Op)
+
+	case *Binary:
+		if _, err := c.checkExpr(x.X); err != nil {
+			return nil, err
+		}
+		if _, err := c.checkExpr(x.Y); err != nil {
+			return nil, err
+		}
+		t := &Type{Kind: IntT}
+		x.setType(t)
+		return t, nil
+
+	case *FieldAccess:
+		bt, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		var sd *StructDef
+		if x.Arrow {
+			if !bt.IsPointer() || bt.Elem.Kind != StructT {
+				return nil, errAt(x.Line, "-> on non-struct-pointer %s", bt)
+			}
+			sd = bt.Elem.Struct
+		} else {
+			if bt.Kind != StructT {
+				return nil, errAt(x.Line, ". on non-struct %s", bt)
+			}
+			sd = bt.Struct
+		}
+		idx := sd.FieldIndex(x.Name)
+		if idx < 0 {
+			return nil, errAt(x.Line, "struct %s has no field %q", sd.Name, x.Name)
+		}
+		x.Def = sd
+		x.Index = idx
+		x.setType(sd.Fields[idx].Type)
+		return sd.Fields[idx].Type, nil
+
+	case *IndexExpr:
+		if _, err := c.checkExpr(x.Idx); err != nil {
+			return nil, err
+		}
+		bt, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch bt.Kind {
+		case ArrayT:
+			x.setType(bt.Elem)
+			return bt.Elem, nil
+		case PointerT:
+			x.setType(bt.Elem)
+			return bt.Elem, nil
+		}
+		return nil, errAt(x.Line, "indexing non-array, non-pointer %s", bt)
+
+	case *CallExpr:
+		ft, err := c.checkExpr(x.Fun)
+		if err != nil {
+			return nil, err
+		}
+		if !ft.IsPointer() || ft.Elem.Kind != FuncT {
+			return nil, errAt(x.Line, "call of non-function %s", ft)
+		}
+		sig := ft.Elem.Sig
+		if len(x.Args) != len(sig.Params) {
+			return nil, errAt(x.Line, "call has %d arguments, want %d", len(x.Args), len(sig.Params))
+		}
+		for i, a := range x.Args {
+			if err := c.checkAssignable(sig.Params[i], a, x.Line); err != nil {
+				return nil, err
+			}
+		}
+		x.setType(sig.Ret)
+		return sig.Ret, nil
+	}
+	return nil, fmt.Errorf("unhandled expression %T", e)
+}

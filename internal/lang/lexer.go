@@ -1,0 +1,163 @@
+// Package lang is a mini-C frontend: lexer, parser, type checker and a
+// lowering pass producing the partial-SSA IR the analyses consume. It
+// plays the role Clang/WLLVM play for the paper — realistic pointer
+// programs written in a C subset, compiled to the LLVM-like instruction
+// set of Table I.
+//
+// The subset covers what pointer analysis cares about: multi-level
+// pointers, address-of, dereference, structs with pointer fields, heap
+// allocation (malloc), function pointers and indirect calls, globals,
+// and arbitrary control flow (if/else, while). Integer arithmetic is
+// parsed and type-checked but lowers to nothing: points-to analysis
+// does not track scalar values.
+//
+// Lowering follows the clang -O0 model: every local variable gets a
+// stack object (ALLOC) at function entry; reads and writes become LOAD
+// and STORE through that object's address. The temporaries produced are
+// in SSA form by construction, giving exactly the partial SSA split of
+// top-level pointers and address-taken variables that the paper's
+// Section II describes.
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct   // one of ( ) { } [ ] ; , & * = . < > ! + - / %
+	tokArrow   // ->
+	tokEq      // ==
+	tokNe      // !=
+	tokLe      // <=
+	tokGe      // >=
+	tokAnd     // &&
+	tokOr      // ||
+	tokKeyword // int, void, struct, if, else, while, return, malloc, null
+)
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "struct": true, "if": true, "else": true,
+	"while": true, "for": true, "do": true, "break": true, "continue": true,
+	"return": true, "malloc": true, "null": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes src; errors carry line numbers.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("line %d: unterminated block comment", line)
+			}
+			i += 2
+		case isLetter(c):
+			j := i
+			for j < len(src) && (isLetter(src[j]) || isDigit(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: word, line: line})
+			i = j
+		case isDigit(c):
+			j := i
+			for j < len(src) && isDigit(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], line: line})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "->":
+				toks = append(toks, token{kind: tokArrow, text: two, line: line})
+				i += 2
+				continue
+			case "==":
+				toks = append(toks, token{kind: tokEq, text: two, line: line})
+				i += 2
+				continue
+			case "!=":
+				toks = append(toks, token{kind: tokNe, text: two, line: line})
+				i += 2
+				continue
+			case "<=":
+				toks = append(toks, token{kind: tokLe, text: two, line: line})
+				i += 2
+				continue
+			case ">=":
+				toks = append(toks, token{kind: tokGe, text: two, line: line})
+				i += 2
+				continue
+			case "&&":
+				toks = append(toks, token{kind: tokAnd, text: two, line: line})
+				i += 2
+				continue
+			case "||":
+				toks = append(toks, token{kind: tokOr, text: two, line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', '{', '}', '[', ']', ';', ',', '&', '*', '=', '.', '<', '>', '!', '+', '-', '/', '%':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,663 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseFile parses mini-C source into an AST. The checker (Check) must
+// run before lowering.
+func ParseFile(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &cparser{toks: toks}
+	return p.file()
+}
+
+type cparser struct {
+	toks []token
+	pos  int
+
+	structs map[string]*StructDef
+}
+
+func (p *cparser) cur() token { return p.toks[p.pos] }
+
+// peek looks k tokens ahead, returning the EOF token past the end.
+func (p *cparser) peek(k int) token {
+	if p.pos+k < len(p.toks) {
+		return p.toks[p.pos+k]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *cparser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *cparser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *cparser) accept(text string) bool {
+	if p.cur().kind != tokEOF && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *cparser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, got %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *cparser) expectIdent() (string, int, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", t.line, p.errf("expected identifier, got %s", t)
+	}
+	p.pos++
+	return t.text, t.line, nil
+}
+
+// atType reports whether the next tokens start a type.
+func (p *cparser) atType() bool {
+	t := p.cur()
+	return t.kind == tokKeyword && (t.text == "int" || t.text == "void" || t.text == "struct")
+}
+
+func (p *cparser) file() (*File, error) {
+	f := &File{}
+	p.structs = make(map[string]*StructDef)
+	for p.cur().kind != tokEOF {
+		if p.cur().text == "struct" && p.peek(2).text == "{" {
+			sd, err := p.structDef()
+			if err != nil {
+				return nil, err
+			}
+			f.Structs = append(f.Structs, sd)
+			continue
+		}
+		if !p.atType() {
+			return nil, p.errf("expected declaration, got %s", p.cur())
+		}
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		typ, name, line, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().text == "(" && typ.Kind != PointerT {
+			// Function definition: name(params) { ... } — the declarator
+			// gave us the return type directly.
+			fd, err := p.funcRest(typ, name, line)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fd)
+			continue
+		}
+		if p.cur().text == "(" {
+			// Pointer-returning function: T* name(params).
+			fd, err := p.funcRest(typ, name, line)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fd)
+			continue
+		}
+		g := &VarDecl{Name: name, Type: typ, Line: line}
+		if p.accept("=") {
+			g.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, g)
+	}
+	return f, nil
+}
+
+func (p *cparser) structDef() (*StructDef, error) {
+	line := p.cur().line
+	p.next() // struct
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := p.structs[name]; dup {
+		return nil, fmt.Errorf("line %d: duplicate struct %q", line, name)
+	}
+	sd := &StructDef{Name: name, Line: line}
+	// Register before parsing fields so self-referential structs work.
+	p.structs[name] = sd
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.accept("}") {
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		typ, fname, _, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if typ.Kind == StructT && typ.Struct == sd {
+			return nil, p.errf("struct %s contains itself", name)
+		}
+		sd.Fields = append(sd.Fields, Field{Name: fname, Type: typ})
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+// baseType parses int | void | struct S, without pointer stars.
+func (p *cparser) baseType() (*Type, error) {
+	t := p.next()
+	switch t.text {
+	case "int":
+		return &Type{Kind: IntT}, nil
+	case "void":
+		return &Type{Kind: VoidT}, nil
+	case "struct":
+		name, _, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		sd := p.structs[name]
+		if sd == nil {
+			return nil, p.errf("unknown struct %q", name)
+		}
+		return &Type{Kind: StructT, Struct: sd}, nil
+	}
+	return nil, fmt.Errorf("line %d: expected type, got %q", t.line, t.text)
+}
+
+// declarator parses "*"* (name | (*name)(paramtypes)), returning the full
+// type and the declared name.
+func (p *cparser) declarator(base *Type) (*Type, string, int, error) {
+	typ := base
+	for p.accept("*") {
+		typ = &Type{Kind: PointerT, Elem: typ}
+	}
+	// Function-pointer declarator: (*name)(T1, T2).
+	if p.cur().text == "(" && p.peek(1).text == "*" {
+		p.next() // (
+		p.next() // *
+		name, line, err := p.expectIdent()
+		if err != nil {
+			return nil, "", 0, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, "", 0, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, "", 0, err
+		}
+		sig := &Signature{Ret: typ}
+		for !p.accept(")") {
+			if len(sig.Params) > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, "", 0, err
+				}
+			}
+			pb, err := p.baseType()
+			if err != nil {
+				return nil, "", 0, err
+			}
+			pt := pb
+			for p.accept("*") {
+				pt = &Type{Kind: PointerT, Elem: pt}
+			}
+			sig.Params = append(sig.Params, pt)
+		}
+		fp := &Type{Kind: PointerT, Elem: &Type{Kind: FuncT, Sig: sig}}
+		return fp, name, line, nil
+	}
+	name, line, err := p.expectIdent()
+	if err != nil {
+		return nil, "", 0, err
+	}
+	// Array suffix: name[N].
+	if p.accept("[") {
+		n := p.cur()
+		if n.kind != tokNumber {
+			return nil, "", 0, p.errf("array size must be a number literal")
+		}
+		p.pos++
+		size, _ := strconv.Atoi(n.text)
+		if size <= 0 {
+			return nil, "", 0, p.errf("array size must be positive")
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, "", 0, err
+		}
+		typ = &Type{Kind: ArrayT, Elem: typ, Len: size}
+	}
+	return typ, name, line, nil
+}
+
+func (p *cparser) funcRest(ret *Type, name string, line int) (*FuncDecl, error) {
+	fd := &FuncDecl{Name: name, Ret: ret, Line: line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.accept(")") {
+		if len(fd.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().text == "void" && p.peek(1).text == ")" {
+			p.next()
+			continue
+		}
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		typ, pname, pline, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		fd.Params = append(fd.Params, &VarDecl{Name: pname, Type: typ, Line: pline})
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *cparser) block() (*BlockStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *cparser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.text == "{":
+		return p.block()
+	case p.atType():
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		typ, name, line, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Name: name, Type: typ, Line: line}
+		if p.accept("=") {
+			d.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+	case t.text == "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.line}
+		if p.accept("else") {
+			if p.cur().text == "if" {
+				inner, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = &BlockStmt{Stmts: []Stmt{inner}}
+			} else {
+				st.Else, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return st, nil
+	case t.text == "while":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+	case t.text == "for":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Line: t.line}
+		if p.cur().text != ";" {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if p.cur().text != ";" {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if p.cur().text != ")" {
+			post, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	case t.text == "do":
+		p.next()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept("while") {
+			return nil, p.errf("expected 'while' after do block")
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond, Line: t.line}, nil
+	case t.text == "break":
+		p.next()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+	case t.text == "continue":
+		p.next()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+	case t.text == "return":
+		p.next()
+		st := &ReturnStmt{Line: t.line}
+		if p.cur().text != ";" {
+			var err error
+			st.X, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	// Expression or assignment statement.
+	st, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// simpleStmt parses an assignment or expression without the trailing
+// semicolon (also used by for headers).
+func (p *cparser) simpleStmt() (Stmt, error) {
+	line := p.cur().line
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=") {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, RHS: rhs, Line: line}, nil
+	}
+	return &ExprStmt{X: lhs, Line: line}, nil
+}
+
+// Expression precedence: || < && < == != < > <= >= < + - < * / % < unary.
+
+func (p *cparser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *cparser) binaryLevel(ops []string, sub func() (Expr, error)) (Expr, error) {
+	x, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.cur().text == op {
+				line := p.cur().line
+				p.next()
+				y, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				x = &Binary{Op: op, X: x, Y: y, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *cparser) orExpr() (Expr, error) {
+	return p.binaryLevel([]string{"||"}, p.andExpr)
+}
+
+func (p *cparser) andExpr() (Expr, error) {
+	return p.binaryLevel([]string{"&&"}, p.cmpExpr)
+}
+
+func (p *cparser) cmpExpr() (Expr, error) {
+	return p.binaryLevel([]string{"==", "!=", "<", ">", "<=", ">="}, p.addExpr)
+}
+
+func (p *cparser) addExpr() (Expr, error) {
+	return p.binaryLevel([]string{"+", "-"}, p.mulExpr)
+}
+
+func (p *cparser) mulExpr() (Expr, error) {
+	return p.binaryLevel([]string{"*", "/", "%"}, p.unary)
+}
+
+func (p *cparser) unary() (Expr, error) {
+	t := p.cur()
+	switch t.text {
+	case "&", "*", "!", "-":
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *cparser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokArrow:
+			p.next()
+			name, _, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &FieldAccess{X: x, Name: name, Arrow: true, Line: t.line}
+		case t.text == ".":
+			p.next()
+			name, _, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &FieldAccess{X: x, Name: name, Arrow: false, Line: t.line}
+		case t.text == "[":
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Idx: idx, Line: t.line}
+		case t.text == "(":
+			p.next()
+			call := &CallExpr{Fun: x, Line: t.line}
+			for !p.accept(")") {
+				if len(call.Args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			x = call
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *cparser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokIdent:
+		p.next()
+		return &Ident{Name: t.text, Line: t.line}, nil
+	case t.kind == tokNumber:
+		p.next()
+		return &NumberLit{Value: t.text, Line: t.line}, nil
+	case t.text == "null":
+		p.next()
+		return &NullLit{Line: t.line}, nil
+	case t.text == "malloc":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		// Allow a size-ish expression for C flavour; ignored.
+		if p.cur().text != ")" {
+			if _, err := p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &MallocExpr{Line: t.line}, nil
+	case t.text == "(":
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("unexpected token %s", t)
+}

@@ -1,0 +1,154 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeString(t *testing.T) {
+	intT := &Type{Kind: IntT}
+	sd := &StructDef{Name: "S"}
+	cases := map[string]*Type{
+		"int":      intT,
+		"void":     {Kind: VoidT},
+		"int*":     {Kind: PointerT, Elem: intT},
+		"int**":    {Kind: PointerT, Elem: &Type{Kind: PointerT, Elem: intT}},
+		"struct S": {Kind: StructT, Struct: sd},
+		"int[4]":   {Kind: ArrayT, Elem: intT, Len: 4},
+		"int(int*)": {Kind: FuncT, Sig: &Signature{
+			Ret:    intT,
+			Params: []*Type{{Kind: PointerT, Elem: intT}},
+		}},
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if (&Type{Kind: TypeKind(9)}).String() != "?" {
+		t.Error("unknown type kind should render as ?")
+	}
+}
+
+func TestTypesEqual(t *testing.T) {
+	intT := &Type{Kind: IntT}
+	pInt := &Type{Kind: PointerT, Elem: intT}
+	s1 := &StructDef{Name: "A"}
+	s2 := &StructDef{Name: "A"} // same name, different identity
+	cases := []struct {
+		a, b *Type
+		want bool
+	}{
+		{intT, &Type{Kind: IntT}, true},
+		{intT, pInt, false},
+		{pInt, &Type{Kind: PointerT, Elem: &Type{Kind: IntT}}, true},
+		{&Type{Kind: StructT, Struct: s1}, &Type{Kind: StructT, Struct: s1}, true},
+		{&Type{Kind: StructT, Struct: s1}, &Type{Kind: StructT, Struct: s2}, false},
+		{&Type{Kind: ArrayT, Elem: intT, Len: 3}, &Type{Kind: ArrayT, Elem: intT, Len: 3}, true},
+		{&Type{Kind: ArrayT, Elem: intT, Len: 3}, &Type{Kind: ArrayT, Elem: intT, Len: 4}, false},
+		{nil, nil, true},
+		{intT, nil, false},
+		{
+			&Type{Kind: FuncT, Sig: &Signature{Ret: intT, Params: []*Type{pInt}}},
+			&Type{Kind: FuncT, Sig: &Signature{Ret: intT, Params: []*Type{pInt}}},
+			true,
+		},
+		{
+			&Type{Kind: FuncT, Sig: &Signature{Ret: intT, Params: []*Type{pInt}}},
+			&Type{Kind: FuncT, Sig: &Signature{Ret: intT, Params: []*Type{intT}}},
+			false,
+		},
+		{
+			&Type{Kind: FuncT, Sig: &Signature{Ret: intT}},
+			&Type{Kind: FuncT, Sig: &Signature{Ret: pInt}},
+			false,
+		},
+	}
+	for i, c := range cases {
+		if got := typesEqual(c.a, c.b); got != c.want {
+			t.Errorf("case %d: typesEqual = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestMoreCheckErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"assign to call", "int f() { return 0; }\nint main() { f() = 1; return 0; }", "not assignable"},
+		{"assign to literal", "int main() { 1 = 2; return 0; }", "not assignable"},
+		{"assign to addr", "int main() { int a; &a = null; return 0; }", "not assignable"},
+		{"addr of literal", "int main() { int *p; p = &1; return 0; }", "& requires"},
+		{"void fn returns value", "void f() { return 1; }\nint main() { return 0; }", "void function"},
+		{"unary on undefined", "int main() { int *p; p = *q; return 0; }", "undefined name"},
+		{"arg type", "int f(int *p) { return 0; }\nint main() { int a; f(a); return 0; }", "cannot assign"},
+		{"field of int", "int main() { int a; a.b = 1; return 0; }", ". on non-struct"},
+		{"struct ret", "struct S { int a; };\nstruct S f() { struct S s; return s; }", "returns a struct"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestMoreParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"missing semicolon", "int main() { int a\nreturn 0; }", "expected"},
+		{"bad for", "int main() { for int; { } return 0; }", "expected"},
+		{"do without while", "int main() { do { } return 0; }", "expected 'while'"},
+		{"unterminated block", "int main() { if (1) { return 0;", "unterminated"},
+		{"bad array size", "int main() { int a[x]; return 0; }", "array size"},
+		{"bad fp declarator", "int main() { int (*f(int); return 0; }", "expected"},
+		{"top junk", "$$$", "unexpected character"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestVoidFunctionAndShortCircuit(t *testing.T) {
+	// void functions, && and || conditions, nested calls in conditions.
+	_, err := Compile(`
+int g;
+void reset(int *p) {
+  return;
+}
+int main() {
+  int a;
+  int b;
+  if (a && b || !a) {
+    reset(&a);
+  }
+  while (a <= b && b >= a) {
+    a = a + 1;
+  }
+  return 0;
+}
+`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestMallocWithSizeArg(t *testing.T) {
+	prog, r := analyze(t, `
+int main() {
+  int *p;
+  p = malloc(8);
+  int *q;
+  q = p;
+  return 0;
+}
+`)
+	got := r.PointsTo(lastTemp(t, prog, "p"))
+	if got.Len() != 1 {
+		t.Errorf("pts = %v", got)
+	}
+}

@@ -1,0 +1,494 @@
+// Package sfs implements staged flow-sensitive points-to analysis
+// (Hardekopf & Lin, CGO'11) on the sparse value-flow graph: the baseline
+// the paper's VSFS improves on. Top-level pointers have one global
+// points-to set each (they are in SSA form); every SVFG node keeps an IN
+// map (object → points-to set) and store nodes additionally keep an OUT
+// map, following equations (6)–(7) of the paper. Strong updates are
+// applied at stores whose base pointer resolves to a single singleton
+// object. The call graph is resolved on the fly from flow-sensitive
+// points-to results.
+package sfs
+
+import (
+	"vsfs/internal/bitset"
+	"vsfs/internal/ir"
+	"vsfs/internal/svfg"
+)
+
+// Stats quantifies solver effort and storage, the quantities Table III's
+// time and memory columns are driven by.
+type Stats struct {
+	NodesProcessed int // worklist pops
+	Propagations   int // set unions attempted along value-flow edges
+	Changed        int // unions that grew the target
+	PtsSets        int // (node, object) points-to sets stored in IN/OUT maps
+	PtsWords       int // total 64-bit words backing those sets
+	TopLevelWords  int // words backing top-level points-to sets
+	CallEdges      int // resolved (call site, callee) pairs
+}
+
+// Result holds the analysis outcome.
+type Result struct {
+	Graph *svfg.Graph
+
+	pt []*bitset.Sparse // top-level points-to sets
+
+	in  []map[ir.ID]*bitset.Sparse
+	out []map[ir.ID]*bitset.Sparse // store nodes only
+
+	callees map[*ir.Instr]map[*ir.Function]bool
+
+	Stats Stats
+}
+
+// PointsTo returns the flow-sensitive points-to set of a top-level
+// pointer. The caller must not mutate it.
+func (r *Result) PointsTo(v ir.ID) *bitset.Sparse {
+	if int(v) < len(r.pt) && r.pt[v] != nil {
+		return r.pt[v]
+	}
+	return empty
+}
+
+// CalleesOf returns the flow-sensitively resolved callees of a call.
+func (r *Result) CalleesOf(call *ir.Instr) []*ir.Function {
+	m := r.callees[call]
+	out := make([]*ir.Function, 0, len(m))
+	for f := range m {
+		out = append(out, f)
+	}
+	sortFuncs(out)
+	return out
+}
+
+// ObjectSummary returns the union of o's points-to sets over every
+// program point: everything the object may ever hold. Used by clients
+// that want a per-variable (rather than per-point) answer.
+func (r *Result) ObjectSummary(o ir.ID) *bitset.Sparse {
+	out := bitset.New()
+	for _, m := range r.in {
+		if set := m[o]; set != nil {
+			out.UnionWith(set)
+		}
+	}
+	for _, m := range r.out {
+		if set := m[o]; set != nil {
+			out.UnionWith(set)
+		}
+	}
+	return out
+}
+
+// InSet returns IN[ℓ](o); used by tests and the precision-equivalence
+// checks against VSFS.
+func (r *Result) InSet(label uint32, o ir.ID) *bitset.Sparse {
+	if m := r.in[label]; m != nil {
+		if s := m[o]; s != nil {
+			return s
+		}
+	}
+	return empty
+}
+
+// OutSet returns OUT[ℓ](o) as the propagation rules see it: the store's
+// own OUT entry if it has one, otherwise IN (all other nodes are
+// identity for objects).
+func (r *Result) OutSet(label uint32, o ir.ID) *bitset.Sparse {
+	if m := r.out[label]; m != nil {
+		if s := m[o]; s != nil {
+			return s
+		}
+	}
+	return r.InSet(label, o)
+}
+
+var empty = bitset.New()
+
+func sortFuncs(fs []*ir.Function) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].Name < fs[j-1].Name; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// Solve runs the analysis to fixpoint. It mutates g (on-the-fly indirect
+// edges); pass a fresh or cloned graph.
+func Solve(g *svfg.Graph) *Result {
+	s := &state{
+		Result: &Result{
+			Graph:   g,
+			pt:      make([]*bitset.Sparse, g.Prog.NumValues()+1),
+			in:      make([]map[ir.ID]*bitset.Sparse, len(g.Prog.Instrs)),
+			out:     make([]map[ir.ID]*bitset.Sparse, len(g.Prog.Instrs)),
+			callees: make(map[*ir.Instr]map[*ir.Function]bool),
+		},
+		fsCallers: make(map[*ir.Function][]uint32),
+	}
+	s.run()
+	s.collectStats()
+	return s.Result
+}
+
+type state struct {
+	*Result
+
+	work worklist
+
+	// fsCallers maps a function to the call-site labels resolved to it,
+	// so a growing return value reschedules its callers.
+	fsCallers map[*ir.Function][]uint32
+}
+
+// worklist is FIFO with a membership set.
+type worklist struct {
+	queue []uint32
+	in    bitset.Sparse
+}
+
+func (w *worklist) push(n uint32) {
+	if w.in.Set(n) {
+		w.queue = append(w.queue, n)
+	}
+}
+
+func (w *worklist) pop() (uint32, bool) {
+	if len(w.queue) == 0 {
+		return 0, false
+	}
+	n := w.queue[0]
+	w.queue = w.queue[1:]
+	w.in.Clear(n)
+	return n, true
+}
+
+func (s *state) ptOf(v ir.ID) *bitset.Sparse {
+	if int(v) >= len(s.pt) {
+		grown := make([]*bitset.Sparse, s.Graph.Prog.NumValues()+1)
+		copy(grown, s.pt)
+		s.pt = grown
+	}
+	if s.pt[v] == nil {
+		s.pt[v] = bitset.New()
+	}
+	return s.pt[v]
+}
+
+// inPeek reads IN[ℓ](o) without materialising an entry, so reads do not
+// inflate the stored-set statistics (the paper counts points-to sets
+// actually maintained).
+func (s *state) inPeek(label uint32, o ir.ID) *bitset.Sparse {
+	if m := s.in[label]; m != nil {
+		if set := m[o]; set != nil {
+			return set
+		}
+	}
+	return empty
+}
+
+func (s *state) inSet(label uint32, o ir.ID) *bitset.Sparse {
+	m := s.in[label]
+	if m == nil {
+		m = make(map[ir.ID]*bitset.Sparse)
+		s.in[label] = m
+	}
+	set := m[o]
+	if set == nil {
+		set = bitset.New()
+		m[o] = set
+	}
+	return set
+}
+
+func (s *state) outSet(label uint32, o ir.ID) *bitset.Sparse {
+	m := s.out[label]
+	if m == nil {
+		m = make(map[ir.ID]*bitset.Sparse)
+		s.out[label] = m
+	}
+	set := m[o]
+	if set == nil {
+		set = bitset.New()
+		m[o] = set
+	}
+	return set
+}
+
+// addPt unions src into the top-level set of v and reschedules v's users
+// on change.
+func (s *state) addPt(v ir.ID, src *bitset.Sparse) {
+	s.Stats.Propagations++
+	if s.ptOf(v).UnionWith(src) {
+		s.Stats.Changed++
+		for _, u := range s.Graph.UsersOf(v) {
+			s.work.push(u)
+		}
+	}
+}
+
+// propagate pushes a source set into IN[to](o), rescheduling to on change
+// ([A-PROP] of the SFS formulation).
+func (s *state) propagate(to uint32, o ir.ID, src *bitset.Sparse) {
+	if src.IsEmpty() {
+		return
+	}
+	s.Stats.Propagations++
+	if s.inSet(to, o).UnionWith(src) {
+		s.Stats.Changed++
+		s.work.push(to)
+	}
+}
+
+func (s *state) run() {
+	prog := s.Graph.Prog
+	for l := 1; l < len(prog.Instrs); l++ {
+		s.work.push(uint32(l))
+	}
+	for {
+		l, ok := s.work.pop()
+		if !ok {
+			return
+		}
+		s.Stats.NodesProcessed++
+		s.process(prog.Instrs[l])
+	}
+}
+
+func (s *state) process(in *ir.Instr) {
+	g := s.Graph
+	l := in.Label
+	switch in.Op {
+	case ir.Alloc:
+		s.Stats.Propagations++
+		if s.ptOf(in.Def).Set(uint32(in.Obj)) {
+			s.Stats.Changed++
+			for _, u := range g.UsersOf(in.Def) {
+				s.work.push(u)
+			}
+		}
+
+	case ir.Copy:
+		s.addPt(in.Def, s.ptOf(in.Uses[0]))
+
+	case ir.Phi:
+		for _, u := range in.Uses {
+			s.addPt(in.Def, s.ptOf(u))
+		}
+
+	case ir.Field:
+		prog := g.Prog
+		add := bitset.New()
+		s.ptOf(in.Uses[0]).ForEach(func(o uint32) {
+			if prog.Value(ir.ID(o)).ObjKind == ir.FuncObj {
+				return
+			}
+			add.Set(uint32(prog.FieldObj(ir.ID(o), in.Off)))
+		})
+		s.addPt(in.Def, add)
+
+	case ir.Load:
+		// [LOAD]: pt(p) ⊇ IN[ℓ](o) for each o ∈ pt(q).
+		s.ptOf(in.Uses[0]).Clone().ForEach(func(o uint32) {
+			s.addPt(in.Def, s.inPeek(l, ir.ID(o)))
+		})
+
+	case ir.Store:
+		s.processStore(in)
+
+	case ir.Call:
+		s.processCall(in)
+		s.forwardObjects(in) // μ-side pass-through to callee entries
+
+	case ir.FunExit:
+		// Reschedule resolved callers when the return value grows; the
+		// object flows to CallRet nodes ride the indirect edges.
+		for _, c := range s.fsCallers[in.Parent] {
+			s.work.push(c)
+		}
+		s.forwardObjects(in)
+
+	case ir.FunEntry, ir.MemPhi, ir.CallRet:
+		s.forwardObjects(in)
+	}
+}
+
+// forwardObjects implements the identity transfer of non-store nodes:
+// OUT = IN, then [A-PROP] along every outgoing indirect edge.
+func (s *state) forwardObjects(in *ir.Instr) {
+	m := s.in[in.Label]
+	if len(m) == 0 {
+		return
+	}
+	// Deterministic order.
+	objs := make([]ir.ID, 0, len(m))
+	for o := range m {
+		objs = append(objs, o)
+	}
+	sortIDs(objs)
+	for _, o := range objs {
+		src := m[o]
+		for _, succ := range s.Graph.IndirSuccs(in.Label, o) {
+			s.propagate(succ, o, src)
+		}
+	}
+}
+
+func sortIDs(ids []ir.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// processStore applies [STORE] and [SU/WU]: for each pointee o of p,
+// OUT(o) = pt(q) if the store strongly updates o, else IN(o) ∪ pt(q);
+// χ'd objects not pointed to by p (per flow-sensitive information) pass
+// through, OUT(o) = IN(o).
+//
+// The strong-update predicate is evaluated on the *auxiliary* points-to
+// set of p: it fires iff pts^aux(p) is a single singleton object, which
+// implies the store always writes exactly that object when it executes.
+// Evaluating it on the in-flight flow-sensitive set (as SVF does) makes
+// the result depend on worklist order — values can slip through the
+// pass-through before pt(p) resolves — which would break the exact
+// SFS ≡ VSFS equality the paper claims; the static predicate makes both
+// solvers least fixpoints of identical monotone equations.
+func (s *state) processStore(in *ir.Instr) {
+	g := s.Graph
+	l := in.Label
+	p, q := in.Uses[0], in.Uses[1]
+	ptp := s.ptOf(p)
+	ptq := s.ptOf(q)
+
+	strong := false
+	if single, ok := g.Aux.PointsTo(p).Single(); ok && g.IsSingleton(ir.ID(single)) {
+		strong = true
+	}
+
+	g.MSSA.ChiOf(l).ForEach(func(o32 uint32) {
+		o := ir.ID(o32)
+		out := s.outSet(l, o)
+		changed := false
+		if strong {
+			// Kill: only the stored value survives.
+			s.Stats.Propagations++
+			changed = out.UnionWith(ptq)
+		} else {
+			s.Stats.Propagations++
+			changed = out.UnionWith(s.inPeek(l, o))
+			if ptp.Has(o32) {
+				s.Stats.Propagations++
+				if out.UnionWith(ptq) {
+					changed = true
+				}
+			}
+		}
+		if changed {
+			s.Stats.Changed++
+		}
+		if changed || !out.IsEmpty() {
+			for _, succ := range g.IndirSuccs(l, o) {
+				s.propagate(succ, o, out)
+			}
+		}
+	})
+}
+
+// processCall wires top-level argument/return flow for every resolved
+// callee and performs on-the-fly call-graph resolution for indirect
+// calls, adding the interprocedural indirect edges the paper's gray
+// [CALL]/[RET] rules describe.
+func (s *state) processCall(in *ir.Instr) {
+	g := s.Graph
+	if in.Callee != nil {
+		s.wireCallee(in, in.Callee)
+		return
+	}
+	if g.Prewired {
+		// Ablation mode: the auxiliary call graph was wired at build
+		// time; resolve targets from it instead of flow-sensitive
+		// function-pointer values.
+		for _, callee := range g.Aux.CalleesOf(in) {
+			s.wireCallee(in, callee)
+		}
+		return
+	}
+	prog := g.Prog
+	s.ptOf(in.CalleePtr()).Clone().ForEach(func(o uint32) {
+		v := prog.Value(ir.ID(o))
+		if v.ObjKind == ir.FuncObj {
+			s.wireCallee(in, v.Func)
+		}
+	})
+}
+
+func (s *state) wireCallee(call *ir.Instr, callee *ir.Function) {
+	g := s.Graph
+	m := s.callees[call]
+	if m == nil {
+		m = make(map[*ir.Function]bool)
+		s.callees[call] = m
+	}
+	if !m[callee] {
+		// Newly resolved: record and add the interprocedural indirect
+		// edges (for direct calls they exist in the built graph already;
+		// AddIndirectEdge deduplicates).
+		m[callee] = true
+		s.Stats.CallEdges++
+		s.fsCallers[callee] = append(s.fsCallers[callee], call.Label)
+
+		entry := callee.EntryInstr.Label
+		g.MSSA.FormalIn[callee].ForEach(func(o uint32) {
+			if g.MSSA.MuOf(call.Label).Has(o) {
+				g.AddIndirectEdge(call.Label, entry, ir.ID(o))
+			}
+		})
+		if ret := g.MSSA.CallRets[call]; ret != nil {
+			exit := callee.ExitInstr.Label
+			g.MSSA.FormalOut[callee].ForEach(func(o uint32) {
+				if g.MSSA.ChiOf(ret.Label).Has(o) {
+					g.AddIndirectEdge(exit, ret.Label, ir.ID(o))
+					// Ship anything already sitting at the exit.
+					s.propagate(ret.Label, ir.ID(o), s.inPeek(exit, ir.ID(o)))
+				}
+			})
+		}
+		s.work.push(entry)
+	}
+
+	// Top-level flow (repeated on every call reprocessing: argument sets
+	// grow monotonically).
+	args := call.CallArgs()
+	for i, a := range args {
+		if i >= len(callee.Params) {
+			break
+		}
+		s.addPt(callee.Params[i], s.ptOf(a))
+	}
+	if call.Def != ir.None && callee.Ret != ir.None {
+		s.addPt(call.Def, s.ptOf(callee.Ret))
+	}
+}
+
+// collectStats sizes the IN/OUT storage at fixpoint. Sets only grow
+// during solving, so the fixpoint sizes are also the peaks.
+func (s *state) collectStats() {
+	for _, m := range s.in {
+		for _, set := range m {
+			s.Stats.PtsSets++
+			s.Stats.PtsWords += set.Words()
+		}
+	}
+	for _, m := range s.out {
+		for _, set := range m {
+			s.Stats.PtsSets++
+			s.Stats.PtsWords += set.Words()
+		}
+	}
+	for _, set := range s.pt {
+		if set != nil {
+			s.Stats.TopLevelWords += set.Words()
+		}
+	}
+}

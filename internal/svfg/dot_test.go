@@ -1,0 +1,48 @@
+package svfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	g := buildTestGraph(t, `
+func main() {
+entry:
+  p = alloc a 0
+  x = alloc b 0
+  store p, x
+  v = load p
+  ret
+}
+`)
+	var b strings.Builder
+	if err := g.WriteDot(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph svfg",
+		`label="main"`,
+		"alloc a",
+		"*p = x",
+		"v = *p",
+		"style=dashed", // the indirect store→load edge
+		"color=gray",   // a direct edge
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDotDeltaStyling(t *testing.T) {
+	g := buildTestGraph(t, src) // has an indirect call
+	var b strings.Builder
+	if err := g.WriteDot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "peripheries=2") {
+		t.Error("δ nodes not doubled in dot output")
+	}
+}

@@ -1,0 +1,307 @@
+// Package svfg assembles the sparse value-flow graph (SVFG) the
+// flow-sensitive analyses run on. Nodes are instruction labels. Direct
+// edges carry top-level def-use chains (trivial in partial SSA); indirect
+// edges carry per-object def-use chains from the memory-SSA pass. The
+// graph also records which nodes are δ nodes (Definition 3 of the paper:
+// nodes that may gain incoming indirect edges during on-the-fly
+// call-graph resolution) and which objects are singletons (eligible for
+// strong updates).
+package svfg
+
+import (
+	"vsfs/internal/andersen"
+	"vsfs/internal/bitset"
+	"vsfs/internal/graph"
+	"vsfs/internal/ir"
+	"vsfs/internal/memssa"
+)
+
+// Graph is the sparse value-flow graph.
+type Graph struct {
+	Prog *ir.Program
+	Aux  *andersen.Result
+	MSSA *memssa.Result
+
+	// DefSite maps a top-level pointer to its defining instruction label
+	// (FUNENTRY for parameters), or 0 if it has no definition.
+	DefSite []uint32
+
+	// users maps a top-level pointer to the labels of instructions that
+	// use it as an operand.
+	users [][]uint32
+
+	// indirOut[ℓ][o] lists the targets of indirect edges ℓ --o--> ℓ'.
+	indirOut []map[ir.ID][]uint32
+
+	// Delta marks δ nodes. Always false when Prewired.
+	Delta []bool
+
+	// Prewired reports that the auxiliary call graph was wired at build
+	// time: the solvers resolve calls from the auxiliary results rather
+	// than on the fly, and versioning needs no [OTF-CG]^P prelabels.
+	Prewired bool
+
+	// singleton[o] ⇒ strong updates are allowed on o.
+	singleton *bitset.Sparse
+
+	// Stats for Table II.
+	NumNodes         int
+	NumDirectEdges   int
+	NumIndirectEdges int
+	NumTopLevel      int
+	NumAddressTaken  int
+}
+
+// Build assembles the SVFG from a finalized program, its auxiliary
+// results and memory-SSA form, with on-the-fly call-graph resolution
+// left to the flow-sensitive solvers (the paper's configuration).
+func Build(prog *ir.Program, aux *andersen.Result, mssa *memssa.Result) *Graph {
+	return build(prog, aux, mssa, false)
+}
+
+// BuildAuxCallGraph assembles the SVFG with the auxiliary call graph
+// wired in up front: every indirect call's interprocedural edges are
+// added for all Andersen-resolved targets and no node is a δ node.
+// Section IV-C1 of the paper notes store prelabelling alone is
+// sufficient in this configuration; it trades the precision (and,
+// per the paper, performance) of on-the-fly resolution for a simpler
+// pre-analysis. Kept as an ablation.
+func BuildAuxCallGraph(prog *ir.Program, aux *andersen.Result, mssa *memssa.Result) *Graph {
+	return build(prog, aux, mssa, true)
+}
+
+func build(prog *ir.Program, aux *andersen.Result, mssa *memssa.Result, prewire bool) *Graph {
+	n := len(prog.Instrs)
+	g := &Graph{
+		Prog:     prog,
+		Aux:      aux,
+		MSSA:     mssa,
+		Prewired: prewire,
+		DefSite:  make([]uint32, prog.NumValues()),
+		users:    make([][]uint32, prog.NumValues()),
+		indirOut: make([]map[ir.ID][]uint32, n),
+		Delta:    make([]bool, n),
+	}
+	g.buildDirect()
+	for _, e := range mssa.Edges {
+		g.AddIndirectEdge(e.From, e.To, e.Obj)
+	}
+	if prewire {
+		g.prewireIndirectCalls()
+	} else {
+		g.markDelta()
+	}
+	g.computeSingletons()
+	g.countStats()
+	return g
+}
+
+// prewireIndirectCalls adds the interprocedural value-flow edges of
+// every auxiliary-resolved indirect call at build time.
+func (g *Graph) prewireIndirectCalls() {
+	for _, f := range g.Prog.Funcs {
+		f.ForEachInstr(func(in *ir.Instr) {
+			if in.Op != ir.Call || !in.IsIndirectCall() {
+				return
+			}
+			for _, callee := range g.Aux.CalleesOf(in) {
+				entry := callee.EntryInstr.Label
+				g.MSSA.FormalIn[callee].ForEach(func(o uint32) {
+					if g.MSSA.MuOf(in.Label).Has(o) {
+						g.AddIndirectEdge(in.Label, entry, ir.ID(o))
+					}
+				})
+				if ret := g.MSSA.CallRets[in]; ret != nil {
+					exit := callee.ExitInstr.Label
+					g.MSSA.FormalOut[callee].ForEach(func(o uint32) {
+						if g.MSSA.ChiOf(ret.Label).Has(o) {
+							g.AddIndirectEdge(exit, ret.Label, ir.ID(o))
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// Clone returns a copy of the graph that can be mutated independently.
+// The flow-sensitive solvers add indirect edges during on-the-fly
+// call-graph resolution, so running two solvers over one Graph value
+// would let the first leak resolution work into the second; clone per
+// solver instead. Immutable parts (direct edges, δ marks, singletons)
+// are shared.
+func (g *Graph) Clone() *Graph {
+	c := *g
+	c.indirOut = make([]map[ir.ID][]uint32, len(g.indirOut))
+	for i, m := range g.indirOut {
+		if m == nil {
+			continue
+		}
+		cm := make(map[ir.ID][]uint32, len(m))
+		for o, succs := range m {
+			cm[o] = append([]uint32(nil), succs...)
+		}
+		c.indirOut[i] = cm
+	}
+	return &c
+}
+
+func (g *Graph) buildDirect() {
+	prog := g.Prog
+	for _, f := range prog.Funcs {
+		f.ForEachInstr(func(in *ir.Instr) {
+			if in.Op == ir.FunEntry {
+				for _, p := range in.Uses {
+					g.DefSite[p] = in.Label
+				}
+				return
+			}
+			if in.Def != ir.None {
+				g.DefSite[in.Def] = in.Label
+			}
+			for _, u := range in.Uses {
+				g.users[u] = append(g.users[u], in.Label)
+			}
+		})
+	}
+	for v := ir.ID(1); int(v) < prog.NumValues(); v++ {
+		if g.DefSite[v] != 0 {
+			g.NumDirectEdges += len(g.users[v])
+		}
+	}
+	// Interprocedural direct edges (actual→formal, return→result) for
+	// auxiliary-resolved targets; counted for Table II parity with SVF.
+	for _, f := range prog.Funcs {
+		f.ForEachInstr(func(in *ir.Instr) {
+			if in.Op != ir.Call {
+				return
+			}
+			for _, callee := range g.Aux.CalleesOf(in) {
+				na := len(in.CallArgs())
+				if na > len(callee.Params) {
+					na = len(callee.Params)
+				}
+				g.NumDirectEdges += na
+				if in.Def != ir.None && callee.Ret != ir.None {
+					g.NumDirectEdges++
+				}
+			}
+		})
+	}
+}
+
+// UsersOf returns the labels of instructions using pointer v. The result
+// must not be mutated.
+func (g *Graph) UsersOf(v ir.ID) []uint32 { return g.users[v] }
+
+// AddIndirectEdge inserts ℓfrom --obj--> ℓto, reporting whether it was
+// new. The flow-sensitive solvers call this during on-the-fly call-graph
+// resolution.
+func (g *Graph) AddIndirectEdge(from, to uint32, obj ir.ID) bool {
+	m := g.indirOut[from]
+	if m == nil {
+		m = make(map[ir.ID][]uint32)
+		g.indirOut[from] = m
+	}
+	for _, t := range m[obj] {
+		if t == to {
+			return false
+		}
+	}
+	m[obj] = append(m[obj], to)
+	g.NumIndirectEdges++
+	return true
+}
+
+// IndirSuccs returns the targets of indirect edges from ℓ labelled with
+// obj. The result must not be mutated.
+func (g *Graph) IndirSuccs(from uint32, obj ir.ID) []uint32 {
+	if m := g.indirOut[from]; m != nil {
+		return m[obj]
+	}
+	return nil
+}
+
+// markDelta marks δ nodes: FUNENTRY of address-taken functions (possible
+// indirect-call targets) and the CallRet side of indirect calls (return
+// targets of indirect calls).
+func (g *Graph) markDelta() {
+	for _, f := range g.Prog.Funcs {
+		if f.AddressTaken {
+			g.Delta[f.EntryInstr.Label] = true
+		}
+	}
+	for call, ret := range g.MSSA.CallRets {
+		if call.IsIndirectCall() {
+			g.Delta[ret.Label] = true
+		}
+	}
+}
+
+// IsSingleton reports whether o is a singleton object: it stands for
+// exactly one concrete memory location, so a store with it as the sole
+// pointee may strongly update it. Heap summaries, function objects,
+// collapsed field objects and stack objects of recursive functions are
+// excluded.
+func (g *Graph) IsSingleton(o ir.ID) bool { return g.singleton.Has(uint32(o)) }
+
+func (g *Graph) computeSingletons() {
+	prog := g.Prog
+	// Recursive functions via the auxiliary call graph.
+	idx := make(map[*ir.Function]uint32, len(prog.Funcs))
+	for i, f := range prog.Funcs {
+		idx[f] = uint32(i)
+	}
+	cg := graph.New(len(prog.Funcs))
+	selfLoop := make([]bool, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		f.ForEachInstr(func(in *ir.Instr) {
+			if in.Op != ir.Call {
+				return
+			}
+			for _, callee := range g.Aux.CalleesOf(in) {
+				cg.AddEdge(idx[f], idx[callee])
+				if callee == f {
+					selfLoop[idx[f]] = true
+				}
+			}
+		})
+	}
+	comp, k := cg.SCCs()
+	sccSize := make([]int, k)
+	for _, c := range comp {
+		sccSize[c]++
+	}
+	recursive := func(f *ir.Function) bool {
+		i := idx[f]
+		return selfLoop[i] || sccSize[comp[i]] > 1
+	}
+
+	g.singleton = bitset.New()
+	for id := ir.ID(1); int(id) < prog.NumValues(); id++ {
+		v := prog.Value(id)
+		if v.Kind != ir.Object || v.Collapsed {
+			continue
+		}
+		switch v.ObjKind {
+		case ir.GlobalObj:
+			g.singleton.Set(uint32(id))
+		case ir.StackObj:
+			if v.DefFunc != nil && !recursive(v.DefFunc) {
+				g.singleton.Set(uint32(id))
+			}
+		}
+	}
+}
+
+func (g *Graph) countStats() {
+	prog := g.Prog
+	g.NumNodes = len(prog.Instrs) - 1 // slot 0 is reserved
+	for id := ir.ID(1); int(id) < prog.NumValues(); id++ {
+		if prog.IsPointer(id) {
+			g.NumTopLevel++
+		} else {
+			g.NumAddressTaken++
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package svfg
+
+import (
+	"testing"
+
+	"vsfs/internal/andersen"
+	"vsfs/internal/ir"
+	"vsfs/internal/irparse"
+	"vsfs/internal/memssa"
+)
+
+func buildTestGraph(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := irparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	aux := andersen.Analyze(prog)
+	mssa := memssa.Build(prog, aux)
+	return Build(prog, aux, mssa)
+}
+
+func varByName(t *testing.T, prog *ir.Program, name string) ir.ID {
+	t.Helper()
+	for id := ir.ID(1); int(id) < prog.NumValues(); id++ {
+		if prog.IsPointer(id) && prog.Value(id).Name == name {
+			return id
+		}
+	}
+	t.Fatalf("no pointer %q", name)
+	return ir.None
+}
+
+func objByName(t *testing.T, prog *ir.Program, name string) ir.ID {
+	t.Helper()
+	for id := ir.ID(1); int(id) < prog.NumValues(); id++ {
+		if prog.IsObject(id) && prog.Value(id).Name == name {
+			return id
+		}
+	}
+	t.Fatalf("no object %q", name)
+	return ir.None
+}
+
+const src = `
+func callee(q) {
+entry:
+  x = alloc tgt 0
+  store q, x
+  ret
+}
+func recur(n) {
+entry:
+  l = alloc local 0
+  call recur(n)
+  ret
+}
+func main() {
+entry:
+  p = alloc a 0
+  h = alloc.heap hobj 0
+  fp = funcaddr callee
+  calli fp(p)
+  v = load p
+  w = copy v
+  ret
+}
+`
+
+func TestDirectEdges(t *testing.T) {
+	g := buildTestGraph(t, src)
+	prog := g.Prog
+	v := varByName(t, prog, "v")
+	if g.DefSite[v] == 0 {
+		t.Fatal("v has no def site")
+	}
+	if prog.Instrs[g.DefSite[v]].Op != ir.Load {
+		t.Errorf("def of v is %v, want load", prog.Instrs[g.DefSite[v]].Op)
+	}
+	users := g.UsersOf(v)
+	if len(users) != 1 || prog.Instrs[users[0]].Op != ir.Copy {
+		t.Errorf("users of v wrong: %v", users)
+	}
+	// Parameters are defined at FUNENTRY.
+	q := prog.FuncByName("callee").Params[0]
+	if prog.Instrs[g.DefSite[q]].Op != ir.FunEntry {
+		t.Error("param not defined at funentry")
+	}
+	if g.NumDirectEdges == 0 {
+		t.Error("no direct edges counted")
+	}
+}
+
+func TestDeltaNodes(t *testing.T) {
+	g := buildTestGraph(t, src)
+	prog := g.Prog
+	callee := prog.FuncByName("callee")
+	if !g.Delta[callee.EntryInstr.Label] {
+		t.Error("address-taken function entry not δ")
+	}
+	main := prog.FuncByName("main")
+	if g.Delta[main.EntryInstr.Label] {
+		t.Error("main entry marked δ despite not being address-taken")
+	}
+	var icall *ir.Instr
+	main.ForEachInstr(func(in *ir.Instr) {
+		if in.IsIndirectCall() {
+			icall = in
+		}
+	})
+	ret := g.MSSA.CallRets[icall]
+	if ret == nil {
+		t.Fatal("indirect call has no CallRet")
+	}
+	if !g.Delta[ret.Label] {
+		t.Error("indirect call's CallRet not δ")
+	}
+	// Direct (recursive) call's CallRet is not δ.
+	var dcall *ir.Instr
+	prog.FuncByName("recur").ForEachInstr(func(in *ir.Instr) {
+		if in.Op == ir.Call {
+			dcall = in
+		}
+	})
+	if r := g.MSSA.CallRets[dcall]; r != nil && g.Delta[r.Label] {
+		t.Error("direct call's CallRet marked δ")
+	}
+}
+
+func TestSingletons(t *testing.T) {
+	g := buildTestGraph(t, src)
+	prog := g.Prog
+	if !g.IsSingleton(objByName(t, prog, "a")) {
+		t.Error("stack object of non-recursive main not singleton")
+	}
+	if g.IsSingleton(objByName(t, prog, "hobj")) {
+		t.Error("heap object marked singleton")
+	}
+	if g.IsSingleton(objByName(t, prog, "local")) {
+		t.Error("stack object of recursive function marked singleton")
+	}
+	if g.IsSingleton(objByName(t, prog, "&callee")) {
+		t.Error("function object marked singleton")
+	}
+}
+
+func TestGlobalSingletonAndCollapsedField(t *testing.T) {
+	g := buildTestGraph(t, `
+global gg 2
+func main() {
+entry:
+  s = alloc agg 3
+  f9 = field s, 9
+  f1 = field s, 1
+  x = alloc o 0
+  store f9, x
+  store f1, x
+  ret
+}
+`)
+	prog := g.Prog
+	if !g.IsSingleton(objByName(t, prog, "gg.obj")) {
+		t.Error("global object not singleton")
+	}
+	if !g.IsSingleton(objByName(t, prog, "agg.f1")) {
+		t.Error("in-range field of stack aggregate not singleton")
+	}
+	// Offset 9 clamps onto agg.f2 (NumFields-1): that object stands for
+	// several concrete locations and must not be a singleton.
+	fo := prog.FieldObj(objByName(t, prog, "agg"), 9)
+	if prog.Value(fo).Name != "agg.f2" {
+		t.Fatalf("clamped field = %s", prog.Value(fo).Name)
+	}
+	if g.IsSingleton(fo) {
+		t.Error("collapsed field object marked singleton")
+	}
+}
+
+func TestAddIndirectEdgeDedup(t *testing.T) {
+	g := buildTestGraph(t, src)
+	o := objByName(t, g.Prog, "a")
+	before := g.NumIndirectEdges
+	if !g.AddIndirectEdge(1, 2, o) {
+		t.Error("fresh edge not new")
+	}
+	if g.AddIndirectEdge(1, 2, o) {
+		t.Error("duplicate edge reported new")
+	}
+	if g.NumIndirectEdges != before+1 {
+		t.Errorf("edge count = %d, want %d", g.NumIndirectEdges, before+1)
+	}
+	hits := 0
+	for _, s := range g.IndirSuccs(1, o) {
+		if s == 2 {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Errorf("IndirSuccs = %v, want exactly one edge to 2", g.IndirSuccs(1, o))
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	g := buildTestGraph(t, src)
+	if g.NumNodes != len(g.Prog.Instrs)-1 {
+		t.Errorf("NumNodes = %d, want %d", g.NumNodes, len(g.Prog.Instrs)-1)
+	}
+	if g.NumTopLevel == 0 || g.NumAddressTaken == 0 {
+		t.Error("variable counts empty")
+	}
+	if g.NumTopLevel+g.NumAddressTaken != g.Prog.NumValues()-1 {
+		t.Error("variable counts do not partition the value space")
+	}
+}

@@ -1,0 +1,186 @@
+package workload
+
+import "vsfs/internal/ir"
+
+// Profile is one named benchmark standing in for a program from the
+// paper's Table II. The synthetic shape is scaled to roughly 1/40 of the
+// paper's SVFG sizes and tuned along the axes that drive the paper's
+// result: heap intensity, pointer-chase redundancy (single-object
+// duplication), global sharing (mod/ref width), and indirect-call
+// density.
+type Profile struct {
+	Name string
+	Desc string
+	Seed int64
+	Cfg  RandomConfig
+}
+
+// Build generates the profile's program.
+func (p Profile) Build() *ir.Program { return Random(p.Seed, p.Cfg) }
+
+// Profiles returns the 15 named benchmarks in the paper's Table II
+// order.
+func Profiles() []Profile {
+	base := func(funcs, instrs, globals int) RandomConfig {
+		return RandomConfig{
+			Funcs:         funcs,
+			MaxParams:     3,
+			InstrsPerFunc: instrs,
+			MaxFields:     3,
+			HeapFrac:      0.3,
+			IndirectCalls: true,
+			Globals:       globals,
+			LoopFrac:      0.12,
+			BranchFrac:    0.28,
+			StoreFrac:     0.4,
+			ChainFrac:     0.15,
+			ChainLen:      3,
+			GlobalBias:    0.15,
+			BuilderFrac:   0.05,
+		}
+	}
+	tune := func(cfg RandomConfig, f func(*RandomConfig)) RandomConfig {
+		f(&cfg)
+		return cfg
+	}
+
+	return []Profile{
+		{
+			Name: "du", Desc: "Disk usage (GNU)", Seed: 101,
+			Cfg: tune(base(48, 30, 6), func(c *RandomConfig) {
+				c.ChainFrac, c.GlobalBias = 0.25, 0.25 // coreutils share state
+				c.CallLocality = 5
+			}),
+		},
+		{
+			Name: "ninja", Desc: "Build system", Seed: 102,
+			Cfg: tune(base(90, 36, 8), func(c *RandomConfig) {
+				// Read-heavy dependency-graph chasing: few distinct stores,
+				// many loads sharing their versions.
+				c.HeapFrac, c.ChainFrac, c.ChainLen = 0.5, 0.35, 7
+				c.BuilderFrac = 0.1
+				c.GlobalBias = 0.3
+				c.StoreFrac = 0.2
+				c.CallLocality = 6
+			}),
+		},
+		{
+			Name: "bake", Desc: "Build system", Seed: 103,
+			Cfg: tune(base(90, 40, 6), func(c *RandomConfig) {
+				// The paper's extreme case: heavy chains over a densely
+				// connected heap graph published through globals.
+				c.HeapFrac, c.ChainFrac, c.ChainLen, c.BuilderFrac = 0.5, 0.3, 6, 0.22
+				c.GlobalBias = 0.4
+				c.CallLocality = 8
+			}),
+		},
+		{
+			Name: "dpkg", Desc: "Package manager", Seed: 104,
+			Cfg: tune(base(60, 32, 10), func(c *RandomConfig) {
+				// Easy for SFS: few chains, little heap, modular calls.
+				c.HeapFrac, c.ChainFrac, c.GlobalBias = 0.12, 0.04, 0.06
+				c.CallLocality = 3
+			}),
+		},
+		{
+			Name: "nano", Desc: "Text editor", Seed: 105,
+			Cfg: tune(base(66, 34, 10), func(c *RandomConfig) {
+				c.ChainFrac, c.GlobalBias, c.BuilderFrac = 0.3, 0.25, 0.08
+				c.CallLocality = 5
+			}),
+		},
+		{
+			Name: "i3", Desc: "Window manager", Seed: 106,
+			Cfg: tune(base(80, 32, 10), func(c *RandomConfig) {
+				// Callback tables: handler cells installed and dispatched.
+				c.HeapFrac, c.ChainFrac, c.GlobalBias = 0.15, 0.05, 0.05
+				c.DispatchFrac = 0.12
+				c.CallLocality = 3
+			}),
+		},
+		{
+			Name: "psql", Desc: "PostgreSQL frontend", Seed: 107,
+			Cfg: tune(base(72, 32, 8), func(c *RandomConfig) {
+				c.ChainFrac, c.GlobalBias = 0.12, 0.12
+				c.CallLocality = 4
+			}),
+		},
+		{
+			Name: "janet", Desc: "Janet compiler", Seed: 108,
+			Cfg: tune(base(110, 36, 8), func(c *RandomConfig) {
+				c.HeapFrac, c.ChainFrac, c.ChainLen, c.BuilderFrac = 0.5, 0.32, 6, 0.18
+				c.GlobalBias = 0.25
+				c.CallLocality = 8
+			}),
+		},
+		{
+			Name: "astyle", Desc: "Code formatter", Seed: 109,
+			Cfg: tune(base(110, 38, 10), func(c *RandomConfig) {
+				c.HeapFrac, c.ChainFrac, c.ChainLen, c.GlobalBias = 0.45, 0.38, 7, 0.3
+				c.CallLocality = 9
+			}),
+		},
+		{
+			Name: "tmux", Desc: "Terminal multiplexer", Seed: 110,
+			Cfg: tune(base(120, 36, 12), func(c *RandomConfig) {
+				c.ChainFrac, c.GlobalBias, c.BuilderFrac = 0.25, 0.25, 0.16
+				c.HeapFrac = 0.45
+				c.CallLocality = 6
+			}),
+		},
+		{
+			Name: "mruby", Desc: "Ruby interpreter", Seed: 111,
+			Cfg: tune(base(110, 36, 8), func(c *RandomConfig) {
+				c.HeapFrac, c.BuilderFrac = 0.5, 0.1
+				c.ChainFrac, c.ChainLen = 0.3, 5
+				c.GlobalBias = 0.3
+				c.CallLocality = 6
+			}),
+		},
+		{
+			Name: "mutt", Desc: "Terminal email client", Seed: 112,
+			Cfg: tune(base(130, 38, 14), func(c *RandomConfig) {
+				c.ChainFrac, c.ChainLen, c.GlobalBias = 0.3, 5, 0.3
+				c.CallLocality = 8
+			}),
+		},
+		{
+			Name: "bash", Desc: "UNIX shell", Seed: 113,
+			Cfg: tune(base(120, 36, 12), func(c *RandomConfig) {
+				// Very wide global sharing with little pointer-chase
+				// redundancy: huge mod/ref sets and dense indirect edges
+				// hurt memory far more than versioning can win back time
+				// (the paper's bash sees only 1.46x).
+				c.GlobalBias, c.ChainFrac, c.ChainLen, c.HeapFrac = 0.5, 0.03, 2, 0.25
+				c.StoreFrac = 0.85 // store-dominated: almost every node yields a fresh version
+				c.CallLocality = 10
+			}),
+		},
+		{
+			Name: "lynx", Desc: "Terminal web browser", Seed: 114,
+			Cfg: tune(base(190, 38, 14), func(c *RandomConfig) {
+				// The SFS memory killer: global sharing and heap chains.
+				// The paper's SFS ran out of memory on lynx.
+				c.GlobalBias, c.ChainFrac, c.ChainLen, c.HeapFrac, c.BuilderFrac = 0.4, 0.3, 6, 0.45, 0.1
+				c.CallLocality = 10
+			}),
+		},
+		{
+			Name: "hyriseConsole", Desc: "Hyrise DB frontend", Seed: 116,
+			Cfg: tune(base(170, 40, 12), func(c *RandomConfig) {
+				c.HeapFrac, c.ChainFrac, c.ChainLen = 0.45, 0.32, 6
+				c.CallLocality = 7
+			}),
+		},
+	}
+}
+
+// ProfileByName returns the named profile, or nil.
+func ProfileByName(name string) *Profile {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return &p
+		}
+	}
+	return nil
+}

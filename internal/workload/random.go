@@ -1,0 +1,427 @@
+// Package workload generates synthetic programs for testing and
+// benchmarking the analyses: structured random programs (for property
+// testing — SFS ≡ VSFS, soundness orderings) and the 15 named benchmark
+// profiles that stand in for the paper's open-source programs (Table II).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vsfs/internal/ir"
+)
+
+// RandomConfig bounds the shape of a random program.
+type RandomConfig struct {
+	Funcs         int     // number of functions besides main
+	MaxParams     int     // max parameters per function
+	InstrsPerFunc int     // approximate instruction budget per function
+	MaxFields     int     // max fields of aggregate objects
+	HeapFrac      float64 // fraction of allocs that are heap objects
+	IndirectCalls bool    // generate funcaddr + calli
+	Globals       int     // number of global variables
+	LoopFrac      float64 // fraction of regions that become loops
+	BranchFrac    float64 // fraction of regions that become diamonds
+	StoreFrac     float64 // weight of stores among memory ops
+
+	// Profile knobs for the named benchmarks (zero values disable them).
+
+	// ChainFrac emits pointer-chase chains (v1 = load p; v2 = load v1;
+	// ...) of length ChainLen: many loads consuming the same
+	// definitions, the single-object redundancy VSFS targets.
+	ChainFrac float64
+	ChainLen  int
+
+	// GlobalBias picks globals as operands with this probability,
+	// concentrating value flows through few objects (large mod/ref
+	// sets, many indirect edges — the bash/lynx effect).
+	GlobalBias float64
+
+	// ChainFromGlobals makes pointer-chase chains start at a global
+	// with this probability (the redundancy sweep uses it to keep
+	// chains traversing the live heap graph).
+	ChainFromGlobals float64
+
+	// BuilderFrac emits heap-graph builders (h = malloc; *h = prev;
+	// *cell = h), the heap-intensive pattern of interpreters.
+	BuilderFrac float64
+
+	// DispatchFrac emits dispatch-table traffic: function addresses
+	// stored into pointer cells, later loaded and called indirectly.
+	// Overwritten cells make the flow-sensitive call graph strictly
+	// smaller than the auxiliary one.
+	DispatchFrac float64
+
+	// CallLocality, when positive, restricts call targets to functions
+	// within this index distance — modular programs with narrow
+	// transitive mod/ref summaries. Zero means any function may call
+	// any other (monolithic sharing, the bash/lynx shape).
+	CallLocality int
+}
+
+// DefaultRandomConfig is a reasonable mid-size shape for property tests.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		Funcs:         6,
+		MaxParams:     3,
+		InstrsPerFunc: 40,
+		MaxFields:     3,
+		HeapFrac:      0.4,
+		IndirectCalls: true,
+		Globals:       3,
+		LoopFrac:      0.15,
+		BranchFrac:    0.3,
+		StoreFrac:     0.45,
+	}
+}
+
+// Random builds a deterministic pseudo-random program. The generator is
+// structured (nested diamonds and loops), so every use of a top-level
+// pointer is dominated by its definition, as a compiler-produced partial
+// SSA program would be.
+func Random(seed int64, cfg RandomConfig) *ir.Program {
+	g := &rgen{
+		r:    rand.New(rand.NewSource(seed)),
+		cfg:  cfg,
+		prog: ir.NewProgram(),
+	}
+	return g.run()
+}
+
+type rgen struct {
+	r    *rand.Rand
+	cfg  RandomConfig
+	prog *ir.Program
+
+	funcs   []*ir.Function
+	globals []ir.ID
+	nextID  int
+}
+
+func (g *rgen) name(prefix string) string {
+	g.nextID++
+	return fmt.Sprintf("%s%d", prefix, g.nextID)
+}
+
+func (g *rgen) run() *ir.Program {
+	for i := 0; i < g.cfg.Globals; i++ {
+		ptr, _ := g.prog.NewGlobal(g.name("g"), g.r.Intn(g.cfg.MaxFields+1))
+		g.globals = append(g.globals, ptr)
+	}
+	// Phase 1: function shells, so calls can target any function.
+	main := g.prog.NewFunction("main", 0)
+	g.funcs = append(g.funcs, main)
+	for i := 0; i < g.cfg.Funcs; i++ {
+		f := g.prog.NewFunction(g.name("f"), g.r.Intn(g.cfg.MaxParams+1))
+		g.funcs = append(g.funcs, f)
+	}
+	// Phase 2: bodies.
+	for i, f := range g.funcs {
+		g.genBody(f, i)
+	}
+	if err := g.prog.Finalize(); err != nil {
+		// The generator is supposed to emit only valid programs; a
+		// failure here is a bug worth failing loudly for.
+		panic(fmt.Sprintf("workload: generated invalid program: %v", err))
+	}
+	return g.prog
+}
+
+// fstate is the per-function generation state.
+type fstate struct {
+	f      *ir.Function
+	fidx   int // index of f within the generated function list
+	cur    *ir.Block
+	dom    []ir.ID // pointer vars whose defs dominate cur
+	budget int
+}
+
+// calleeFor picks a call target, respecting CallLocality.
+func (g *rgen) calleeFor(st *fstate) *ir.Function {
+	if g.cfg.CallLocality <= 0 {
+		return g.funcs[g.r.Intn(len(g.funcs))]
+	}
+	lo := st.fidx - g.cfg.CallLocality
+	if lo < 0 {
+		lo = 0
+	}
+	hi := st.fidx + g.cfg.CallLocality
+	if hi >= len(g.funcs) {
+		hi = len(g.funcs) - 1
+	}
+	return g.funcs[lo+g.r.Intn(hi-lo+1)]
+}
+
+func (g *rgen) genBody(f *ir.Function, idx int) {
+	st := &fstate{
+		f:      f,
+		fidx:   idx,
+		cur:    f.Entry,
+		dom:    append([]ir.ID(nil), f.Params...),
+		budget: g.cfg.InstrsPerFunc/2 + g.r.Intn(g.cfg.InstrsPerFunc+1),
+	}
+	st.dom = append(st.dom, g.globals...)
+	// Guarantee at least one local object so memory ops have targets.
+	g.emitAlloc(st)
+	g.genRegion(st, 3)
+	f.Exit = st.cur
+	if len(st.dom) > 0 && g.r.Intn(4) > 0 {
+		f.Ret = st.pick(g.r)
+	}
+}
+
+func (st *fstate) pick(r *rand.Rand) ir.ID {
+	return st.dom[r.Intn(len(st.dom))]
+}
+
+// pickBiased prefers global pointers with probability g.cfg.GlobalBias.
+func (g *rgen) pickBiased(st *fstate) ir.ID {
+	if len(g.globals) > 0 && g.r.Float64() < g.cfg.GlobalBias {
+		return g.globals[g.r.Intn(len(g.globals))]
+	}
+	return st.pick(g.r)
+}
+
+// genRegion emits straight-line code interleaved with nested control
+// flow until the budget runs out.
+func (g *rgen) genRegion(st *fstate, depth int) {
+	for st.budget > 0 {
+		roll := g.r.Float64()
+		switch {
+		case depth > 0 && roll < g.cfg.BranchFrac:
+			g.genDiamond(st, depth)
+		case depth > 0 && roll < g.cfg.BranchFrac+g.cfg.LoopFrac:
+			g.genLoop(st, depth)
+		default:
+			g.emitStraight(st)
+		}
+	}
+}
+
+// genDiamond builds cur → {left, right} → join with optional phis.
+func (g *rgen) genDiamond(st *fstate, depth int) {
+	f := st.f
+	left := f.NewBlock(g.name("L"))
+	right := f.NewBlock(g.name("R"))
+	join := f.NewBlock(g.name("J"))
+	st.cur.AddSucc(left)
+	st.cur.AddSucc(right)
+
+	baseDom := append([]ir.ID(nil), st.dom...)
+	total := st.budget
+	branchBudget := total / 3
+
+	st.cur, st.dom, st.budget = left, append([]ir.ID(nil), baseDom...), branchBudget
+	g.genRegion(st, depth-1)
+	leftVars := st.dom[len(baseDom):]
+	st.cur.AddSucc(join) // branch tail falls through to the join
+
+	st.cur, st.dom, st.budget = right, append([]ir.ID(nil), baseDom...), branchBudget
+	g.genRegion(st, depth-1)
+	rightVars := st.dom[len(baseDom):]
+	st.cur.AddSucc(join)
+
+	st.cur = join
+	st.dom = baseDom
+	st.budget = total - 2*branchBudget - 1
+
+	// Merge a value from each branch with a phi, when both produced one.
+	if len(leftVars) > 0 && len(rightVars) > 0 && g.r.Intn(2) == 0 {
+		p := g.prog.NewPointer(g.name("phi"))
+		f.EmitPhi(join, p,
+			leftVars[g.r.Intn(len(leftVars))],
+			rightVars[g.r.Intn(len(rightVars))])
+		st.dom = append(st.dom, p)
+		st.budget--
+	}
+}
+
+// genLoop builds cur → header; header → {body, after}; body → header.
+func (g *rgen) genLoop(st *fstate, depth int) {
+	f := st.f
+	header := f.NewBlock(g.name("H"))
+	body := f.NewBlock(g.name("B"))
+	after := f.NewBlock(g.name("A"))
+	st.cur.AddSucc(header)
+	header.AddSucc(body)
+	header.AddSucc(after)
+
+	baseDom := append([]ir.ID(nil), st.dom...)
+	total := st.budget
+	bodyBudget := total / 2
+
+	st.cur, st.dom, st.budget = body, append([]ir.ID(nil), baseDom...), bodyBudget
+	g.genRegion(st, depth-1)
+	st.cur.AddSucc(header) // back edge from the body's tail
+
+	st.cur = after
+	st.dom = baseDom
+	st.budget = total - bodyBudget - 1
+}
+
+// emitStraight appends one simple instruction to the current block.
+func (g *rgen) emitStraight(st *fstate) {
+	st.budget--
+	r := g.r
+	if g.cfg.ChainFrac > 0 && r.Float64() < g.cfg.ChainFrac {
+		g.emitChain(st)
+		return
+	}
+	if g.cfg.BuilderFrac > 0 && r.Float64() < g.cfg.BuilderFrac {
+		g.emitBuilder(st)
+		return
+	}
+	if g.cfg.DispatchFrac > 0 && r.Float64() < g.cfg.DispatchFrac {
+		g.emitDispatch(st)
+		return
+	}
+	switch r.Intn(10) {
+	case 0, 1:
+		g.emitAlloc(st)
+	case 2:
+		p := g.prog.NewPointer(g.name("c"))
+		st.f.EmitCopy(st.cur, p, g.pickBiased(st))
+		st.dom = append(st.dom, p)
+	case 3:
+		p := g.prog.NewPointer(g.name("fl"))
+		st.f.EmitField(st.cur, p, g.pickBiased(st), r.Intn(g.cfg.MaxFields+1))
+		st.dom = append(st.dom, p)
+	case 4, 5:
+		p := g.prog.NewPointer(g.name("v"))
+		st.f.EmitLoad(st.cur, p, g.pickBiased(st))
+		st.dom = append(st.dom, p)
+	case 6, 7:
+		if r.Float64() < g.cfg.StoreFrac*2 {
+			st.f.EmitStore(st.cur, g.pickBiased(st), g.pickBiased(st))
+		} else {
+			p := g.prog.NewPointer(g.name("v"))
+			st.f.EmitLoad(st.cur, p, g.pickBiased(st))
+			st.dom = append(st.dom, p)
+		}
+	case 8:
+		callee := g.calleeFor(st)
+		args := make([]ir.ID, len(callee.Params))
+		for i := range args {
+			args[i] = st.pick(r)
+		}
+		p := ir.None
+		if r.Intn(2) == 0 {
+			p = g.prog.NewPointer(g.name("r"))
+		}
+		st.f.EmitCall(st.cur, p, callee, args...)
+		if p != ir.None {
+			st.dom = append(st.dom, p)
+		}
+	case 9:
+		if !g.cfg.IndirectCalls {
+			g.emitAlloc(st)
+			return
+		}
+		// Take a function's address, then sometimes call through a
+		// pointer that may hold it.
+		callee := g.calleeFor(st)
+		fp := g.prog.NewPointer(g.name("fp"))
+		st.f.EmitAlloc(st.cur, fp, g.prog.FuncObj(callee))
+		st.dom = append(st.dom, fp)
+		if r.Intn(2) == 0 {
+			nargs := len(callee.Params)
+			args := make([]ir.ID, nargs)
+			for i := range args {
+				args[i] = st.pick(r)
+			}
+			p := ir.None
+			if r.Intn(2) == 0 {
+				p = g.prog.NewPointer(g.name("ri"))
+			}
+			st.f.EmitCallIndirect(st.cur, p, fp, args...)
+			if p != ir.None {
+				st.dom = append(st.dom, p)
+			}
+		}
+	}
+}
+
+func (g *rgen) emitAlloc(st *fstate) {
+	kind := ir.StackObj
+	owner := st.f
+	prefix := "o"
+	if g.r.Float64() < g.cfg.HeapFrac {
+		kind = ir.HeapObj
+		owner = nil
+		prefix = "h"
+	}
+	p := g.prog.NewPointer(g.name("p"))
+	obj := g.prog.NewObject(g.name(prefix), kind, g.r.Intn(g.cfg.MaxFields+1), owner)
+	st.f.EmitAlloc(st.cur, p, obj)
+	st.dom = append(st.dom, p)
+}
+
+// emitChain appends a pointer-chase: a run of loads each consuming the
+// previous result. These are the instruction sequences where SFS
+// duplicates one object's points-to set at every step. Chains start
+// from globals most of the time so they traverse the live heap graph
+// rather than dead local slots.
+func (g *rgen) emitChain(st *fstate) {
+	v := g.pickBiased(st)
+	if len(g.globals) > 0 && g.r.Float64() < g.cfg.ChainFromGlobals {
+		v = g.globals[g.r.Intn(len(g.globals))]
+	}
+	n := 1 + g.r.Intn(g.cfg.ChainLen)
+	for i := 0; i < n && st.budget > 0; i++ {
+		p := g.prog.NewPointer(g.name("ch"))
+		st.f.EmitLoad(st.cur, p, v)
+		st.dom = append(st.dom, p)
+		v = p
+		st.budget--
+	}
+}
+
+// emitBuilder appends a heap-graph builder step: allocate, link to a
+// previous value, publish through a pointer.
+func (g *rgen) emitBuilder(st *fstate) {
+	r := g.r
+	h := g.prog.NewPointer(g.name("hb"))
+	obj := g.prog.NewObject(g.name("hn"), ir.HeapObj, r.Intn(g.cfg.MaxFields+1), nil)
+	st.f.EmitAlloc(st.cur, h, obj)
+	st.f.EmitStore(st.cur, h, g.pickBiased(st))
+	st.f.EmitStore(st.cur, g.pickBiased(st), h)
+	st.dom = append(st.dom, h)
+	st.budget -= 3
+}
+
+// emitDispatch emits handler-table traffic: install a function address
+// into a cell, or fetch a handler from a cell and call it. Installs into
+// singleton cells are strongly updatable, so the flow-sensitive call
+// graph can prune handlers the auxiliary analysis keeps.
+func (g *rgen) emitDispatch(st *fstate) {
+	r := g.r
+	cell := g.pickBiased(st)
+	if r.Intn(2) == 0 {
+		// Install: *cell = &callee.
+		callee := g.calleeFor(st)
+		fp := g.prog.NewPointer(g.name("hf"))
+		st.f.EmitAlloc(st.cur, fp, g.prog.FuncObj(callee))
+		st.f.EmitStore(st.cur, cell, fp)
+		st.dom = append(st.dom, fp)
+		st.budget -= 2
+		return
+	}
+	// Fetch and call: h = *cell; h(args...).
+	h := g.prog.NewPointer(g.name("hl"))
+	st.f.EmitLoad(st.cur, h, cell)
+	st.dom = append(st.dom, h)
+	nargs := r.Intn(2)
+	args := make([]ir.ID, nargs)
+	for i := range args {
+		args[i] = st.pick(r)
+	}
+	def := ir.None
+	if r.Intn(2) == 0 {
+		def = g.prog.NewPointer(g.name("hr"))
+	}
+	st.f.EmitCallIndirect(st.cur, def, h, args...)
+	if def != ir.None {
+		st.dom = append(st.dom, def)
+	}
+	st.budget -= 2
+}

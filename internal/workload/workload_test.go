@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"vsfs/internal/cfg"
+	"vsfs/internal/ir"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	cfg := DefaultRandomConfig()
+	a := Random(7, cfg).String()
+	b := Random(7, cfg).String()
+	if a != b {
+		t.Error("same seed produced different programs")
+	}
+	c := Random(8, cfg).String()
+	if a == c {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestRandomProgramsAreValid(t *testing.T) {
+	// Random panics on invalid programs (Finalize checks); exercise a
+	// spread of seeds and shapes.
+	for seed := int64(0); seed < 10; seed++ {
+		cfg := DefaultRandomConfig()
+		cfg.InstrsPerFunc = 20 + int(seed)*7
+		prog := Random(seed, cfg)
+		if len(prog.Funcs) == 0 || len(prog.Instrs) < 2 {
+			t.Fatalf("seed %d: degenerate program", seed)
+		}
+	}
+}
+
+// TestDefsDominateUses verifies the generator's structural guarantee:
+// every non-phi use of a top-level pointer is dominated by its
+// definition (as compiler-emitted partial SSA would be).
+func TestDefsDominateUses(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			prog := Random(seed, DefaultRandomConfig())
+			defAt := map[ir.ID]*ir.Instr{}
+			for _, f := range prog.Funcs {
+				for _, p := range f.Params {
+					defAt[p] = f.EntryInstr
+				}
+				f.ForEachInstr(func(in *ir.Instr) {
+					if in.Def != ir.None && in.Op != ir.FunEntry {
+						defAt[in.Def] = in
+					}
+				})
+			}
+			for _, f := range prog.Funcs {
+				info := cfg.Compute(f)
+				f.ForEachInstr(func(in *ir.Instr) {
+					if in.Op == ir.Phi {
+						return // phi operands flow along edges
+					}
+					for _, u := range in.Uses {
+						def := defAt[u]
+						if def == nil {
+							continue // globals and undefined temps
+						}
+						if def.Parent != f {
+							continue // globals defined in __globals__
+						}
+						if def.Block == in.Block {
+							continue // same block: emission order suffices
+						}
+						if !info.Dominates(def.Block, in.Block) {
+							t.Fatalf("use of %s in %s not dominated by def in %s",
+								prog.NameOf(u), in.Block.Name, def.Block.Name)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 15 {
+		t.Fatalf("profiles = %d, want 15", len(ps))
+	}
+	names := map[string]bool{}
+	wantOrder := []string{"du", "ninja", "bake", "dpkg", "nano", "i3", "psql",
+		"janet", "astyle", "tmux", "mruby", "mutt", "bash", "lynx", "hyriseConsole"}
+	for i, p := range ps {
+		if names[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.Name != wantOrder[i] {
+			t.Errorf("profile %d = %q, want %q (Table II order)", i, p.Name, wantOrder[i])
+		}
+		if p.Desc == "" || p.Seed == 0 || p.Cfg.Funcs == 0 {
+			t.Errorf("profile %q underspecified", p.Name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if p := ProfileByName("du"); p == nil || p.Name != "du" {
+		t.Error("ProfileByName(du) failed")
+	}
+	if ProfileByName("nope") != nil {
+		t.Error("ProfileByName(nope) returned a profile")
+	}
+}
+
+func TestProfileBuildSmallest(t *testing.T) {
+	prog := ProfileByName("du").Build()
+	if len(prog.Instrs) < 500 {
+		t.Errorf("du program suspiciously small: %d instrs", len(prog.Instrs))
+	}
+	// Deterministic.
+	if prog.String() != ProfileByName("du").Build().String() {
+		t.Error("profile build not deterministic")
+	}
+}
+
+func TestChainAndBuilderKnobs(t *testing.T) {
+	cfg := DefaultRandomConfig()
+	cfg.ChainFrac, cfg.ChainLen = 0.5, 5
+	cfg.BuilderFrac = 0.3
+	cfg.GlobalBias = 0.5
+	prog := Random(3, cfg)
+	loads, stores := 0, 0
+	for _, f := range prog.Funcs {
+		f.ForEachInstr(func(in *ir.Instr) {
+			switch in.Op {
+			case ir.Load:
+				loads++
+			case ir.Store:
+				stores++
+			}
+		})
+	}
+	if loads == 0 || stores == 0 {
+		t.Errorf("knob-heavy program has no memory ops (loads=%d stores=%d)", loads, stores)
+	}
+}
+
+func TestCallLocality(t *testing.T) {
+	cfg := DefaultRandomConfig()
+	cfg.Funcs = 30
+	cfg.CallLocality = 2
+	prog := Random(5, cfg)
+	idx := map[*ir.Function]int{}
+	for i, f := range prog.Funcs {
+		idx[f] = i
+	}
+	for _, f := range prog.Funcs {
+		f.ForEachInstr(func(in *ir.Instr) {
+			if in.Op != ir.Call || in.Callee == nil {
+				return
+			}
+			d := idx[f] - idx[in.Callee]
+			if d < 0 {
+				d = -d
+			}
+			// __globals__ shifts indexes by at most one slot; allow 3.
+			if d > 3 {
+				t.Errorf("call from %s to %s violates locality (distance %d)",
+					f.Name, in.Callee.Name, d)
+			}
+		})
+	}
+}

@@ -1,0 +1,420 @@
+// Package vsfs is the public façade of this repository: a flow-sensitive
+// pointer-analysis library implementing "Object Versioning for
+// Flow-Sensitive Pointer Analysis" (Barbar, Sui, Chen — CGO 2021) and
+// everything it stands on, in pure Go.
+//
+// The pipeline is:
+//
+//	mini-C or textual IR
+//	  → partial-SSA IR                  (internal/lang, internal/irparse, internal/ir)
+//	  → Andersen's auxiliary analysis   (internal/andersen)
+//	  → memory SSA (χ/μ, MEMPHI)        (internal/memssa)
+//	  → sparse value-flow graph         (internal/svfg)
+//	  → SFS or VSFS main phase          (internal/sfs, internal/core)
+//
+// VSFS (the paper's contribution, internal/core) produces bit-for-bit
+// the same points-to results as SFS while storing one global points-to
+// set per (object, version) instead of per-node IN/OUT maps.
+//
+// This façade exposes string-keyed queries so quick clients need no
+// knowledge of the IR. Heavier clients inside this module import the
+// internal packages directly (see examples/ and cmd/).
+package vsfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vsfs/internal/andersen"
+	"vsfs/internal/bitset"
+	"vsfs/internal/core"
+	"vsfs/internal/ir"
+	"vsfs/internal/irparse"
+	"vsfs/internal/lang"
+	"vsfs/internal/memssa"
+	"vsfs/internal/sfs"
+	"vsfs/internal/svfg"
+)
+
+// Mode selects the main-phase analysis.
+type Mode int
+
+const (
+	// VSFS is the paper's versioned staged flow-sensitive analysis
+	// (default).
+	VSFS Mode = iota
+	// SFS is the staged flow-sensitive baseline.
+	SFS
+	// FlowInsensitive answers queries from Andersen's analysis alone.
+	FlowInsensitive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case VSFS:
+		return "vsfs"
+	case SFS:
+		return "sfs"
+	case FlowInsensitive:
+		return "andersen"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode maps a CLI string to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "vsfs", "":
+		return VSFS, nil
+	case "sfs":
+		return SFS, nil
+	case "andersen", "ander", "fi":
+		return FlowInsensitive, nil
+	}
+	return 0, fmt.Errorf("unknown analysis mode %q (want vsfs, sfs, or andersen)", s)
+}
+
+// Options configures Analyze.
+type Options struct {
+	Mode Mode
+}
+
+// Result is a solved program: flow-(in)sensitive points-to facts plus
+// the resolved call graph.
+type Result struct {
+	mode Mode
+
+	prog *ir.Program
+	aux  *andersen.Result
+	g    *svfg.Graph
+
+	sfsRes  *sfs.Result
+	vsfsRes *core.Result
+}
+
+// pointsTo dispatches to the selected analysis.
+func (r *Result) pointsTo(v ir.ID) *bitset.Sparse {
+	switch r.mode {
+	case SFS:
+		return r.sfsRes.PointsTo(v)
+	case FlowInsensitive:
+		return r.aux.PointsTo(v)
+	default:
+		return r.vsfsRes.PointsTo(v)
+	}
+}
+
+func (r *Result) calleesOf(call *ir.Instr) []*ir.Function {
+	switch r.mode {
+	case SFS:
+		return r.sfsRes.CalleesOf(call)
+	case FlowInsensitive:
+		return r.aux.CalleesOf(call)
+	default:
+		return r.vsfsRes.CalleesOf(call)
+	}
+}
+
+// AnalyzeC compiles mini-C source and solves it.
+func AnalyzeC(src string, opts Options) (*Result, error) {
+	prog, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeProgram(prog, opts)
+}
+
+// AnalyzeIR parses textual IR and solves it.
+func AnalyzeIR(src string, opts Options) (*Result, error) {
+	prog, err := irparse.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeProgram(prog, opts)
+}
+
+// AnalyzeProgram runs the staged pipeline over an already-built program.
+// The program must be finalized and not previously analysed (the
+// memory-SSA pass inserts nodes).
+func AnalyzeProgram(prog *ir.Program, opts Options) (*Result, error) {
+	r := &Result{mode: opts.Mode, prog: prog}
+	r.aux = andersen.Analyze(prog)
+	mssa := memssa.Build(prog, r.aux)
+	r.g = svfg.Build(prog, r.aux, mssa)
+	switch opts.Mode {
+	case SFS:
+		r.sfsRes = sfs.Solve(r.g)
+	case FlowInsensitive:
+		// Auxiliary results only.
+	default:
+		r.vsfsRes = core.Solve(r.g)
+	}
+	return r, nil
+}
+
+// matchingVars returns the pointer temps belonging to the source-level
+// variable name within a function: mini-C lowers each read of x to a
+// temp named "x.<n>", so the union over those temps is every value x
+// may hold at some read. Exact matches (for IR-level names) also count.
+func (r *Result) matchingVars(fn, name string) []ir.ID {
+	f := r.prog.FuncByName(fn)
+	var out []ir.ID
+	prefix := name + "."
+	for id := ir.ID(1); int(id) < r.prog.NumValues(); id++ {
+		if !r.prog.IsPointer(id) {
+			continue
+		}
+		n := r.prog.Value(id).Name
+		if n != name && !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		if strings.Contains(n, ".addr") {
+			continue
+		}
+		if f != nil && !definedIn(r.prog, f, id) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+func definedIn(prog *ir.Program, f *ir.Function, v ir.ID) bool {
+	for _, p := range f.Params {
+		if p == v {
+			return true
+		}
+	}
+	found := false
+	f.ForEachInstr(func(in *ir.Instr) {
+		if in.Def == v {
+			found = true
+		}
+	})
+	return found
+}
+
+// objectSummary returns everything object o may ever hold, under the
+// selected analysis.
+func (r *Result) objectSummary(o ir.ID) *bitset.Sparse {
+	switch r.mode {
+	case SFS:
+		return r.sfsRes.ObjectSummary(o)
+	case FlowInsensitive:
+		return r.aux.PointsTo(o)
+	default:
+		return r.vsfsRes.ObjectSummary(o)
+	}
+}
+
+// storageObjects returns the abstract objects backing a source variable:
+// the mini-C lowering names a local x in fn "fn.x" and a global g
+// "g.obj"; IR-level address-taken objects may match by bare name.
+func (r *Result) storageObjects(fn, name string) []ir.ID {
+	var out []ir.ID
+	candidates := map[string]bool{name: true, name + ".obj": true}
+	if fn != "" {
+		candidates[fn+"."+name] = true
+	}
+	for id := ir.ID(1); int(id) < r.prog.NumValues(); id++ {
+		if r.prog.IsObject(id) && candidates[r.prog.Value(id).Name] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// PointsToVar returns the sorted names of the abstract objects the named
+// variable may point to: the union over every read of the variable plus
+// everything its storage location may hold. Pass fn == "" to match the
+// name anywhere in the program.
+func (r *Result) PointsToVar(fn, name string) []string {
+	merged := r.varSet(fn, name)
+	var out []string
+	merged.ForEach(func(o uint32) { out = append(out, r.prog.NameOf(ir.ID(o))) })
+	sort.Strings(out)
+	return out
+}
+
+func (r *Result) varSet(fn, name string) *bitset.Sparse {
+	merged := bitset.New()
+	for _, v := range r.matchingVars(fn, name) {
+		merged.UnionWith(r.pointsTo(v))
+	}
+	for _, o := range r.storageObjects(fn, name) {
+		merged.UnionWith(r.objectSummary(o))
+	}
+	return merged
+}
+
+// MayAlias reports whether two variables may point to a common object.
+func (r *Result) MayAlias(fn1, v1, fn2, v2 string) bool {
+	return r.varSet(fn1, v1).Intersects(r.varSet(fn2, v2))
+}
+
+// CallGraph returns the resolved call graph as function → sorted callee
+// names. Synthetic functions (__globals__, __cinit__) are omitted.
+func (r *Result) CallGraph() map[string][]string {
+	out := make(map[string][]string)
+	for _, f := range r.prog.Funcs {
+		if strings.HasPrefix(f.Name, "__") {
+			continue
+		}
+		seen := map[string]bool{}
+		f.ForEachInstr(func(in *ir.Instr) {
+			if in.Op != ir.Call {
+				return
+			}
+			for _, callee := range r.calleesOf(in) {
+				if !strings.HasPrefix(callee.Name, "__") {
+					seen[callee.Name] = true
+				}
+			}
+		})
+		callees := make([]string, 0, len(seen))
+		for n := range seen {
+			callees = append(callees, n)
+		}
+		sort.Strings(callees)
+		out[f.Name] = callees
+	}
+	return out
+}
+
+// Functions returns the program's function names in definition order,
+// omitting synthetic ones.
+func (r *Result) Functions() []string {
+	var out []string
+	for _, f := range r.prog.Funcs {
+		if !strings.HasPrefix(f.Name, "__") {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}
+
+// Summary aggregates headline statistics for the analysed program.
+type Summary struct {
+	Mode          string
+	Functions     int
+	SVFGNodes     int
+	DirectEdges   int
+	IndirectEdges int
+	TopLevelVars  int
+	AddressTaken  int
+
+	// Main-phase effort; zero for FlowInsensitive.
+	NodesProcessed int
+	Propagations   int
+	PtsSets        int
+
+	// VSFS-only versioning facts.
+	Prelabels        int
+	DistinctVersions int
+}
+
+// Stats returns the run's Summary.
+func (r *Result) Stats() Summary {
+	s := Summary{
+		Mode:          r.mode.String(),
+		Functions:     len(r.prog.Funcs),
+		SVFGNodes:     r.g.NumNodes,
+		DirectEdges:   r.g.NumDirectEdges,
+		IndirectEdges: r.g.NumIndirectEdges,
+		TopLevelVars:  r.g.NumTopLevel,
+		AddressTaken:  r.g.NumAddressTaken,
+	}
+	switch r.mode {
+	case SFS:
+		s.NodesProcessed = r.sfsRes.Stats.NodesProcessed
+		s.Propagations = r.sfsRes.Stats.Propagations
+		s.PtsSets = r.sfsRes.Stats.PtsSets
+	case VSFS:
+		s.NodesProcessed = r.vsfsRes.Stats.NodesProcessed
+		s.Propagations = r.vsfsRes.Stats.Propagations
+		s.PtsSets = r.vsfsRes.Stats.PtsSets
+		s.Prelabels = r.vsfsRes.Stats.Versioning.Prelabels
+		s.DistinctVersions = r.vsfsRes.Stats.Versioning.DistinctVersions
+	}
+	return s
+}
+
+// Explain returns human-readable value-flow witnesses for every object
+// the named variable may point to — the "why" behind each points-to
+// fact. Only available for VSFS and SFS runs (the witnesses are pruned
+// by flow-sensitive facts); empty otherwise.
+func (r *Result) Explain(fn, name string) []string {
+	if r.mode == FlowInsensitive {
+		return nil
+	}
+	holds := func(x, o ir.ID) bool {
+		if r.prog.IsPointer(x) {
+			return r.pointsTo(x).Has(uint32(o))
+		}
+		return r.objectSummary(x).Has(uint32(o))
+	}
+	var out []string
+	for _, v := range r.matchingVars(fn, name) {
+		r.pointsTo(v).ForEach(func(o uint32) {
+			if w := r.g.ExplainPointsTo(holds, v, ir.ID(o)); w != nil {
+				out = append(out, w.Format(r.prog))
+			}
+		})
+	}
+	return out
+}
+
+// Dump writes a human-readable points-to report: for every function,
+// every source-level pointer variable and the objects it may point to.
+func (r *Result) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "analysis: %s\n", r.mode)
+	for _, f := range r.prog.Funcs {
+		if strings.HasPrefix(f.Name, "__") {
+			continue
+		}
+		fmt.Fprintf(&b, "func %s:\n", f.Name)
+		// Group temps by their source-variable prefix.
+		groups := map[string]*bitset.Sparse{}
+		collect := func(v ir.ID) {
+			name := r.prog.Value(v).Name
+			if i := strings.LastIndexByte(name, '.'); i > 0 {
+				name = name[:i]
+			}
+			if strings.HasSuffix(name, ".addr") || strings.HasPrefix(name, "__") {
+				return
+			}
+			set := groups[name]
+			if set == nil {
+				set = bitset.New()
+				groups[name] = set
+			}
+			set.UnionWith(r.pointsTo(v))
+		}
+		for _, p := range f.Params {
+			collect(p)
+		}
+		f.ForEachInstr(func(in *ir.Instr) {
+			if in.Def != ir.None {
+				collect(in.Def)
+			}
+		})
+		names := make([]string, 0, len(groups))
+		for n := range groups {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if groups[n].IsEmpty() {
+				continue
+			}
+			var objs []string
+			groups[n].ForEach(func(o uint32) { objs = append(objs, r.prog.NameOf(ir.ID(o))) })
+			sort.Strings(objs)
+			fmt.Fprintf(&b, "  %-16s → {%s}\n", n, strings.Join(objs, ", "))
+		}
+	}
+	return b.String()
+}

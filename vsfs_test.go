@@ -1,0 +1,189 @@
+package vsfs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const demoC = `
+struct Node { int *data; struct Node *next; };
+
+int g;
+int *gp = &g;
+
+struct Node *mk(int *d) {
+  struct Node *n;
+  n = malloc();
+  n->data = d;
+  return n;
+}
+
+int *get(struct Node *n) {
+  return n->data;
+}
+
+int main() {
+  int a;
+  int b;
+  struct Node *x;
+  struct Node *y;
+  x = mk(&a);
+  y = mk(&b);
+  int *p;
+  p = get(x);
+  int *q;
+  q = gp;
+  return 0;
+}
+`
+
+func TestAnalyzeCAllModes(t *testing.T) {
+	for _, mode := range []Mode{VSFS, SFS, FlowInsensitive} {
+		t.Run(mode.String(), func(t *testing.T) {
+			r, err := AnalyzeC(demoC, Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("AnalyzeC: %v", err)
+			}
+			// p comes from a shared malloc site: both &a and &b flow in
+			// (context-insensitive).
+			got := r.PointsToVar("main", "p")
+			want := []string{"main.a", "main.b"}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("PointsToVar(main, p) = %v, want %v", got, want)
+			}
+			if got := r.PointsToVar("main", "q"); !reflect.DeepEqual(got, []string{"g.obj"}) {
+				t.Errorf("PointsToVar(main, q) = %v", got)
+			}
+			if !r.MayAlias("main", "p", "main", "p") {
+				t.Error("p should alias itself")
+			}
+			if r.MayAlias("main", "p", "main", "q") {
+				t.Error("p and q should not alias")
+			}
+		})
+	}
+}
+
+func TestVSFSEqualsSFSOnFacade(t *testing.T) {
+	rv, err := AnalyzeC(demoC, Options{Mode: VSFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := AnalyzeC(demoC, Options{Mode: SFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range rv.Functions() {
+		for _, v := range []string{"p", "q", "x", "y", "n"} {
+			a := rv.PointsToVar(fn, v)
+			b := rs.PointsToVar(fn, v)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s.%s: VSFS %v ≠ SFS %v", fn, v, a, b)
+			}
+		}
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	r, err := AnalyzeC(demoC, Options{Mode: VSFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := r.CallGraph()
+	if got := cg["main"]; !reflect.DeepEqual(got, []string{"get", "mk"}) {
+		t.Errorf("callees of main = %v", got)
+	}
+	if len(cg["mk"]) != 0 {
+		t.Errorf("callees of mk = %v", cg["mk"])
+	}
+	if _, ok := cg["__cinit__"]; ok {
+		t.Error("synthetic function leaked into call graph")
+	}
+}
+
+func TestAnalyzeIR(t *testing.T) {
+	r, err := AnalyzeIR(`
+func main() {
+entry:
+  p = alloc a 0
+  q = copy p
+  ret
+}
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PointsToVar("main", "q"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("pts(q) = %v", got)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := AnalyzeC("int main() { return x; }", Options{}); err == nil {
+		t.Error("bad C accepted")
+	}
+	if _, err := AnalyzeIR("wibble", Options{}); err == nil {
+		t.Error("bad IR accepted")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]Mode{
+		"vsfs": VSFS, "": VSFS, "sfs": SFS, "andersen": FlowInsensitive, "FI": FlowInsensitive,
+	} {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseMode("nope"); err == nil {
+		t.Error("ParseMode(nope) succeeded")
+	}
+}
+
+func TestStatsAndDump(t *testing.T) {
+	r, err := AnalyzeC(demoC, Options{Mode: VSFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Mode != "vsfs" || s.SVFGNodes == 0 || s.IndirectEdges == 0 {
+		t.Errorf("stats incomplete: %+v", s)
+	}
+	if s.Prelabels == 0 || s.DistinctVersions <= 1 {
+		t.Errorf("versioning stats missing: %+v", s)
+	}
+	dump := r.Dump()
+	for _, want := range []string{"func main:", "g.obj", "→"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	r, err := AnalyzeC(demoC, Options{Mode: VSFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x is read at the call to get, so its loaded temp has witnesses.
+	ws := r.Explain("main", "x")
+	if len(ws) == 0 {
+		t.Fatal("no witnesses for x")
+	}
+	joined := strings.Join(ws, "")
+	for _, want := range []string{"why may", "allocation"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("witnesses missing %q:\n%s", want, joined)
+		}
+	}
+	// Flow-insensitive mode has no witness support.
+	fi, err := AnalyzeC(demoC, Options{Mode: FlowInsensitive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := fi.Explain("main", "x"); ws != nil {
+		t.Error("FI mode returned witnesses")
+	}
+}
