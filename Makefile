@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench serve
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/server/
+
+serve:
+	$(GO) run ./cmd/vsfs-serve -addr :8080

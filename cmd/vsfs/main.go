@@ -11,9 +11,13 @@
 //	vsfs -callgraph prog.c         print the call graph
 //	vsfs -check prog.c             run the bug-finding clients
 //	vsfs -why p prog.c             explain why p points to what it does
+//	vsfs -json prog.c              print the full result as canonical JSON
+//	vsfs -timeout 5s prog.c        abort cleanly if analysis exceeds 5s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,8 +54,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print analysis statistics")
 	check := fs.Bool("check", false, "run the bug-finding clients (null-deref, dangling returns, stack escapes)")
 	why := fs.String("why", "", "explain a points-to fact: print value-flow witnesses for every object the named variable may reference (name or func.name)")
+	jsonOut := fs.Bool("json", false, "print the full result (points-to, call graph, findings, stats) as canonical JSON")
+	timeout := fs.Duration("timeout", 0, "abort analysis after this long with a clean error and non-zero exit (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if fs.NArg() != 1 {
@@ -60,6 +73,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fail := func(err error) int {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(stderr, "vsfs: analysis timed out (-timeout %v)\n", *timeout)
+			return 1
+		}
 		fmt.Fprintln(stderr, "vsfs:", err)
 		return 1
 	}
@@ -108,10 +125,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	analyze := func(m vsfs.Mode) (*vsfs.Result, error) {
+		input := vsfs.InputC
 		if isIR {
-			return vsfs.AnalyzeIR(string(src), vsfs.Options{Mode: m})
+			input = vsfs.InputIR
 		}
-		return vsfs.AnalyzeC(string(src), vsfs.Options{Mode: m})
+		return vsfs.AnalyzeContext(ctx, string(src), vsfs.Options{Mode: m, Input: input})
 	}
 
 	if *check {
@@ -125,10 +143,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if perr != nil {
 			return fail(perr)
 		}
-		aux := andersen.Analyze(prog)
+		aux, aerr := andersen.AnalyzeContext(ctx, prog)
+		if aerr != nil {
+			return fail(aerr)
+		}
 		mssa := memssa.Build(prog, aux)
 		g := svfg.Build(prog, aux, mssa)
-		solved := core.Solve(g)
+		solved, serr := core.SolveContext(ctx, g)
+		if serr != nil {
+			return fail(serr)
+		}
 		var all []checker.Finding
 		all = append(all, checker.NullDerefs(prog, solved)...)
 		all = append(all, checker.DanglingReturns(prog, solved)...)
@@ -154,10 +178,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if perr != nil {
 			return fail(perr)
 		}
-		aux := andersen.Analyze(prog)
+		aux, aerr := andersen.AnalyzeContext(ctx, prog)
+		if aerr != nil {
+			return fail(aerr)
+		}
 		mssa := memssa.Build(prog, aux)
 		g := svfg.Build(prog, aux, mssa)
-		solved := core.Solve(g)
+		solved, serr := core.SolveContext(ctx, g)
+		if serr != nil {
+			return fail(serr)
+		}
 		holds := func(x, o ir.ID) bool {
 			if prog.IsPointer(x) {
 				return solved.PointsTo(x).Has(uint32(o))
@@ -228,6 +258,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	r, err := analyze(m)
 	if err != nil {
 		return fail(err)
+	}
+
+	if *jsonOut {
+		data, merr := r.Report().MarshalIndent()
+		if merr != nil {
+			return fail(merr)
+		}
+		stdout.Write(append(data, '\n'))
+		return 0
 	}
 	fmt.Fprint(stdout, r.Dump())
 

@@ -160,3 +160,35 @@ func TestRunWhy(t *testing.T) {
 		t.Errorf("missing-var output: %d %q", code, out)
 	}
 }
+
+func TestRunJSONDeterministic(t *testing.T) {
+	path := writeTemp(t, "p.c", buggyC)
+	code1, out1, _ := runCLI(t, "-json", path)
+	code2, out2, _ := runCLI(t, "-json", path)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exit = %d, %d", code1, code2)
+	}
+	if out1 != out2 {
+		t.Fatalf("-json output is not deterministic:\n%s\n---\n%s", out1, out2)
+	}
+	for _, want := range []string{`"mode": "vsfs"`, `"functions"`, `"findings"`, `"stats"`} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("-json output missing %s:\n%s", want, out1)
+		}
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	path := writeTemp(t, "p.c", okC)
+	code, _, errb := runCLI(t, "-timeout", "1ns", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb, "timed out") {
+		t.Fatalf("stderr missing clean timeout message: %q", errb)
+	}
+	// A generous limit must not trip.
+	if code, _, _ := runCLI(t, "-timeout", "1m", path); code != 0 {
+		t.Fatalf("exit with ample timeout = %d, want 0", code)
+	}
+}

@@ -11,6 +11,8 @@
 package andersen
 
 import (
+	"context"
+
 	"vsfs/internal/bitset"
 	"vsfs/internal/graph"
 	"vsfs/internal/ir"
@@ -72,15 +74,32 @@ func (r *Result) find(x uint32) uint32 {
 
 // Analyze runs the auxiliary analysis to fixpoint.
 func Analyze(prog *ir.Program) *Result {
-	s := newSolver(prog)
-	s.generate()
-	s.solve()
-	return s.finish()
+	r, _ := AnalyzeContext(context.Background(), prog)
+	return r
 }
+
+// AnalyzeContext runs the auxiliary analysis to fixpoint, aborting with
+// ctx.Err() if the context is cancelled. The worklist loop polls the
+// context every cancelCheckInterval pops, so cancellation latency is
+// bounded by a small constant amount of solving work.
+func AnalyzeContext(ctx context.Context, prog *ir.Program) (*Result, error) {
+	s := newSolver(prog)
+	s.ctx = ctx
+	s.generate()
+	if err := s.solve(); err != nil {
+		return nil, err
+	}
+	return s.finish(), nil
+}
+
+// cancelCheckInterval is how many worklist iterations pass between
+// context polls in the solver loops of this package.
+const cancelCheckInterval = 1024
 
 // solver is the mutable analysis state.
 type solver struct {
 	prog *ir.Program
+	ctx  context.Context
 
 	parent    []uint32
 	pts       []*bitset.Sparse
@@ -280,10 +299,16 @@ func (s *solver) wireCall(call *ir.Instr, callee *ir.Function) {
 }
 
 // solve runs the worklist to fixpoint with periodic cycle elimination.
-func (s *solver) solve() {
+// It returns the context's error if cancelled mid-solve.
+func (s *solver) solve() error {
 	const collapseInterval = 20000
 	s.collapseCycles()
-	for {
+	for steps := 0; ; steps++ {
+		if steps%cancelCheckInterval == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		n, ok := s.work.pop()
 		if !ok {
 			break
@@ -326,6 +351,7 @@ func (s *solver) solve() {
 			s.collapseCycles()
 		}
 	}
+	return nil
 }
 
 // applyComplex handles loads, stores, field addresses and indirect calls

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"vsfs/internal/bitset"
@@ -73,8 +74,10 @@ func (v *versioning) setYield(l uint32, o ir.ID, ver meld.Version) {
 	m[o] = ver
 }
 
-// runVersioning performs prelabelling and meld labelling over the SVFG.
-func runVersioning(g *svfg.Graph) *versioning {
+// runVersioning performs prelabelling and meld labelling over the SVFG,
+// polling ctx periodically so a cancelled request aborts the
+// pre-analysis too, not just the main phase.
+func runVersioning(ctx context.Context, g *svfg.Graph) (*versioning, error) {
 	start := time.Now()
 	n := len(g.Prog.Instrs)
 	v := &versioning{
@@ -110,7 +113,12 @@ func runVersioning(g *svfg.Graph) *versioning {
 	}
 
 	// Meld labelling to a fixed point.
-	for {
+	for steps := 0; ; steps++ {
+		if steps%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		l, objs, ok := work.pop()
 		if !ok {
 			break
@@ -153,7 +161,7 @@ func runVersioning(g *svfg.Graph) *versioning {
 		v.stats.YieldEntries += len(m)
 	}
 	v.stats.Duration = time.Since(start)
-	return v
+	return v, nil
 }
 
 func sortIDs(ids []ir.ID) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"vsfs/internal/bitset"
@@ -116,7 +117,20 @@ func (r *Result) ptvOf(o ir.ID, v meld.Version) *bitset.Sparse {
 // Solve runs versioning then the versioned flow-sensitive main phase. It
 // mutates g (on-the-fly indirect edges); pass a fresh or cloned graph.
 func Solve(g *svfg.Graph) *Result {
-	ver := runVersioning(g)
+	r, _ := SolveContext(context.Background(), g)
+	return r
+}
+
+// SolveContext is Solve with cancellation: both the meld-labelling
+// fixpoint and the main worklist loop poll ctx every
+// cancelCheckInterval iterations and abort with ctx.Err() when the
+// context is done. A cancelled solve returns no Result; the mutated
+// graph must be discarded.
+func SolveContext(ctx context.Context, g *svfg.Graph) (*Result, error) {
+	ver, err := runVersioning(ctx, g)
+	if err != nil {
+		return nil, err
+	}
 	s := &state{
 		Result: &Result{
 			Graph:   g,
@@ -125,6 +139,7 @@ func Solve(g *svfg.Graph) *Result {
 			ptv:     make(map[verKey]*bitset.Sparse),
 			callees: make(map[*ir.Instr]map[*ir.Function]bool),
 		},
+		ctx:          ctx,
 		verReliance:  make(map[verKey][]meld.Version),
 		stmtReliance: make(map[verKey][]uint32),
 		fsCallers:    make(map[*ir.Function][]uint32),
@@ -132,14 +147,22 @@ func Solve(g *svfg.Graph) *Result {
 	s.Stats.Versioning = ver.stats
 	start := time.Now()
 	s.buildReliances()
-	s.run()
+	if err := s.run(); err != nil {
+		return nil, err
+	}
 	s.Stats.SolveTime = time.Since(start)
 	s.collectStats()
-	return s.Result
+	return s.Result, nil
 }
+
+// cancelCheckInterval is how many worklist iterations pass between
+// context polls in this package's fixpoint loops.
+const cancelCheckInterval = 1024
 
 type state struct {
 	*Result
+
+	ctx context.Context
 
 	// verReliance[(o, κ)] lists versions κ' with pt_κ(o) ⊆ pt_κ'(o),
 	// derived from indirect edges whose endpoints carry different
@@ -277,15 +300,20 @@ func (s *state) growVersion(o ir.ID, v meld.Version, src *bitset.Sparse) {
 	}
 }
 
-func (s *state) run() {
+func (s *state) run() error {
 	prog := s.Graph.Prog
 	for l := 1; l < len(prog.Instrs); l++ {
 		s.work.push(uint32(l))
 	}
-	for {
+	for steps := 0; ; steps++ {
+		if steps%cancelCheckInterval == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		l, ok := s.work.pop()
 		if !ok {
-			return
+			return nil
 		}
 		s.Stats.NodesProcessed++
 		s.process(prog.Instrs[l])

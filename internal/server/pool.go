@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+var (
+	// ErrQueueFull is returned when the solve queue is at capacity and
+	// every worker is busy; clients should back off and retry.
+	ErrQueueFull = errors.New("server: solve queue full")
+	// ErrShutdown is returned for work submitted after Close began.
+	ErrShutdown = errors.New("server: shutting down")
+)
+
+// pool is a fixed-size worker pool with a bounded FIFO queue. Submission
+// never blocks: when the queue is full the caller gets ErrQueueFull
+// immediately, which the HTTP layer maps to 503 so load-shedding is
+// visible to clients instead of piling up goroutines.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newPool(workers, queueDepth int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &pool{jobs: make(chan func(), queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues job without blocking.
+func (p *pool) submit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrShutdown
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// queued returns the number of jobs waiting for a worker.
+func (p *pool) queued() int { return len(p.jobs) }
+
+// shutdown stops intake and drains queued and in-flight jobs, returning
+// early with ctx.Err() if the drain outlives the context.
+func (p *pool) shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

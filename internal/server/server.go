@@ -1,0 +1,400 @@
+// Package server turns the vsfs library into analysis-as-a-service: a
+// long-running HTTP/JSON daemon that accepts mini-C or textual-IR
+// programs, solves them with the chosen analysis (vsfs, sfs, or
+// andersen), and answers points-to, alias, call-graph, witness, and
+// checker queries.
+//
+// Three pieces of plumbing make it a service rather than a CGI wrapper:
+//
+//   - Cancellation: request contexts (client disconnects, per-request
+//     deadlines, the server-wide solve budget) flow through the facade
+//     into the worklist loops of every solver, so abandoned work stops
+//     burning CPU promptly.
+//   - A content-addressed result cache: solved programs are cached
+//     under the SHA-256 of (mode, language, source) with an LRU bound,
+//     and single-flight deduplication ensures N concurrent identical
+//     requests trigger exactly one solve.
+//   - A bounded worker pool: at most Workers solves run at once, at
+//     most QueueDepth wait, and anything beyond that is shed with 503
+//     instead of accumulating goroutines. Close drains in-flight work.
+//
+// Endpoints: GET /healthz, GET /stats, POST /analyze, POST /query.
+// All response bodies are deterministic — sorted keys and slices
+// everywhere — so a cache hit is byte-identical to the cache miss that
+// populated it; only the X-Vsfs-Cache header differs.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"vsfs"
+)
+
+// Config sizes the service. Zero values select sensible defaults.
+type Config struct {
+	// Workers bounds concurrent solves; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds solves waiting for a worker; default 64.
+	// Submissions beyond it fail fast with 503.
+	QueueDepth int
+	// SolveTimeout caps one solve's wall clock; default 30s. Zero means
+	// DefaultSolveTimeout; negative means no cap.
+	SolveTimeout time.Duration
+	// CacheEntries bounds the result cache; default 128.
+	CacheEntries int
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultQueueDepth   = 64
+	DefaultCacheEntries = 128
+	DefaultSolveTimeout = 30 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.SolveTimeout == 0 {
+		c.SolveTimeout = DefaultSolveTimeout
+	} else if c.SolveTimeout < 0 {
+		c.SolveTimeout = 0
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	return c
+}
+
+// Server is the analysis service. Create with New, mount via
+// http.Handler, stop with Close.
+type Server struct {
+	cfg    Config
+	cache  *resultCache
+	flight *flightGroup
+	pool   *pool
+	met    metrics
+	mux    *http.ServeMux
+}
+
+// New builds a Server with its worker pool already running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheEntries),
+		flight: newFlightGroup(cfg.SolveTimeout),
+		pool:   newPool(cfg.Workers, cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops accepting new solves and drains queued and in-flight
+// work, returning ctx.Err() if draining outlives the context.
+func (s *Server) Close(ctx context.Context) error {
+	return s.pool.shutdown(ctx)
+}
+
+// Stats returns a point-in-time snapshot of the service counters.
+func (s *Server) Stats() StatsSnapshot { return s.snapshot() }
+
+// AnalyzeRequest is the body of POST /analyze (and is embedded in
+// QueryRequest). TimeoutMs is a per-request deadline; it is not part of
+// the cache key because it does not affect the solved result.
+type AnalyzeRequest struct {
+	Source    string `json:"source"`
+	Lang      string `json:"lang,omitempty"` // "c" (default) or "ir"
+	Mode      string `json:"mode,omitempty"` // "vsfs" (default), "sfs", "andersen"
+	TimeoutMs int    `json:"timeoutMs,omitempty"`
+}
+
+// AnalyzeResponse is the body of a successful POST /analyze.
+type AnalyzeResponse struct {
+	Key    string      `json:"key"`
+	Mode   string      `json:"mode"`
+	Report vsfs.Report `json:"report"`
+	Dump   string      `json:"dump"`
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	AnalyzeRequest
+	Kind  string `json:"kind"` // points-to | alias | callgraph | explain | check
+	Func  string `json:"func,omitempty"`
+	Var   string `json:"var,omitempty"`
+	Func2 string `json:"func2,omitempty"`
+	Var2  string `json:"var2,omitempty"`
+}
+
+// CallEdge is one function's resolved callees.
+type CallEdge struct {
+	Func    string   `json:"func"`
+	Callees []string `json:"callees"`
+}
+
+// QueryResponse is the body of a successful POST /query. Exactly one
+// result field is populated, matching Kind.
+type QueryResponse struct {
+	Key       string         `json:"key"`
+	Kind      string         `json:"kind"`
+	PointsTo  []string       `json:"pointsTo,omitempty"`
+	Alias     *bool          `json:"alias,omitempty"`
+	CallGraph []CallEdge     `json:"callGraph,omitempty"`
+	Witnesses []string       `json:"witnesses,omitempty"`
+	Findings  []vsfs.Finding `json:"findings,omitempty"`
+}
+
+// errBadRequest marks client errors that should map to 400/422 rather
+// than 500.
+type errBadRequest struct{ error }
+
+func badRequestf(format string, args ...any) error {
+	return errBadRequest{fmt.Errorf(format, args...)}
+}
+
+// resolve returns the solved result for req, via cache, single-flight,
+// and the worker pool in that order.
+func (s *Server) resolve(ctx context.Context, req AnalyzeRequest) (res *vsfs.Result, key string, hit bool, err error) {
+	mode, err := vsfs.ParseMode(req.Mode)
+	if err != nil {
+		return nil, "", false, errBadRequest{err}
+	}
+	input, err := vsfs.ParseInput(req.Lang)
+	if err != nil {
+		return nil, "", false, errBadRequest{err}
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, "", false, badRequestf("empty source")
+	}
+	key = cacheKey(mode, input, req.Source)
+	if r, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Add(1)
+		return r, key, true, nil
+	}
+	s.met.cacheMisses.Add(1)
+
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	r, shared, err := s.flight.do(ctx, key, func(solveCtx context.Context) (*vsfs.Result, error) {
+		return s.solveOn(solveCtx, key, mode, input, req.Source)
+	})
+	if shared {
+		s.met.flightShared.Add(1)
+	}
+	return r, key, false, err
+}
+
+// solveOn runs one solve on the worker pool under solveCtx and caches a
+// successful result. It is only ever called as a single-flight leader,
+// so each distinct in-flight program occupies at most one queue slot.
+func (s *Server) solveOn(solveCtx context.Context, key string, mode vsfs.Mode, input vsfs.Input, source string) (*vsfs.Result, error) {
+	type outcome struct {
+		res *vsfs.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	job := func() {
+		// A solve abandoned by every waiter while still queued: skip it.
+		if err := solveCtx.Err(); err != nil {
+			s.met.solvesCancelled.Add(1)
+			ch <- outcome{nil, err}
+			return
+		}
+		s.met.solves.Add(1)
+		res, err := vsfs.AnalyzeContext(solveCtx, source, vsfs.Options{Mode: mode, Input: input})
+		switch {
+		case err == nil:
+			s.met.solvesOK.Add(1)
+			s.met.observeSolve(res.Timings())
+			// Only complete, successful solves are cached; a cancelled
+			// or failed solve can therefore never corrupt an entry.
+			s.cache.add(key, res)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			s.met.solvesCancelled.Add(1)
+		default:
+			s.met.solveErrors.Add(1)
+		}
+		ch <- outcome{res, err}
+	}
+	if err := s.pool.submit(job); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.met.queueRejects.Add(1)
+		}
+		return nil, err
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-solveCtx.Done():
+		return nil, solveCtx.Err()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.met.analyzeRequests.Add(1)
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return
+	}
+	res, key, hit, err := s.resolve(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	setCacheHeaders(w, key, hit)
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Key:    key,
+		Mode:   res.Stats().Mode,
+		Report: res.Report(),
+		Dump:   res.Dump(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.met.queryRequests.Add(1)
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return
+	}
+	res, key, hit, err := s.resolve(r.Context(), req.AnalyzeRequest)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := QueryResponse{Key: key, Kind: req.Kind}
+	switch strings.ToLower(req.Kind) {
+	case "points-to", "pointsto", "pts":
+		if req.Var == "" {
+			writeError(w, http.StatusBadRequest, badRequestf(`"points-to" needs "var" (and optionally "func")`))
+			return
+		}
+		resp.PointsTo = res.PointsToVar(req.Func, req.Var)
+		if resp.PointsTo == nil {
+			resp.PointsTo = []string{}
+		}
+	case "alias":
+		if req.Var == "" || req.Var2 == "" {
+			writeError(w, http.StatusBadRequest, badRequestf(`"alias" needs "var" and "var2" (and optionally "func"/"func2")`))
+			return
+		}
+		alias := res.MayAlias(req.Func, req.Var, req.Func2, req.Var2)
+		resp.Alias = &alias
+	case "callgraph", "call-graph":
+		cg := res.CallGraph()
+		edges := make([]CallEdge, 0, len(cg))
+		for _, fn := range res.Functions() {
+			callees := cg[fn]
+			if callees == nil {
+				callees = []string{}
+			}
+			edges = append(edges, CallEdge{Func: fn, Callees: callees})
+		}
+		resp.CallGraph = edges
+	case "explain", "why":
+		if req.Var == "" {
+			writeError(w, http.StatusBadRequest, badRequestf(`"explain" needs "var" (and optionally "func")`))
+			return
+		}
+		resp.Witnesses = res.Explain(req.Func, req.Var)
+		if resp.Witnesses == nil {
+			resp.Witnesses = []string{}
+		}
+	case "check":
+		resp.Findings = res.Check()
+		if resp.Findings == nil {
+			resp.Findings = []vsfs.Finding{}
+		}
+	default:
+		writeError(w, http.StatusBadRequest,
+			badRequestf("unknown query kind %q (want points-to, alias, callgraph, explain, or check)", req.Kind))
+		return
+	}
+	setCacheHeaders(w, key, hit)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// setCacheHeaders reports cache status out of band: the body must stay
+// byte-identical between a miss and the hits it feeds.
+func setCacheHeaders(w http.ResponseWriter, key string, hit bool) {
+	status := "miss"
+	if hit {
+		status = "hit"
+	}
+	w.Header().Set("X-Vsfs-Cache", status)
+	w.Header().Set("X-Vsfs-Key", key)
+}
+
+// statusFor maps resolve errors to HTTP statuses: queue pressure and
+// shutdown are 503 (retryable), cancellation/deadline is 504, malformed
+// requests are 400, and programs that fail to compile are 422.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShutdown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		var bad errBadRequest
+		if errors.As(err, &bad) {
+			return http.StatusBadRequest
+		}
+		return http.StatusUnprocessableEntity
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writeJSON renders v canonically: encoding/json marshals struct fields
+// in declaration order and map keys sorted, and every slice we emit is
+// pre-sorted, so identical values produce identical bytes.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}

@@ -1,0 +1,510 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vsfs"
+	"vsfs/internal/workload"
+)
+
+const smallC = `
+int g;
+int *gp;
+void set(int *x) { gp = x; }
+int main() {
+  int a;
+  int *p;
+  p = &a;
+  set(p);
+  return 0;
+}
+`
+
+// mediumIR / slowIR generate deterministic workload programs sized so a
+// solve takes long enough (~100ms / ~300ms uninstrumented) for requests
+// to genuinely overlap in the concurrency tests.
+func sizedIR(funcs, instrs int, seed int64) string {
+	cfg := workload.DefaultRandomConfig()
+	cfg.Funcs = funcs
+	cfg.InstrsPerFunc = instrs
+	cfg.GlobalBias = 0.2
+	cfg.ChainFrac = 0.2
+	cfg.ChainLen = 5
+	return workload.Random(seed, cfg).String()
+}
+
+func mediumIR(seed int64) string { return sizedIR(18, 60, seed) }
+func slowIR(seed int64) string   { return sizedIR(22, 65, seed) }
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+// post sends a JSON POST through the full handler stack.
+func post(t *testing.T, s *Server, path string, body any) (int, http.Header, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Header(), rec.Body.Bytes()
+}
+
+func get(t *testing.T, s *Server, path string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", code)
+	}
+	if !strings.Contains(string(body), `"status": "ok"`) {
+		t.Fatalf("unexpected body: %s", body)
+	}
+}
+
+// TestQueryMatchesLibraryFacts: the service must answer exactly what
+// the library (and hence cmd/vsfs) computes on the same input.
+func TestQueryMatchesLibraryFacts(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	want, err := vsfs.AnalyzeC(smallC, vsfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, body := post(t, s, "/query", QueryRequest{
+		AnalyzeRequest: AnalyzeRequest{Source: smallC},
+		Kind:           "points-to", Func: "main", Var: "p",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("POST /query = %d: %s", code, body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	wantPts := want.PointsToVar("main", "p")
+	if fmt.Sprint(resp.PointsTo) != fmt.Sprint(wantPts) {
+		t.Fatalf("points-to(main.p) = %v, want %v", resp.PointsTo, wantPts)
+	}
+
+	code, _, body = post(t, s, "/analyze", AnalyzeRequest{Source: smallC})
+	if code != http.StatusOK {
+		t.Fatalf("POST /analyze = %d: %s", code, body)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Dump != want.Dump() {
+		t.Fatalf("server dump differs from library dump:\n%s\n---\n%s", ar.Dump, want.Dump())
+	}
+
+	// Alias and check kinds answer from the same result.
+	code, _, body = post(t, s, "/query", QueryRequest{
+		AnalyzeRequest: AnalyzeRequest{Source: smallC},
+		Kind:           "alias", Func: "main", Var: "p", Func2: "set", Var2: "x",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("alias query = %d: %s", code, body)
+	}
+	var aresp QueryResponse
+	if err := json.Unmarshal(body, &aresp); err != nil {
+		t.Fatal(err)
+	}
+	if aresp.Alias == nil || *aresp.Alias != want.MayAlias("main", "p", "set", "x") {
+		t.Fatalf("alias answer = %v, want %v", aresp.Alias, want.MayAlias("main", "p", "set", "x"))
+	}
+	code, _, body = post(t, s, "/query", QueryRequest{
+		AnalyzeRequest: AnalyzeRequest{Source: smallC},
+		Kind:           "check",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("check query = %d: %s", code, body)
+	}
+	var cresp QueryResponse
+	if err := json.Unmarshal(body, &cresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(cresp.Findings) != len(want.Check()) {
+		t.Fatalf("check findings = %d, want %d", len(cresp.Findings), len(want.Check()))
+	}
+}
+
+// TestCacheHitByteIdentical: the second identical request must be a
+// cache hit whose body is byte-for-byte the first (miss) response; the
+// cache status travels in a header precisely so bodies can't differ.
+func TestCacheHitByteIdentical(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	code1, hdr1, body1 := post(t, s, "/analyze", AnalyzeRequest{Source: smallC})
+	code2, hdr2, body2 := post(t, s, "/analyze", AnalyzeRequest{Source: smallC})
+	if code1 != 200 || code2 != 200 {
+		t.Fatalf("status = %d, %d", code1, code2)
+	}
+	if got := hdr1.Get("X-Vsfs-Cache"); got != "miss" {
+		t.Fatalf("first request cache header = %q, want miss", got)
+	}
+	if got := hdr2.Get("X-Vsfs-Cache"); got != "hit" {
+		t.Fatalf("second request cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cache hit body differs from miss body:\n%s\n---\n%s", body1, body2)
+	}
+	if hdr1.Get("X-Vsfs-Key") == "" || hdr1.Get("X-Vsfs-Key") != hdr2.Get("X-Vsfs-Key") {
+		t.Fatalf("content keys differ: %q vs %q", hdr1.Get("X-Vsfs-Key"), hdr2.Get("X-Vsfs-Key"))
+	}
+
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.SolvesOK != 1 {
+		t.Fatalf("stats = hits %d misses %d solvesOK %d, want 1/1/1",
+			st.CacheHits, st.CacheMisses, st.SolvesOK)
+	}
+
+	// Query responses are deterministic across hit/miss too.
+	q := QueryRequest{AnalyzeRequest: AnalyzeRequest{Source: smallC}, Kind: "callgraph"}
+	_, _, qb1 := post(t, s, "/query", q)
+	_, _, qb2 := post(t, s, "/query", q)
+	if !bytes.Equal(qb1, qb2) {
+		t.Fatalf("query bodies differ across cache hits:\n%s\n---\n%s", qb1, qb2)
+	}
+}
+
+// TestSingleFlight: N concurrent identical requests must trigger
+// exactly one solve.
+func TestSingleFlight(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4})
+	src := mediumIR(7)
+
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _, bodies[i] = post(t, s, "/analyze", AnalyzeRequest{Source: src, Lang: "ir"})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, c := range codes {
+		if c != 200 {
+			t.Fatalf("request %d: status %d: %s", i, c, bodies[i])
+		}
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("request %d body differs from request 0", i)
+		}
+	}
+	st := s.Stats()
+	if st.SolvesOK != 1 {
+		t.Fatalf("SolvesOK = %d, want exactly 1 (single-flight)", st.SolvesOK)
+	}
+	if st.Solves != 1 {
+		t.Fatalf("Solves = %d, want exactly 1", st.Solves)
+	}
+}
+
+// TestParallelDistinct: distinct programs must each get their own solve
+// — deduplication must key on content, not collapse everything.
+func TestParallelDistinct(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4})
+
+	const distinct = 4
+	srcs := make([]string, distinct)
+	for i := range srcs {
+		srcs[i] = mediumIR(int64(100 + i))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, distinct*2)
+	for rep := 0; rep < 2; rep++ {
+		for i := 0; i < distinct; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				code, _, body := post(t, s, "/analyze", AnalyzeRequest{Source: srcs[i], Lang: "ir"})
+				if code != 200 {
+					errs <- fmt.Errorf("src %d: status %d: %s", i, code, body)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SolvesOK != distinct {
+		t.Fatalf("SolvesOK = %d, want %d (one per distinct program)", st.SolvesOK, distinct)
+	}
+}
+
+// TestPerRequestDeadline: a 1ms budget on a ~300ms program must come
+// back promptly with 504, and the cancelled solve must not poison the
+// cache — the follow-up full solve returns the correct result.
+func TestPerRequestDeadline(t *testing.T) {
+	s := newTestServer(t, Config{})
+	src := slowIR(7)
+
+	start := time.Now()
+	code, _, body := post(t, s, "/analyze", AnalyzeRequest{Source: src, Lang: "ir", TimeoutMs: 1})
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body: %s", code, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Fatalf("error body does not mention the deadline: %s", body)
+	}
+	// "Promptly": far sooner than the full solve (~300ms uninstrumented,
+	// seconds under -race). The worklist polls every 1024 pops, so 150ms
+	// is a generous bound that still proves the solve was aborted.
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("cancelled request took %v, want well under the full solve time", elapsed)
+	}
+
+	// The aborted solve must not have cached anything.
+	if st := s.Stats(); st.SolvesOK != 0 || st.CacheEntries != 0 {
+		t.Fatalf("after cancellation: SolvesOK=%d CacheEntries=%d, want 0/0", st.SolvesOK, st.CacheEntries)
+	}
+
+	// Full solve afterwards: correct, cached, and identical to the
+	// library's answer on the same input.
+	code, hdr, body2 := post(t, s, "/analyze", AnalyzeRequest{Source: src, Lang: "ir"})
+	if code != 200 {
+		t.Fatalf("follow-up status = %d: %s", code, body2)
+	}
+	if hdr.Get("X-Vsfs-Cache") != "miss" {
+		t.Fatalf("follow-up should be a miss, got %q", hdr.Get("X-Vsfs-Cache"))
+	}
+	want, err := vsfs.AnalyzeIR(src, vsfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(body2, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Dump != want.Dump() {
+		t.Fatal("post-cancellation solve produced a dump differing from the library's")
+	}
+	if st := s.Stats(); st.SolvesCancelled < 1 {
+		t.Fatalf("SolvesCancelled = %d, want >= 1", st.SolvesCancelled)
+	}
+}
+
+// TestClientDisconnect: cancelling the request context (as net/http
+// does when a client goes away) aborts the solve.
+func TestClientDisconnect(t *testing.T) {
+	s := newTestServer(t, Config{})
+	src := slowIR(11)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	data, _ := json.Marshal(AnalyzeRequest{Source: src, Lang: "ir"})
+	req := httptest.NewRequest("POST", "/analyze", bytes.NewReader(data)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", rec.Code)
+	}
+	if st := s.Stats(); st.SolvesOK != 0 {
+		t.Fatalf("SolvesOK = %d, want 0", st.SolvesOK)
+	}
+}
+
+// TestQueueShedding: with one worker and a one-slot queue, a burst of
+// distinct solves must shed load with 503 instead of queueing unboundedly.
+func TestQueueShedding(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	const burst = 8
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _, _ = post(t, s, "/analyze",
+				AnalyzeRequest{Source: mediumIR(int64(200 + i)), Lang: "ir"})
+		}(i)
+	}
+	wg.Wait()
+
+	ok, shed := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if shed == 0 {
+		t.Fatal("no request was shed; queue bound not enforced")
+	}
+	if st := s.Stats(); st.QueueRejects != int64(shed) {
+		t.Fatalf("QueueRejects = %d, want %d", st.QueueRejects, shed)
+	}
+}
+
+// TestGracefulShutdown: Close drains an in-flight solve rather than
+// dropping it, and later work is refused with 503.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Config{Workers: 2})
+	src := mediumIR(31)
+
+	done := make(chan int, 1)
+	go func() {
+		code, _, _ := post(t, s, "/analyze", AnalyzeRequest{Source: src, Lang: "ir"})
+		done <- code
+	}()
+	// Let the solve get onto a worker before shutting down.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Solves == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if code := <-done; code != 200 {
+		t.Fatalf("in-flight request finished with %d, want 200 (drained)", code)
+	}
+
+	code, _, _ := post(t, s, "/analyze", AnalyzeRequest{Source: mediumIR(32), Lang: "ir"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown solve = %d, want 503", code)
+	}
+}
+
+// TestBadRequests: malformed inputs map to 4xx, not 5xx.
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"empty source", "/analyze", AnalyzeRequest{}, 400},
+		{"bad mode", "/analyze", AnalyzeRequest{Source: smallC, Mode: "nope"}, 400},
+		{"bad lang", "/analyze", AnalyzeRequest{Source: smallC, Lang: "rust"}, 400},
+		{"compile error", "/analyze", AnalyzeRequest{Source: "int main( {"}, 422},
+		{"bad kind", "/query", QueryRequest{AnalyzeRequest: AnalyzeRequest{Source: smallC}, Kind: "nope"}, 400},
+		{"alias missing var", "/query", QueryRequest{AnalyzeRequest: AnalyzeRequest{Source: smallC}, Kind: "alias"}, 400},
+	}
+	for _, tc := range cases {
+		code, _, body := post(t, s, tc.path, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status = %d, want %d (body %s)", tc.name, code, tc.want, body)
+		}
+	}
+}
+
+// TestHammerMixed is the -race workout: parallel identical and distinct
+// requests, queries, and stats reads all at once.
+func TestHammerMixed(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, CacheEntries: 8})
+	srcs := []string{smallC}
+	for i := 0; i < 3; i++ {
+		srcs = append(srcs, sizedIR(10, 50, int64(300+i)))
+	}
+	langs := []string{"c", "ir", "ir", "ir"}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Decouple source choice from action choice so every program
+			// sees every action across the 32 iterations.
+			j := (i / 4) % len(srcs)
+			switch i % 4 {
+			case 0, 1:
+				code, _, body := post(t, s, "/analyze", AnalyzeRequest{Source: srcs[j], Lang: langs[j]})
+				if code != 200 {
+					t.Errorf("analyze %d: %d %s", i, code, body)
+				}
+			case 2:
+				code, _, body := post(t, s, "/query", QueryRequest{
+					AnalyzeRequest: AnalyzeRequest{Source: srcs[j], Lang: langs[j]},
+					Kind:           "callgraph",
+				})
+				if code != 200 {
+					t.Errorf("query %d: %d %s", i, code, body)
+				}
+			case 3:
+				if code, _ := get(t, s, "/stats"); code != 200 {
+					t.Errorf("stats %d: %d", i, code)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.SolvesOK != int64(len(srcs)) {
+		t.Fatalf("SolvesOK = %d, want %d (each distinct program solved once)", st.SolvesOK, len(srcs))
+	}
+}
+
+// TestLRUEviction: the cache keeps at most CacheEntries solved programs.
+func TestLRUEviction(t *testing.T) {
+	s := newTestServer(t, Config{CacheEntries: 2})
+	for i := 0; i < 3; i++ {
+		src := fmt.Sprintf("int main() { int a%d; int *p; p = &a%d; return 0; }", i, i)
+		if code, _, body := post(t, s, "/analyze", AnalyzeRequest{Source: src}); code != 200 {
+			t.Fatalf("analyze %d: %d %s", i, code, body)
+		}
+	}
+	if st := s.Stats(); st.CacheEntries != 2 {
+		t.Fatalf("CacheEntries = %d, want 2 (LRU bound)", st.CacheEntries)
+	}
+	// Oldest entry was evicted: re-requesting it is a miss and re-solve.
+	src0 := "int main() { int a0; int *p; p = &a0; return 0; }"
+	_, hdr, _ := post(t, s, "/analyze", AnalyzeRequest{Source: src0})
+	if hdr.Get("X-Vsfs-Cache") != "miss" {
+		t.Fatalf("evicted entry came back as %q, want miss", hdr.Get("X-Vsfs-Cache"))
+	}
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"vsfs"
+)
+
+// flightGroup deduplicates concurrent identical solves: the first
+// request for a key becomes the leader and runs fn exactly once, on a
+// context detached from any individual request; later arrivals wait for
+// the shared outcome. The solve context is cancelled only when every
+// waiter has abandoned the call (waiter refcount hits zero), so one
+// impatient client cannot kill a solve other clients are still waiting
+// on — and a cancelled solve yields an error, which the server never
+// caches, so cancellation can never corrupt a cached entry.
+type flightGroup struct {
+	// budget caps each underlying solve's wall clock (0 = unbounded).
+	budget time.Duration
+
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+
+	// waiters counts requests that will still consume the outcome;
+	// guarded by flightGroup.mu.
+	waiters int
+
+	// res/err are written once before done is closed.
+	res *vsfs.Result
+	err error
+}
+
+func newFlightGroup(budget time.Duration) *flightGroup {
+	return &flightGroup{budget: budget, calls: make(map[string]*flightCall)}
+}
+
+// do returns fn's outcome for key, coalescing concurrent callers.
+// shared reports whether this caller joined a solve started by another.
+// If ctx is done first, do abandons the call and returns ctx.Err(); the
+// last waiter to abandon cancels the underlying solve so no CPU burns
+// for a result nobody wants.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (*vsfs.Result, error)) (res *vsfs.Result, shared bool, err error) {
+	g.mu.Lock()
+	c, ok := g.calls[key]
+	if ok {
+		c.waiters++
+		shared = true
+		g.mu.Unlock()
+	} else {
+		base := context.Background()
+		var solveCtx context.Context
+		var cancel context.CancelFunc
+		if g.budget > 0 {
+			solveCtx, cancel = context.WithTimeout(base, g.budget)
+		} else {
+			solveCtx, cancel = context.WithCancel(base)
+		}
+		c = &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		g.calls[key] = c
+		g.mu.Unlock()
+		go func() {
+			c.res, c.err = fn(solveCtx)
+			g.mu.Lock()
+			// The last abandoning waiter may already have replaced or
+			// removed this entry; only delete our own.
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
+			g.mu.Unlock()
+			cancel() // release the timeout's resources
+			close(c.done)
+		}()
+	}
+
+	select {
+	case <-c.done:
+		return c.res, shared, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		if last && g.calls[key] == c {
+			// Unlink the doomed call atomically with the refcount drop so
+			// a later identical request starts a fresh solve instead of
+			// inheriting this one's cancellation error.
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, shared, ctx.Err()
+	}
+}

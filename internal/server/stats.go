@@ -1,0 +1,118 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"vsfs"
+)
+
+// metrics holds the server's monotonic counters; every field is
+// accessed atomically so handler goroutines never contend on a lock
+// for bookkeeping.
+type metrics struct {
+	requests        atomic.Int64
+	analyzeRequests atomic.Int64
+	queryRequests   atomic.Int64
+
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	flightShared atomic.Int64
+
+	solves          atomic.Int64
+	solvesOK        atomic.Int64
+	solveErrors     atomic.Int64
+	solvesCancelled atomic.Int64
+	queueRejects    atomic.Int64
+
+	solveNanos    atomic.Int64
+	maxSolveNanos atomic.Int64
+
+	// Per-phase cumulative wall clock, mirroring vsfs.Timings.
+	andersenNanos atomic.Int64
+	memSSANanos   atomic.Int64
+	svfgNanos     atomic.Int64
+	mainNanos     atomic.Int64
+}
+
+// observeSolve folds one successful run's timings into the counters.
+func (m *metrics) observeSolve(t vsfs.Timings) {
+	m.solveNanos.Add(int64(t.Total))
+	m.andersenNanos.Add(int64(t.Andersen))
+	m.memSSANanos.Add(int64(t.MemSSA))
+	m.svfgNanos.Add(int64(t.SVFG))
+	m.mainNanos.Add(int64(t.Solve))
+	for {
+		old := m.maxSolveNanos.Load()
+		if int64(t.Total) <= old || m.maxSolveNanos.CompareAndSwap(old, int64(t.Total)) {
+			return
+		}
+	}
+}
+
+// PhaseMillis breaks cumulative solve time down by pipeline phase.
+type PhaseMillis struct {
+	Andersen float64 `json:"andersenMs"`
+	MemSSA   float64 `json:"memSSAMs"`
+	SVFG     float64 `json:"svfgMs"`
+	Solve    float64 `json:"solveMs"`
+}
+
+// StatsSnapshot is the JSON body of GET /stats.
+type StatsSnapshot struct {
+	Requests        int64 `json:"requests"`
+	AnalyzeRequests int64 `json:"analyzeRequests"`
+	QueryRequests   int64 `json:"queryRequests"`
+
+	CacheHits    int64 `json:"cacheHits"`
+	CacheMisses  int64 `json:"cacheMisses"`
+	CacheEntries int   `json:"cacheEntries"`
+
+	SingleFlightShared int64 `json:"singleFlightShared"`
+
+	Solves          int64 `json:"solves"`
+	SolvesOK        int64 `json:"solvesOK"`
+	SolveErrors     int64 `json:"solveErrors"`
+	SolvesCancelled int64 `json:"solvesCancelled"`
+	QueueRejects    int64 `json:"queueRejects"`
+	QueueDepth      int   `json:"queueDepth"`
+	Workers         int   `json:"workers"`
+
+	AvgSolveMs float64     `json:"avgSolveMs"`
+	MaxSolveMs float64     `json:"maxSolveMs"`
+	Phase      PhaseMillis `json:"phase"`
+}
+
+func (s *Server) snapshot() StatsSnapshot {
+	m := &s.met
+	snap := StatsSnapshot{
+		Requests:        m.requests.Load(),
+		AnalyzeRequests: m.analyzeRequests.Load(),
+		QueryRequests:   m.queryRequests.Load(),
+
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMisses.Load(),
+		CacheEntries: s.cache.len(),
+
+		SingleFlightShared: m.flightShared.Load(),
+
+		Solves:          m.solves.Load(),
+		SolvesOK:        m.solvesOK.Load(),
+		SolveErrors:     m.solveErrors.Load(),
+		SolvesCancelled: m.solvesCancelled.Load(),
+		QueueRejects:    m.queueRejects.Load(),
+		QueueDepth:      s.pool.queued(),
+		Workers:         s.cfg.Workers,
+
+		MaxSolveMs: float64(m.maxSolveNanos.Load()) / 1e6,
+		Phase: PhaseMillis{
+			Andersen: float64(m.andersenNanos.Load()) / 1e6,
+			MemSSA:   float64(m.memSSANanos.Load()) / 1e6,
+			SVFG:     float64(m.svfgNanos.Load()) / 1e6,
+			Solve:    float64(m.mainNanos.Load()) / 1e6,
+		},
+	}
+	if ok := snap.SolvesOK; ok > 0 {
+		snap.AvgSolveMs = float64(m.solveNanos.Load()) / 1e6 / float64(ok)
+	}
+	return snap
+}

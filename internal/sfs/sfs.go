@@ -10,6 +10,8 @@
 package sfs
 
 import (
+	"context"
+
 	"vsfs/internal/bitset"
 	"vsfs/internal/ir"
 	"vsfs/internal/svfg"
@@ -115,6 +117,15 @@ func sortFuncs(fs []*ir.Function) {
 // Solve runs the analysis to fixpoint. It mutates g (on-the-fly indirect
 // edges); pass a fresh or cloned graph.
 func Solve(g *svfg.Graph) *Result {
+	r, _ := SolveContext(context.Background(), g)
+	return r
+}
+
+// SolveContext is Solve with cancellation: the worklist loop polls ctx
+// every cancelCheckInterval pops and aborts with ctx.Err() when the
+// context is done. A cancelled solve returns no Result; the mutated
+// graph must be discarded.
+func SolveContext(ctx context.Context, g *svfg.Graph) (*Result, error) {
 	s := &state{
 		Result: &Result{
 			Graph:   g,
@@ -123,16 +134,24 @@ func Solve(g *svfg.Graph) *Result {
 			out:     make([]map[ir.ID]*bitset.Sparse, len(g.Prog.Instrs)),
 			callees: make(map[*ir.Instr]map[*ir.Function]bool),
 		},
+		ctx:       ctx,
 		fsCallers: make(map[*ir.Function][]uint32),
 	}
-	s.run()
+	if err := s.run(); err != nil {
+		return nil, err
+	}
 	s.collectStats()
-	return s.Result
+	return s.Result, nil
 }
+
+// cancelCheckInterval is how many worklist pops pass between context
+// polls in the solving loop.
+const cancelCheckInterval = 1024
 
 type state struct {
 	*Result
 
+	ctx  context.Context
 	work worklist
 
 	// fsCallers maps a function to the call-site labels resolved to it,
@@ -239,15 +258,20 @@ func (s *state) propagate(to uint32, o ir.ID, src *bitset.Sparse) {
 	}
 }
 
-func (s *state) run() {
+func (s *state) run() error {
 	prog := s.Graph.Prog
 	for l := 1; l < len(prog.Instrs); l++ {
 		s.work.push(uint32(l))
 	}
-	for {
+	for steps := 0; ; steps++ {
+		if steps%cancelCheckInterval == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		l, ok := s.work.pop()
 		if !ok {
-			return
+			return nil
 		}
 		s.Stats.NodesProcessed++
 		s.process(prog.Instrs[l])

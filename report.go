@@ -1,0 +1,109 @@
+package vsfs
+
+import (
+	"encoding/json"
+
+	"vsfs/internal/bitset"
+	"vsfs/internal/checker"
+	"vsfs/internal/ir"
+)
+
+// VarFacts is one source-level variable's points-to facts.
+type VarFacts struct {
+	Var      string   `json:"var"`
+	PointsTo []string `json:"pointsTo"`
+}
+
+// FuncReport is one function's slice of the analysis result.
+type FuncReport struct {
+	Func    string     `json:"func"`
+	Vars    []VarFacts `json:"vars,omitempty"`
+	Callees []string   `json:"callees,omitempty"`
+}
+
+// Finding is one checker-reported issue, mirroring
+// internal/checker.Finding at the facade boundary.
+type Finding struct {
+	Kind    string `json:"kind"`
+	Func    string `json:"func"`
+	Label   uint32 `json:"label"`
+	Message string `json:"message"`
+}
+
+// Report is the machine-readable form of Dump plus the call graph,
+// checker findings, and run statistics. Every slice is sorted, so two
+// runs over the same input marshal to byte-identical JSON — the
+// property the analysis service's result cache relies on.
+type Report struct {
+	Mode      string       `json:"mode"`
+	Functions []FuncReport `json:"functions"`
+	Findings  []Finding    `json:"findings"`
+	Stats     Summary      `json:"stats"`
+}
+
+// Report builds the structured result. Order is deterministic
+// everywhere: functions in definition order, variables and callees
+// sorted by name, findings in instruction order.
+func (r *Result) Report() Report {
+	rep := Report{
+		Mode:     r.mode.String(),
+		Findings: r.Check(),
+		Stats:    r.Stats(),
+	}
+	if rep.Findings == nil {
+		rep.Findings = []Finding{}
+	}
+	cg := r.CallGraph()
+	for _, f := range r.prog.Funcs {
+		if len(f.Name) >= 2 && f.Name[:2] == "__" {
+			continue
+		}
+		fr := FuncReport{Func: f.Name, Callees: cg[f.Name]}
+		names, groups := r.varGroups(f)
+		for _, n := range names {
+			if groups[n].IsEmpty() {
+				continue
+			}
+			fr.Vars = append(fr.Vars, VarFacts{Var: n, PointsTo: r.objNames(groups[n])})
+		}
+		rep.Functions = append(rep.Functions, fr)
+	}
+	return rep
+}
+
+// MarshalJSON is not customised; Report marshals deterministically
+// because it holds only structs and sorted slices. MarshalIndent is a
+// convenience wrapper producing the canonical rendering used by
+// cmd/vsfs -json and the analysis server.
+func (rep Report) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// resultFacts adapts Result to the checker interfaces, dispatching to
+// whichever analysis the run selected.
+type resultFacts struct{ r *Result }
+
+func (a resultFacts) PointsTo(v ir.ID) *bitset.Sparse      { return a.r.pointsTo(v) }
+func (a resultFacts) ObjectSummary(o ir.ID) *bitset.Sparse { return a.r.objectSummary(o) }
+
+// Check runs the bug-finding clients (null/uninitialised dereference,
+// dangling returns, stack escapes) over the solved facts of this run's
+// analysis mode. Findings come back in instruction order per client —
+// deterministic for a given program.
+func (r *Result) Check() []Finding {
+	facts := resultFacts{r}
+	var all []checker.Finding
+	all = append(all, checker.NullDerefs(r.prog, facts)...)
+	all = append(all, checker.DanglingReturns(r.prog, facts)...)
+	all = append(all, checker.StackEscapes(r.prog, facts)...)
+	out := make([]Finding, 0, len(all))
+	for _, f := range all {
+		out = append(out, Finding{
+			Kind:    string(f.Kind),
+			Func:    f.Func,
+			Label:   f.Label,
+			Message: f.Message,
+		})
+	}
+	return out
+}

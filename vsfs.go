@@ -22,9 +22,11 @@
 package vsfs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"vsfs/internal/andersen"
 	"vsfs/internal/bitset"
@@ -76,13 +78,54 @@ func ParseMode(s string) (Mode, error) {
 	return 0, fmt.Errorf("unknown analysis mode %q (want vsfs, sfs, or andersen)", s)
 }
 
+// Input selects the source language accepted by AnalyzeContext.
+type Input int
+
+const (
+	// InputC is mini-C source (default).
+	InputC Input = iota
+	// InputIR is the textual IR format of internal/irparse.
+	InputIR
+)
+
+func (i Input) String() string {
+	if i == InputIR {
+		return "ir"
+	}
+	return "c"
+}
+
+// ParseInput maps a CLI/API string to an Input.
+func ParseInput(s string) (Input, error) {
+	switch strings.ToLower(s) {
+	case "c", "minic", "mini-c", "":
+		return InputC, nil
+	case "ir", "vir":
+		return InputIR, nil
+	}
+	return 0, fmt.Errorf("unknown input language %q (want c or ir)", s)
+}
+
 // Options configures Analyze.
 type Options struct {
 	Mode Mode
+	// Input selects the source language for AnalyzeContext; AnalyzeC and
+	// AnalyzeIR override it.
+	Input Input
+}
+
+// Timings records per-phase wall-clock durations of one Analyze run.
+type Timings struct {
+	Andersen time.Duration `json:"andersen"`
+	MemSSA   time.Duration `json:"memSSA"`
+	SVFG     time.Duration `json:"svfg"`
+	Solve    time.Duration `json:"solve"`
+	Total    time.Duration `json:"total"`
 }
 
 // Result is a solved program: flow-(in)sensitive points-to facts plus
-// the resolved call graph.
+// the resolved call graph. A Result is immutable once returned and safe
+// for concurrent queries.
 type Result struct {
 	mode Mode
 
@@ -92,7 +135,12 @@ type Result struct {
 
 	sfsRes  *sfs.Result
 	vsfsRes *core.Result
+
+	timings Timings
 }
+
+// Timings returns the per-phase wall-clock durations of the run.
+func (r *Result) Timings() Timings { return r.timings }
 
 // pointsTo dispatches to the selected analysis.
 func (r *Result) pointsTo(v ir.ID) *bitset.Sparse {
@@ -119,38 +167,75 @@ func (r *Result) calleesOf(call *ir.Instr) []*ir.Function {
 
 // AnalyzeC compiles mini-C source and solves it.
 func AnalyzeC(src string, opts Options) (*Result, error) {
-	prog, err := lang.Compile(src)
-	if err != nil {
-		return nil, err
-	}
-	return AnalyzeProgram(prog, opts)
+	opts.Input = InputC
+	return AnalyzeContext(context.Background(), src, opts)
 }
 
 // AnalyzeIR parses textual IR and solves it.
 func AnalyzeIR(src string, opts Options) (*Result, error) {
-	prog, err := irparse.Parse(src)
+	opts.Input = InputIR
+	return AnalyzeContext(context.Background(), src, opts)
+}
+
+// AnalyzeContext compiles src in the language selected by opts.Input and
+// solves it, aborting with ctx.Err() when the context is cancelled or
+// its deadline passes. The solver worklist loops poll the context, so
+// cancellation takes effect promptly even mid-fixpoint.
+func AnalyzeContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	var prog *ir.Program
+	var err error
+	if opts.Input == InputIR {
+		prog, err = irparse.Parse(src)
+	} else {
+		prog, err = lang.Compile(src)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeProgram(prog, opts)
+	return AnalyzeProgramContext(ctx, prog, opts)
 }
 
 // AnalyzeProgram runs the staged pipeline over an already-built program.
 // The program must be finalized and not previously analysed (the
 // memory-SSA pass inserts nodes).
 func AnalyzeProgram(prog *ir.Program, opts Options) (*Result, error) {
+	return AnalyzeProgramContext(context.Background(), prog, opts)
+}
+
+// AnalyzeProgramContext is AnalyzeProgram with cancellation; see
+// AnalyzeContext.
+func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, opts Options) (*Result, error) {
 	r := &Result{mode: opts.Mode, prog: prog}
-	r.aux = andersen.Analyze(prog)
+	start := time.Now()
+	var err error
+	r.aux, err = andersen.AnalyzeContext(ctx, prog)
+	if err != nil {
+		return nil, err
+	}
+	r.timings.Andersen = time.Since(start)
+
+	t := time.Now()
 	mssa := memssa.Build(prog, r.aux)
+	r.timings.MemSSA = time.Since(t)
+
+	t = time.Now()
 	r.g = svfg.Build(prog, r.aux, mssa)
+	r.timings.SVFG = time.Since(t)
+
+	t = time.Now()
 	switch opts.Mode {
 	case SFS:
-		r.sfsRes = sfs.Solve(r.g)
+		r.sfsRes, err = sfs.SolveContext(ctx, r.g)
 	case FlowInsensitive:
 		// Auxiliary results only.
 	default:
-		r.vsfsRes = core.Solve(r.g)
+		r.vsfsRes, err = core.SolveContext(ctx, r.g)
 	}
+	if err != nil {
+		return nil, err
+	}
+	r.timings.Solve = time.Since(t)
+	r.timings.Total = time.Since(start)
 	return r, nil
 }
 
@@ -297,22 +382,22 @@ func (r *Result) Functions() []string {
 
 // Summary aggregates headline statistics for the analysed program.
 type Summary struct {
-	Mode          string
-	Functions     int
-	SVFGNodes     int
-	DirectEdges   int
-	IndirectEdges int
-	TopLevelVars  int
-	AddressTaken  int
+	Mode          string `json:"mode"`
+	Functions     int    `json:"functions"`
+	SVFGNodes     int    `json:"svfgNodes"`
+	DirectEdges   int    `json:"directEdges"`
+	IndirectEdges int    `json:"indirectEdges"`
+	TopLevelVars  int    `json:"topLevelVars"`
+	AddressTaken  int    `json:"addressTaken"`
 
 	// Main-phase effort; zero for FlowInsensitive.
-	NodesProcessed int
-	Propagations   int
-	PtsSets        int
+	NodesProcessed int `json:"nodesProcessed"`
+	Propagations   int `json:"propagations"`
+	PtsSets        int `json:"ptsSets"`
 
 	// VSFS-only versioning facts.
-	Prelabels        int
-	DistinctVersions int
+	Prelabels        int `json:"prelabels"`
+	DistinctVersions int `json:"distinctVersions"`
 }
 
 // Stats returns the run's Summary.
@@ -366,6 +451,51 @@ func (r *Result) Explain(fn, name string) []string {
 	return out
 }
 
+// varGroups groups fn's temps by their source-variable prefix and
+// returns the sorted group names with the union of each group's
+// points-to sets. Shared by Dump and Report so the two renderings can
+// never drift apart.
+func (r *Result) varGroups(f *ir.Function) ([]string, map[string]*bitset.Sparse) {
+	groups := map[string]*bitset.Sparse{}
+	collect := func(v ir.ID) {
+		name := r.prog.Value(v).Name
+		if i := strings.LastIndexByte(name, '.'); i > 0 {
+			name = name[:i]
+		}
+		if strings.HasSuffix(name, ".addr") || strings.HasPrefix(name, "__") {
+			return
+		}
+		set := groups[name]
+		if set == nil {
+			set = bitset.New()
+			groups[name] = set
+		}
+		set.UnionWith(r.pointsTo(v))
+	}
+	for _, p := range f.Params {
+		collect(p)
+	}
+	f.ForEachInstr(func(in *ir.Instr) {
+		if in.Def != ir.None {
+			collect(in.Def)
+		}
+	})
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, groups
+}
+
+// objNames renders a points-to set as sorted object names.
+func (r *Result) objNames(set *bitset.Sparse) []string {
+	var objs []string
+	set.ForEach(func(o uint32) { objs = append(objs, r.prog.NameOf(ir.ID(o))) })
+	sort.Strings(objs)
+	return objs
+}
+
 // Dump writes a human-readable points-to report: for every function,
 // every source-level pointer variable and the objects it may point to.
 func (r *Result) Dump() string {
@@ -376,44 +506,12 @@ func (r *Result) Dump() string {
 			continue
 		}
 		fmt.Fprintf(&b, "func %s:\n", f.Name)
-		// Group temps by their source-variable prefix.
-		groups := map[string]*bitset.Sparse{}
-		collect := func(v ir.ID) {
-			name := r.prog.Value(v).Name
-			if i := strings.LastIndexByte(name, '.'); i > 0 {
-				name = name[:i]
-			}
-			if strings.HasSuffix(name, ".addr") || strings.HasPrefix(name, "__") {
-				return
-			}
-			set := groups[name]
-			if set == nil {
-				set = bitset.New()
-				groups[name] = set
-			}
-			set.UnionWith(r.pointsTo(v))
-		}
-		for _, p := range f.Params {
-			collect(p)
-		}
-		f.ForEachInstr(func(in *ir.Instr) {
-			if in.Def != ir.None {
-				collect(in.Def)
-			}
-		})
-		names := make([]string, 0, len(groups))
-		for n := range groups {
-			names = append(names, n)
-		}
-		sort.Strings(names)
+		names, groups := r.varGroups(f)
 		for _, n := range names {
 			if groups[n].IsEmpty() {
 				continue
 			}
-			var objs []string
-			groups[n].ForEach(func(o uint32) { objs = append(objs, r.prog.NameOf(ir.ID(o))) })
-			sort.Strings(objs)
-			fmt.Fprintf(&b, "  %-16s → {%s}\n", n, strings.Join(objs, ", "))
+			fmt.Fprintf(&b, "  %-16s → {%s}\n", n, strings.Join(r.objNames(groups[n]), ", "))
 		}
 	}
 	return b.String()
