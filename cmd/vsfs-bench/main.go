@@ -11,6 +11,7 @@
 //	vsfs-bench -runs 5             timed repetitions per analysis
 //	vsfs-bench -memlimit 8192      MB cap for the SFS OOM marker
 //	vsfs-bench -sanity             verify SFS ≡ VSFS on every profile
+//	vsfs-bench -json               emit the table rows as JSON (BENCH artifacts)
 package main
 
 import (
@@ -39,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ablation := fs.Bool("ablation", false, "run the call-graph ablation instead of the tables")
 	versions := fs.Bool("versions", false, "report versioning effectiveness (sharing factors)")
 	sanity := fs.Bool("sanity", false, "check SFS ≡ VSFS on each profile before timing")
+	jsonOut := fs.Bool("json", false, "emit the table rows as machine-readable JSON instead of formatted tables")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,6 +93,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	opts := bench.Options{Runs: *runs, MemLimit: *memLimit << 20}
 	rows := bench.Run(profiles, opts, stderr)
+
+	if *jsonOut {
+		if err := bench.WriteJSON(stdout, rows); err != nil {
+			fmt.Fprintln(stderr, "vsfs-bench:", err)
+			return 1
+		}
+		return 0
+	}
 
 	switch *table {
 	case "2":

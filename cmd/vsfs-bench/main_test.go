@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"vsfs/internal/bench"
 )
 
 func TestTable2SingleBench(t *testing.T) {
@@ -30,5 +33,29 @@ func TestUnknownBenchAndTable(t *testing.T) {
 	}
 	if code := run([]string{"-zzz"}, &out, &errb); code != 2 {
 		t.Errorf("bad flag exit = %d", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-bench", "du", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	var rep bench.JSONReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Bench != "du" {
+		t.Fatalf("rows = %+v, want one row for du", rep.Rows)
+	}
+	r := rep.Rows[0]
+	if r.Nodes <= 0 || r.DirectEdges <= 0 {
+		t.Errorf("Table II fields empty: %+v", r)
+	}
+	if r.SFSMs <= 0 || r.VSFSMs <= 0 || r.Speedup <= 0 || r.MemRatio <= 0 {
+		t.Errorf("Table III fields empty: %+v", r)
+	}
+	if rep.GeoMeanSpeedup != r.Speedup {
+		t.Errorf("geo mean %v != single-row speedup %v", rep.GeoMeanSpeedup, r.Speedup)
 	}
 }

@@ -8,8 +8,13 @@
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics
 //	curl -d '{"source":"int main(){int a; int *p; p = &a; return 0;}"}' localhost:8080/analyze
 //	curl -d '{"source":"...","kind":"points-to","func":"main","var":"p"}' localhost:8080/query
+//
+// Telemetry: -log-format selects the structured access-log format
+// (text, json, or off), -metrics=false unmounts /metrics, and -pprof
+// exposes the Go runtime profiles under /debug/pprof/.
 //
 // The process exits cleanly on SIGINT/SIGTERM, draining in-flight
 // solves for up to -drain.
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -28,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"vsfs/internal/obs"
 	"vsfs/internal/server"
 )
 
@@ -47,6 +54,9 @@ func run(args []string, ctx context.Context, ready chan<- string, stdout, stderr
 	timeout := fs.Duration("timeout", server.DefaultSolveTimeout, "per-solve wall-clock budget (<=0 disables)")
 	cacheEntries := fs.Int("cache", server.DefaultCacheEntries, "result-cache capacity (solved programs)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	logFormat := fs.String("log-format", "text", `structured access-log format: "text", "json", or "off"`)
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
+	metricsOn := fs.Bool("metrics", true, "expose Prometheus metrics at /metrics")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,16 +65,24 @@ func run(args []string, ctx context.Context, ready chan<- string, stdout, stderr
 		fs.PrintDefaults()
 		return 2
 	}
+	logger, err := obs.NewLogger(stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintln(stderr, "vsfs-serve:", err)
+		return 2
+	}
 
 	solveTimeout := *timeout
 	if solveTimeout <= 0 {
 		solveTimeout = -1 // Config: negative disables the budget
 	}
 	svc := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		SolveTimeout: solveTimeout,
-		CacheEntries: *cacheEntries,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		SolveTimeout:   solveTimeout,
+		CacheEntries:   *cacheEntries,
+		Logger:         logger,
+		EnablePprof:    *pprofOn,
+		DisableMetrics: !*metricsOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -91,6 +91,26 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("/stats: %d %s", resp.StatusCode, body)
 	}
 
+	// /metrics is mounted by default and renders the same counters in
+	// Prometheus text format; pprof stays unmounted without -pprof.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "vsfs_solve_seconds_count 1") {
+		t.Fatalf("/metrics: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("/debug/pprof/ without -pprof = %d, want 404", resp.StatusCode)
+	}
+
 	cancel()
 	select {
 	case code := <-exit:
@@ -112,5 +132,64 @@ func TestServeBadFlags(t *testing.T) {
 	}
 	if code := run([]string{"extra-arg"}, context.Background(), nil, &out, &errb); code != 2 {
 		t.Fatalf("positional arg: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-log-format", "xml"}, context.Background(), nil, &out, &errb); code != 2 {
+		t.Fatalf("bad log format: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown log format") {
+		t.Fatalf("missing log-format error; stderr: %s", errb.String())
+	}
+}
+
+// TestServeTelemetryFlags boots with the observability knobs flipped:
+// JSON access logs, pprof on, metrics off.
+func TestServeTelemetryFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	var out, errb strings.Builder
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-log-format", "json", "-pprof", "-metrics=false"},
+			ctx, ready, &out, &errb)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("/metrics with -metrics=false = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ with -pprof = %d, want 200", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(errb.String(), `"path":"/metrics"`) {
+		t.Fatalf("JSON access log missing; stderr: %s", errb.String())
 	}
 }

@@ -13,6 +13,8 @@
 //	vsfs -why p prog.c             explain why p points to what it does
 //	vsfs -json prog.c              print the full result as canonical JSON
 //	vsfs -timeout 5s prog.c        abort cleanly if analysis exceeds 5s
+//	vsfs -trace out.json prog.c    write a Chrome trace of the pipeline phases
+//	vsfs -v prog.c                 log analysis progress to stderr
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -33,6 +36,7 @@ import (
 	"vsfs/internal/irparse"
 	"vsfs/internal/lang"
 	"vsfs/internal/memssa"
+	"vsfs/internal/obs"
 	"vsfs/internal/svfg"
 )
 
@@ -56,8 +60,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	why := fs.String("why", "", "explain a points-to fact: print value-flow witnesses for every object the named variable may reference (name or func.name)")
 	jsonOut := fs.Bool("json", false, "print the full result (points-to, call graph, findings, stats) as canonical JSON")
 	timeout := fs.Duration("timeout", 0, "abort analysis after this long with a clean error and non-zero exit (0 = no limit)")
+	traceOut := fs.String("trace", "", "write the pipeline phases as Chrome trace_event JSON to this file (open in Perfetto)")
+	verbose := fs.Bool("v", false, "log analysis progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	logger := obs.Discard()
+	if *verbose {
+		logger, _ = obs.NewLogger(stderr, "text", slog.LevelDebug)
 	}
 
 	ctx := context.Background()
@@ -65,6 +76,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *traceOut != "" {
+		tr := obs.NewTrace()
+		ctx = obs.NewContext(ctx, tr)
+		// The trace is written on every exit path — a timed-out run still
+		// leaves the spans that completed.
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "vsfs: trace:", err)
+				return
+			}
+			defer f.Close()
+			if err := tr.WriteJSON(f); err != nil {
+				fmt.Fprintln(stderr, "vsfs: trace:", err)
+				return
+			}
+			logger.Info("trace written", "file", *traceOut, "spans", len(tr.Events()))
+		}()
 	}
 
 	if fs.NArg() != 1 {
@@ -129,7 +160,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if isIR {
 			input = vsfs.InputIR
 		}
-		return vsfs.AnalyzeContext(ctx, string(src), vsfs.Options{Mode: m, Input: input})
+		logger.Info("analyzing", "file", path, "mode", m.String(), "bytes", len(src))
+		r, err := vsfs.AnalyzeContext(ctx, string(src), vsfs.Options{Mode: m, Input: input})
+		if err == nil {
+			t := r.Timings()
+			logger.Info("analysis complete", "total", t.Total,
+				"andersen", t.Andersen, "memssa", t.MemSSA, "svfg", t.SVFG, "solve", t.Solve)
+		}
+		return r, err
 	}
 
 	if *check {

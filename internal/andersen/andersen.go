@@ -24,6 +24,7 @@ type Stats struct {
 	Propagations int // copy-edge propagations that changed a set
 	SCCCollapses int // nodes merged by cycle elimination
 	FinalNodes   int // value-ID space size at fixpoint
+	WorklistHW   int // worklist high-water mark
 }
 
 // Result is the outcome of the auxiliary analysis. Points-to sets are
@@ -138,11 +139,15 @@ type callTarget struct {
 type worklist struct {
 	queue []uint32
 	in    bitset.Sparse
+	hw    int // high-water mark of queued nodes
 }
 
 func (w *worklist) push(n uint32) {
 	if w.in.Set(n) {
 		w.queue = append(w.queue, n)
+		if len(w.queue) > w.hw {
+			w.hw = len(w.queue)
+		}
 	}
 }
 
@@ -460,6 +465,7 @@ func (s *solver) merge(a, b uint32) {
 
 func (s *solver) finish() *Result {
 	s.stats.FinalNodes = len(s.parent)
+	s.stats.WorklistHW = s.work.hw
 	return &Result{
 		prog:        s.prog,
 		parent:      s.parent,

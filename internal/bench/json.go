@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONRow is one benchmark's Table II and Table III quantities in
+// machine-readable form, with times in milliseconds and memory in MB
+// to match the rendered tables.
+type JSONRow struct {
+	Bench string `json:"bench"`
+	Desc  string `json:"desc"`
+
+	// Table II: benchmark characteristics.
+	Nodes         int `json:"nodes"`
+	DirectEdges   int `json:"directEdges"`
+	IndirectEdges int `json:"indirectEdges"`
+	TopLevel      int `json:"topLevel"`
+	AddressTaken  int `json:"addressTaken"`
+
+	// Table III: time and modelled memory.
+	AndersenMs float64 `json:"andersenMs"`
+	SFSMs      float64 `json:"sfsMs"`
+	SFSMemMB   float64 `json:"sfsMemMB"`
+	SFSOOM     bool    `json:"sfsOOM,omitempty"`
+	VersionMs  float64 `json:"versionMs"`
+	VSFSMs     float64 `json:"vsfsMs"`
+	VSFSMemMB  float64 `json:"vsfsMemMB"`
+	Speedup    float64 `json:"speedup"`
+	MemRatio   float64 `json:"memRatio"`
+}
+
+// JSONReport is the body of a BENCH_*.json artifact: every row plus the
+// geometric means reported in Table III's Average line.
+type JSONReport struct {
+	Rows            []JSONRow `json:"rows"`
+	GeoMeanSpeedup  float64   `json:"geoMeanSpeedup"`
+	GeoMeanMemRatio float64   `json:"geoMeanMemRatio"`
+}
+
+// JSONReportOf converts measured rows into the artifact shape. OOM rows
+// are excluded from the speedup mean, mirroring FormatTable3.
+func JSONReportOf(rows []Row) JSONReport {
+	rep := JSONReport{Rows: make([]JSONRow, 0, len(rows))}
+	var speedups, memRatios []float64
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, JSONRow{
+			Bench:         r.Profile.Name,
+			Desc:          r.Profile.Desc,
+			Nodes:         r.Nodes,
+			DirectEdges:   r.DirectEdges,
+			IndirectEdges: r.IndirectEdges,
+			TopLevel:      r.TopLevel,
+			AddressTaken:  r.AddressTaken,
+			AndersenMs:    ms(r.AndersenTime),
+			SFSMs:         ms(r.SFSTime),
+			SFSMemMB:      mb(r.SFSMem),
+			SFSOOM:        r.SFSOOM,
+			VersionMs:     ms(r.VersionTime),
+			VSFSMs:        ms(r.VSFSTime),
+			VSFSMemMB:     mb(r.VSFSMem),
+			Speedup:       r.Speedup,
+			MemRatio:      r.MemRatio,
+		})
+		if !r.SFSOOM {
+			speedups = append(speedups, r.Speedup)
+		}
+		memRatios = append(memRatios, r.MemRatio)
+	}
+	rep.GeoMeanSpeedup = geoMean(speedups)
+	rep.GeoMeanMemRatio = geoMean(memRatios)
+	return rep
+}
+
+// WriteJSON renders rows as an indented JSON artifact.
+func WriteJSON(w io.Writer, rows []Row) error {
+	data, err := json.MarshalIndent(JSONReportOf(rows), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -23,11 +23,14 @@ import (
 
 // VersionStats quantifies the pre-analysis.
 type VersionStats struct {
-	Prelabels        int           // fresh versions from [STORE]^P and [OTF-CG]^P
-	DistinctVersions int           // distinct labels at fixpoint (incl. ε)
-	MeldOps          int           // external melds applied
-	ConsumeEntries   int           // (node, object) consume slots materialised
-	YieldEntries     int           // (node, object) yield slots materialised
+	Prelabels        int // fresh versions from [STORE]^P and [OTF-CG]^P
+	DistinctVersions int // distinct labels at fixpoint (incl. ε)
+	MeldOps          int // external melds applied
+	ConsumeEntries   int // (node, object) consume slots materialised
+	YieldEntries     int // (node, object) yield slots materialised
+	Iterations       int // meld-labelling worklist pops
+	WorklistHW       int // meld-labelling worklist high-water mark
+	Meld             meld.TableStats
 	Duration         time.Duration // wall-clock versioning time
 }
 
@@ -123,6 +126,7 @@ func runVersioning(ctx context.Context, g *svfg.Graph) (*versioning, error) {
 		if !ok {
 			break
 		}
+		v.stats.Iterations++
 		in := g.Prog.Instrs[l]
 		for _, o := range objs {
 			// [INTERNAL]^V: non-store nodes yield what they consume.
@@ -154,6 +158,8 @@ func runVersioning(ctx context.Context, g *svfg.Graph) (*versioning, error) {
 	}
 
 	v.stats.DistinctVersions = v.tab.Distinct()
+	v.stats.WorklistHW = work.hw
+	v.stats.Meld = v.tab.Stats()
 	for _, m := range v.consume {
 		v.stats.ConsumeEntries += len(m)
 	}
@@ -176,6 +182,7 @@ func sortIDs(ids []ir.ID) {
 type objWorklist struct {
 	queue []uint32
 	dirty map[uint32]*bitset.Sparse
+	hw    int // high-water mark of queued nodes
 }
 
 func (w *objWorklist) push(n uint32, o ir.ID) {
@@ -186,6 +193,9 @@ func (w *objWorklist) push(n uint32, o ir.ID) {
 		w.queue = append(w.queue, n)
 	} else if set.IsEmpty() {
 		w.queue = append(w.queue, n)
+	}
+	if len(w.queue) > w.hw {
+		w.hw = len(w.queue)
 	}
 	set.Set(uint32(o))
 }
@@ -210,6 +220,7 @@ var emptyScratch = bitset.New()
 type worklist struct {
 	queue []uint32
 	mark  map[uint32]bool
+	hw    int // high-water mark of queued nodes
 }
 
 func (w *worklist) push(n uint32) {
@@ -219,6 +230,9 @@ func (w *worklist) push(n uint32) {
 	if !w.mark[n] {
 		w.mark[n] = true
 		w.queue = append(w.queue, n)
+		if len(w.queue) > w.hw {
+			w.hw = len(w.queue)
+		}
 	}
 }
 

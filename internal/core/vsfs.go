@@ -7,6 +7,7 @@ import (
 	"vsfs/internal/bitset"
 	"vsfs/internal/ir"
 	"vsfs/internal/meld"
+	"vsfs/internal/obs"
 	"vsfs/internal/svfg"
 )
 
@@ -22,6 +23,7 @@ type Stats struct {
 	CallEdges          int
 	VersionProps       int // version-reliance propagations
 	VersionConstraints int // pt_κ ⊆ pt_κ' constraints registered
+	WorklistHW         int // main-phase worklist high-water mark
 
 	Versioning VersionStats
 	SolveTime  time.Duration
@@ -127,10 +129,16 @@ func Solve(g *svfg.Graph) *Result {
 // context is done. A cancelled solve returns no Result; the mutated
 // graph must be discarded.
 func SolveContext(ctx context.Context, g *svfg.Graph) (*Result, error) {
+	sp := obs.StartSpan(ctx, "meld")
 	ver, err := runVersioning(ctx, g)
 	if err != nil {
 		return nil, err
 	}
+	sp.Arg("prelabels", ver.stats.Prelabels).
+		Arg("distinctVersions", ver.stats.DistinctVersions).
+		Arg("iterations", ver.stats.Iterations).
+		Arg("meldOps", ver.stats.MeldOps).
+		End()
 	s := &state{
 		Result: &Result{
 			Graph:   g,
@@ -145,13 +153,20 @@ func SolveContext(ctx context.Context, g *svfg.Graph) (*Result, error) {
 		fsCallers:    make(map[*ir.Function][]uint32),
 	}
 	s.Stats.Versioning = ver.stats
+	sp = obs.StartSpan(ctx, "main")
 	start := time.Now()
 	s.buildReliances()
 	if err := s.run(); err != nil {
 		return nil, err
 	}
 	s.Stats.SolveTime = time.Since(start)
+	s.Stats.WorklistHW = s.work.hw
 	s.collectStats()
+	sp.Arg("nodesProcessed", s.Stats.NodesProcessed).
+		Arg("propagations", s.Stats.Propagations).
+		Arg("ptsSets", s.Stats.PtsSets).
+		Arg("worklistHW", s.Stats.WorklistHW).
+		End()
 	return s.Result, nil
 }
 

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// NewLogger builds a slog.Logger writing to w in the named format:
+// "text" (logfmt-style, the default), "json" (one object per line), or
+// "off" (discard everything).
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "off", "none":
+		return Discard(), nil
+	}
+	return nil, fmt.Errorf(`unknown log format %q (want "text", "json", or "off")`, format)
+}
+
+// Discard returns a logger that drops every record without formatting
+// it, so disabled logging costs one Enabled check per call site.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// reqSeq backs NewRequestID when the system's entropy source fails.
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%012x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestIDKey keys a request ID in a context.
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying id. The ID rides the request
+// context through the cache, single-flight, and worker-pool layers so
+// cancellation and load-shedding events stay correlatable with the
+// request that suffered them.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID extracts the context's request ID, or "" when absent.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

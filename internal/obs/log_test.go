@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("http", "id", "abc123", "status", 200)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &rec); err != nil {
+		t.Fatalf("json log line is not JSON: %v (%q)", err, b.String())
+	}
+	if rec["id"] != "abc123" || rec["msg"] != "http" {
+		t.Errorf("unexpected record: %v", rec)
+	}
+
+	b.Reset()
+	lg, err = NewLogger(&b, "text", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("http", "id", "abc123")
+	if !strings.Contains(b.String(), "id=abc123") {
+		t.Errorf("text log missing attr: %q", b.String())
+	}
+
+	if _, err := NewLogger(&b, "xml", slog.LevelInfo); err == nil {
+		t.Error("expected error for unknown format")
+	}
+
+	b.Reset()
+	lg, err = NewLogger(&b, "off", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Error("dropped")
+	if b.Len() != 0 {
+		t.Errorf("off logger wrote %q", b.String())
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == "" || a == b {
+		t.Fatalf("request IDs not unique: %q %q", a, b)
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestID(ctx); got != a {
+		t.Errorf("RequestID = %q, want %q", got, a)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Errorf("RequestID on bare context = %q, want empty", got)
+	}
+}

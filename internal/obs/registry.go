@@ -1,0 +1,400 @@
+// Package obs is the repository's dependency-free telemetry layer:
+// a metrics registry rendered in Prometheus text exposition format, a
+// span tracer exporting Chrome trace_event JSON (viewable in Perfetto),
+// and structured-logging helpers on log/slog with per-request IDs.
+//
+// Everything is standard library only. The registry is safe for
+// concurrent use: metric reads and writes are atomic, and registration
+// is idempotent (registering an existing name with the same kind
+// returns the existing family), so package-level wiring never races.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric families.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that may go up and down.
+	KindGauge
+	// KindHistogram is a bucketed distribution with sum and count.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fixed bucket layouts. Per-phase solve latencies span sub-millisecond
+// parses to multi-second fixpoints; points-to-set counts span single
+// digits to hundreds of thousands, so the size buckets are powers of 4.
+var (
+	// LatencyBuckets is the upper-bound layout (seconds) for solve and
+	// phase duration histograms.
+	LatencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+	// SizeBuckets is the upper-bound layout for cardinality histograms
+	// (points-to sets stored, worklist lengths): powers of four.
+	SizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*Family)}
+}
+
+// Family is one named metric family: a help string, a kind, and one
+// series per label combination (a single unlabelled series for plain
+// metrics).
+type Family struct {
+	name    string
+	help    string
+	kind    Kind
+	bounds  []float64 // histogram upper bounds, ascending; +Inf implicit
+	valueFn func() float64
+
+	mu     sync.Mutex
+	series map[string]*Series
+}
+
+// Series is a single time series of a family: the object metric values
+// are written to. All mutators are atomic.
+type Series struct {
+	fam    *Family
+	labels string // rendered `{k="v",...}` or ""
+
+	bits atomic.Uint64 // counter/gauge value as float64 bits
+
+	// Histogram state; counts has len(bounds)+1, the last being +Inf.
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Uint64
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register returns the family for name, creating it if absent. It
+// panics on a kind conflict or invalid name: both are wiring bugs.
+func (r *Registry) register(name, help string, kind Kind, bounds []float64) *Family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &Family{
+		name:   name,
+		help:   help,
+		kind:   kind,
+		bounds: bounds,
+		series: make(map[string]*Series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or finds) a counter family and returns its
+// unlabelled series.
+func (r *Registry) Counter(name, help string) *Series {
+	return r.register(name, help, KindCounter, nil).With()
+}
+
+// Gauge registers (or finds) a gauge family and returns its unlabelled
+// series.
+func (r *Registry) Gauge(name, help string) *Series {
+	return r.register(name, help, KindGauge, nil).With()
+}
+
+// Histogram registers (or finds) a histogram family with the given
+// ascending upper bounds and returns its unlabelled series.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Series {
+	return r.register(name, help, KindHistogram, bounds).With()
+}
+
+// CounterVec registers a counter family whose series are distinguished
+// by labels passed to With.
+func (r *Registry) CounterVec(name, help string) *Family {
+	return r.register(name, help, KindCounter, nil)
+}
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string) *Family {
+	return r.register(name, help, KindGauge, nil)
+}
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64) *Family {
+	return r.register(name, help, KindHistogram, bounds)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// scrape/snapshot time — for instantaneous quantities (queue depth,
+// cache entries, uptime) that already have an owner.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, KindGauge, nil)
+	f.valueFn = fn
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// With returns the series for the given label pairs (key, value, key,
+// value, ...), creating it on first use. With no arguments it returns
+// the unlabelled series.
+func (f *Family) With(kv ...string) *Series {
+	if len(kv)%2 != 0 {
+		panic("obs: With requires key/value pairs")
+	}
+	var labels string
+	if len(kv) > 0 {
+		var b strings.Builder
+		b.WriteByte('{')
+		for i := 0; i < len(kv); i += 2 {
+			if !validName(kv[i]) {
+				panic(fmt.Sprintf("obs: invalid label name %q", kv[i]))
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `%s="%s"`, kv[i], escapeLabelValue(kv[i+1]))
+		}
+		b.WriteByte('}')
+		labels = b.String()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[labels]
+	if !ok {
+		s = &Series{fam: f, labels: labels}
+		if f.kind == KindHistogram {
+			s.counts = make([]atomic.Uint64, len(f.bounds)+1)
+		}
+		f.series[labels] = s
+	}
+	return s
+}
+
+// Total sums the current values of every series in a counter or gauge
+// family — e.g. total HTTP requests across per-endpoint series.
+func (f *Family) Total() float64 {
+	if f.kind == KindHistogram {
+		panic("obs: Total on histogram family")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var t float64
+	for _, s := range f.series {
+		t += s.Value()
+	}
+	return t
+}
+
+func (s *Series) addFloat(a *atomic.Uint64, delta float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Add increments a counter or gauge by delta. Counters reject negative
+// deltas (panic: wiring bug).
+func (s *Series) Add(delta float64) {
+	if s.fam.kind == KindHistogram {
+		panic("obs: Add on histogram series")
+	}
+	if s.fam.kind == KindCounter && delta < 0 {
+		panic("obs: negative counter increment")
+	}
+	s.addFloat(&s.bits, delta)
+}
+
+// Inc adds 1.
+func (s *Series) Inc() { s.Add(1) }
+
+// Set stores a gauge's value.
+func (s *Series) Set(v float64) {
+	if s.fam.kind != KindGauge {
+		panic("obs: Set on non-gauge series")
+	}
+	s.bits.Store(math.Float64bits(v))
+}
+
+// SetMax raises a gauge to v if v exceeds the current value — a
+// high-water-mark gauge.
+func (s *Series) SetMax(v float64) {
+	if s.fam.kind != KindGauge {
+		panic("obs: SetMax on non-gauge series")
+	}
+	for {
+		old := s.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if s.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value of a counter or gauge.
+func (s *Series) Value() float64 {
+	if s.fam.kind == KindHistogram {
+		panic("obs: Value on histogram series")
+	}
+	return math.Float64frombits(s.bits.Load())
+}
+
+// Observe records one sample into a histogram.
+func (s *Series) Observe(v float64) {
+	if s.fam.kind != KindHistogram {
+		panic("obs: Observe on non-histogram series")
+	}
+	idx := sort.SearchFloat64s(s.fam.bounds, v) // first bound >= v
+	s.counts[idx].Add(1)
+	s.count.Add(1)
+	s.addFloat(&s.sum, v)
+}
+
+// Count returns a histogram's total sample count.
+func (s *Series) Count() uint64 { return s.count.Load() }
+
+// Sum returns a histogram's sample sum.
+func (s *Series) Sum() float64 { return math.Float64frombits(s.sum.Load()) }
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without a decimal point, +Inf as "+Inf".
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in text exposition format
+// (version 0.0.4), families sorted by name and series by label string,
+// so output is deterministic for a given state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*Family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		if f.valueFn != nil {
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(f.valueFn()))
+			continue
+		}
+		f.mu.Lock()
+		labels := make([]string, 0, len(f.series))
+		for l := range f.series {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		series := make([]*Series, 0, len(labels))
+		for _, l := range labels {
+			series = append(series, f.series[l])
+		}
+		f.mu.Unlock()
+		for i, s := range series {
+			switch f.kind {
+			case KindHistogram:
+				s.writeHistogram(&b, labels[i])
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labels[i], formatValue(s.Value()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets, sum,
+// count. The le label is appended to any existing labels.
+func (s *Series) writeHistogram(b *strings.Builder, labels string) {
+	name := s.fam.name
+	joinLe := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`{le="%s"}`, le)
+		}
+		return fmt.Sprintf(`%s,le="%s"}`, labels[:len(labels)-1], le)
+	}
+	var cum uint64
+	for i, bound := range s.fam.bounds {
+		cum += s.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, joinLe(formatValue(bound)), cum)
+	}
+	cum += s.counts[len(s.fam.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, joinLe("+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatValue(s.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, cum)
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// promLine matches one sample line of the text exposition format:
+// name{labels} value. Labels are validated separately.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+
+var promLabel = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+
+// checkPrometheusText validates the exposition output line by line:
+// every line is a HELP/TYPE comment or a sample, every sample's family
+// has a preceding TYPE, histogram families expose _bucket/_sum/_count,
+// and label pairs are well-formed. Returns the parsed samples.
+func checkPrometheusText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, parts[3])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: not a valid sample line: %q", ln+1, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				if _, ok := typed[strings.TrimSuffix(name, suffix)]; ok {
+					base = strings.TrimSuffix(name, suffix)
+				}
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		if labels != "" {
+			inner := labels[1 : len(labels)-1]
+			for _, pair := range strings.Split(inner, ",") {
+				if !promLabel.MatchString(pair) {
+					t.Fatalf("line %d: malformed label pair %q", ln+1, pair)
+				}
+			}
+		}
+		var v float64
+		switch valStr {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		default:
+			var err error
+			v, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+		}
+		samples[name+labels] = v
+	}
+	return samples
+}
+
+func TestWritePrometheusValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vsfs_solves_total", "Total solves started.").Add(3)
+	r.Gauge("vsfs_queue_depth", "Jobs waiting for a worker.").Set(2)
+	r.GaugeFunc("vsfs_uptime_seconds", "Daemon uptime.", func() float64 { return 12.5 })
+	v := r.CounterVec("vsfs_cache_requests_total", "Cache lookups by result.")
+	v.With("result", "hit").Add(5)
+	v.With("result", "miss").Inc()
+	h := r.HistogramVec("vsfs_solve_phase_seconds", "Per-phase solve latency.", LatencyBuckets)
+	h.With("phase", "andersen").Observe(0.003)
+	h.With("phase", "solve").Observe(1.7)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := checkPrometheusText(t, b.String())
+
+	if got := samples["vsfs_solves_total"]; got != 3 {
+		t.Errorf("vsfs_solves_total = %v, want 3", got)
+	}
+	if got := samples[`vsfs_cache_requests_total{result="hit"}`]; got != 5 {
+		t.Errorf("cache hit counter = %v, want 5", got)
+	}
+	if got := samples["vsfs_uptime_seconds"]; got != 12.5 {
+		t.Errorf("uptime gauge func = %v, want 12.5", got)
+	}
+	if got := samples[`vsfs_solve_phase_seconds_count{phase="solve"}`]; got != 1 {
+		t.Errorf("histogram count = %v, want 1", got)
+	}
+	if got := samples[`vsfs_solve_phase_seconds_bucket{phase="solve",le="+Inf"}`]; got != 1 {
+		t.Errorf("+Inf bucket = %v, want 1", got)
+	}
+}
+
+func TestHistogramBucketsMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pts_sets", "Points-to sets stored per solve.", SizeBuckets)
+	for _, v := range []float64{0, 1, 3, 17, 300, 1e6, 5e6, 64, 64, 65536} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := checkPrometheusText(t, b.String())
+
+	prev := -1.0
+	for _, bound := range SizeBuckets {
+		key := fmt.Sprintf(`pts_sets_bucket{le="%s"}`, formatValue(bound))
+		got, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if got < prev {
+			t.Fatalf("bucket %s = %v < previous %v: not monotone", key, got, prev)
+		}
+		prev = got
+	}
+	inf := samples[`pts_sets_bucket{le="+Inf"}`]
+	if inf < prev {
+		t.Fatalf("+Inf bucket %v < previous %v", inf, prev)
+	}
+	if inf != 10 || samples["pts_sets_count"] != 10 {
+		t.Fatalf("count = %v / +Inf = %v, want 10", samples["pts_sets_count"], inf)
+	}
+	// Exact bucketing: bounds are inclusive upper bounds.
+	if got := samples[`pts_sets_bucket{le="1"}`]; got != 2 { // 0 and 1
+		t.Errorf("le=1 bucket = %v, want 2", got)
+	}
+	if got := samples[`pts_sets_bucket{le="64"}`]; got != 6 { // + 3, 17, 64, 64
+		t.Errorf("le=64 bucket = %v, want 6", got)
+	}
+}
+
+func TestCounterGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Errorf("counter = %v, want 3", c.Value())
+	}
+	g := r.Gauge("g", "")
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Errorf("gauge = %v, want 6", g.Value())
+	}
+	g.SetMax(5)
+	if g.Value() != 6 {
+		t.Errorf("SetMax lowered the gauge: %v", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Errorf("SetMax = %v, want 9", g.Value())
+	}
+	// Registration is idempotent: same name returns the same series.
+	if r.Counter("c_total", "") != c {
+		t.Error("re-registration returned a different series")
+	}
+	if r.CounterVec("v_total", "").With("a", "1") != r.CounterVec("v_total", "").With("a", "1") {
+		t.Error("vec With not idempotent")
+	}
+	if r.CounterVec("v_total", "").Total() != 0 {
+		t.Errorf("Total = %v, want 0", r.CounterVec("v_total", "").Total())
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	h := r.Histogram("h", "", LatencyBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %v, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-80) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 80", h.Sum())
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceChromeJSON(t *testing.T) {
+	tr := NewTrace()
+	outer := tr.Start("solve").Arg("mode", "vsfs")
+	inner := tr.Start("meld")
+	time.Sleep(time.Millisecond)
+	inner.End()
+	tr.Start("main").End()
+	outer.End()
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  int64          `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(f.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s: ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("event %s: negative ts/dur (%d/%d)", ev.Name, ev.Ts, ev.Dur)
+		}
+		byName[ev.Name] = i
+	}
+	solve := f.TraceEvents[byName["solve"]]
+	meld := f.TraceEvents[byName["meld"]]
+	// Correct nesting: the meld span lies within the solve span.
+	if meld.Ts < solve.Ts || meld.Ts+meld.Dur > solve.Ts+solve.Dur {
+		t.Errorf("meld span [%d,%d] not nested in solve span [%d,%d]",
+			meld.Ts, meld.Ts+meld.Dur, solve.Ts, solve.Ts+solve.Dur)
+	}
+	if solve.Args["mode"] != "vsfs" {
+		t.Errorf("solve args = %v, want mode=vsfs", solve.Args)
+	}
+}
+
+func TestNilSpanIsNoop(t *testing.T) {
+	// No trace on the context: spans must be free no-ops.
+	sp := StartSpan(context.Background(), "phase")
+	if sp != nil {
+		t.Fatal("expected nil span without a trace")
+	}
+	sp.Arg("k", 1) // must not panic
+	sp.End()
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := NewTrace()
+	ctx := NewContext(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom lost the trace")
+	}
+	StartSpan(ctx, "parse").End()
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Name != "parse" {
+		t.Fatalf("events = %+v, want one parse span", evs)
+	}
+}
+
+func TestEmptyTraceWritesValidJSON(t *testing.T) {
+	var b strings.Builder
+	if err := NewTrace().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &f); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents missing or not an array: %v", f)
+	}
+}

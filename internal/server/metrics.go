@@ -1,0 +1,131 @@
+package server
+
+import (
+	"time"
+
+	"vsfs"
+	"vsfs/internal/obs"
+)
+
+// serverMetrics wires every service counter, gauge, and histogram into
+// one obs.Registry. GET /metrics renders the registry in Prometheus
+// text format and GET /stats reads the same series back, so the two
+// surfaces can never disagree.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	httpRequests *obs.Family // counter by endpoint
+	cacheReqs    *obs.Family // counter by result (hit|miss)
+	flightShared *obs.Series
+
+	solvesStarted *obs.Series
+	solveOutcomes *obs.Family // counter by outcome (ok|error|cancelled)
+	queueRejects  *obs.Series
+
+	solveSeconds *obs.Series // histogram: total solve latency
+	phaseSeconds *obs.Family // histogram by phase (andersen|memssa|svfg|solve)
+	solveMax     *obs.Series // gauge: slowest solve seen
+
+	ptsSets     *obs.Series // histogram: (object, version) sets stored per solve
+	propagation *obs.Series // counter: cumulative set unions attempted
+	worklistHW  *obs.Series // gauge: max main-phase worklist length seen
+
+	distinctVersions *obs.Series // gauge: last solve's distinct meld labels
+	prelabels        *obs.Series // gauge: last solve's prelabel count
+}
+
+// newServerMetrics registers every family and the instantaneous gauges,
+// which read live state (queue, pool, cache, clock) at scrape time.
+func newServerMetrics(s *Server) *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: r,
+
+		httpRequests: r.CounterVec("vsfs_http_requests_total",
+			"HTTP requests received, by endpoint."),
+		cacheReqs: r.CounterVec("vsfs_cache_requests_total",
+			"Result-cache lookups, by result."),
+		flightShared: r.Counter("vsfs_singleflight_shared_total",
+			"Requests coalesced into another request's in-flight solve."),
+
+		solvesStarted: r.Counter("vsfs_solves_started_total",
+			"Solves handed to the worker pool."),
+		solveOutcomes: r.CounterVec("vsfs_solves_total",
+			"Completed solves, by outcome."),
+		queueRejects: r.Counter("vsfs_queue_rejects_total",
+			"Solves shed with 503 because the queue was full."),
+
+		solveSeconds: r.Histogram("vsfs_solve_seconds",
+			"End-to-end solve latency (parse through main phase).", obs.LatencyBuckets),
+		phaseSeconds: r.HistogramVec("vsfs_solve_phase_seconds",
+			"Solve latency broken down by pipeline phase.", obs.LatencyBuckets),
+		solveMax: r.Gauge("vsfs_solve_max_seconds",
+			"Slowest successful solve observed."),
+
+		ptsSets: r.Histogram("vsfs_points_to_sets",
+			"Points-to sets stored by the main phase, per solve.", obs.SizeBuckets),
+		propagation: r.Counter("vsfs_propagations_total",
+			"Cumulative set unions attempted by main-phase solving."),
+		worklistHW: r.Gauge("vsfs_worklist_high_water",
+			"Largest main-phase worklist length observed across solves."),
+
+		distinctVersions: r.Gauge("vsfs_distinct_versions",
+			"Distinct meld-labelling versions in the most recent VSFS solve."),
+		prelabels: r.Gauge("vsfs_prelabels",
+			"Prelabel atoms allocated in the most recent VSFS solve."),
+	}
+
+	r.GaugeFunc("vsfs_queue_depth",
+		"Solves waiting for a worker right now.",
+		func() float64 { return float64(s.pool.queued()) })
+	r.GaugeFunc("vsfs_workers_busy",
+		"Workers executing a solve right now.",
+		func() float64 { return float64(s.pool.running()) })
+	r.GaugeFunc("vsfs_workers",
+		"Size of the worker pool.",
+		func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("vsfs_cache_entries",
+		"Solved programs currently cached.",
+		func() float64 { return float64(s.cache.len()) })
+	r.GaugeFunc("vsfs_uptime_seconds",
+		"Seconds since the server was created.",
+		func() float64 { return time.Since(s.started).Seconds() })
+
+	// Materialise the label combinations /stats reads, so a fresh server
+	// exposes zeros rather than absent series.
+	for _, ep := range []string{"analyze", "query"} {
+		m.httpRequests.With("endpoint", ep)
+	}
+	for _, res := range []string{"hit", "miss"} {
+		m.cacheReqs.With("result", res)
+	}
+	for _, out := range []string{"ok", "error", "cancelled"} {
+		m.solveOutcomes.With("outcome", out)
+	}
+	for _, ph := range []string{"andersen", "memssa", "svfg", "solve"} {
+		m.phaseSeconds.With("phase", ph)
+	}
+	return m
+}
+
+// observeSolve folds one successful run into the registry: latency by
+// phase, solver effort, and the versioning quantities the paper's
+// Table III tracks.
+func (m *serverMetrics) observeSolve(res *vsfs.Result) {
+	t := res.Timings()
+	m.solveSeconds.Observe(t.Total.Seconds())
+	m.phaseSeconds.With("phase", "andersen").Observe(t.Andersen.Seconds())
+	m.phaseSeconds.With("phase", "memssa").Observe(t.MemSSA.Seconds())
+	m.phaseSeconds.With("phase", "svfg").Observe(t.SVFG.Seconds())
+	m.phaseSeconds.With("phase", "solve").Observe(t.Solve.Seconds())
+	m.solveMax.SetMax(t.Total.Seconds())
+
+	st := res.Stats()
+	m.ptsSets.Observe(float64(st.PtsSets))
+	m.propagation.Add(float64(st.Propagations))
+	m.worklistHW.SetMax(float64(st.WorklistHighWater))
+	if st.Mode == "vsfs" {
+		m.distinctVersions.Set(float64(st.DistinctVersions))
+		m.prelabels.Set(float64(st.Prelabels))
+	}
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+)
+
+// statusWriter records the status code and whether the handler marked
+// the response as a cache hit, for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// endpointOf classifies a request path into a bounded label set so the
+// per-endpoint counter cannot grow without bound on probe traffic.
+func endpointOf(path string) string {
+	switch {
+	case path == "/healthz":
+		return "healthz"
+	case path == "/stats":
+		return "stats"
+	case path == "/metrics":
+		return "metrics"
+	case path == "/analyze":
+		return "analyze"
+	case path == "/query":
+		return "query"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "pprof"
+	default:
+		return "other"
+	}
+}

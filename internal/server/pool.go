@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 var (
@@ -21,6 +22,7 @@ var (
 type pool struct {
 	jobs chan func()
 	wg   sync.WaitGroup
+	busy atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -39,7 +41,9 @@ func newPool(workers, queueDepth int) *pool {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
+				p.busy.Add(1)
 				job()
+				p.busy.Add(-1)
 			}
 		}()
 	}
@@ -63,6 +67,9 @@ func (p *pool) submit(job func()) error {
 
 // queued returns the number of jobs waiting for a worker.
 func (p *pool) queued() int { return len(p.jobs) }
+
+// running returns the number of workers currently executing a job.
+func (p *pool) running() int { return int(p.busy.Load()) }
 
 // shutdown stops intake and drains queued and in-flight jobs, returning
 // early with ctx.Err() if the drain outlives the context.

@@ -18,10 +18,17 @@
 //     most QueueDepth wait, and anything beyond that is shed with 503
 //     instead of accumulating goroutines. Close drains in-flight work.
 //
-// Endpoints: GET /healthz, GET /stats, POST /analyze, POST /query.
-// All response bodies are deterministic — sorted keys and slices
-// everywhere — so a cache hit is byte-identical to the cache miss that
-// populated it; only the X-Vsfs-Cache header differs.
+// Endpoints: GET /healthz, GET /stats, GET /metrics, POST /analyze,
+// POST /query, and (opt-in) GET /debug/pprof/*. All response bodies
+// are deterministic — sorted keys and slices everywhere — so a cache
+// hit is byte-identical to the cache miss that populated it; only the
+// X-Vsfs-Cache header differs.
+//
+// Every request is tagged with a request ID (client-supplied
+// X-Request-Id or generated), which is echoed in the response header,
+// embedded in error bodies, and attached to every log line — including
+// the solve-cancellation and queue-shed paths — so a client-visible
+// failure can always be correlated with the server's logs.
 package server
 
 import (
@@ -29,12 +36,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"time"
 
 	"vsfs"
+	"vsfs/internal/obs"
 )
 
 // Config sizes the service. Zero values select sensible defaults.
@@ -49,6 +59,13 @@ type Config struct {
 	SolveTimeout time.Duration
 	// CacheEntries bounds the result cache; default 128.
 	CacheEntries int
+	// Logger receives structured access and error logs; default discards.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
+	EnablePprof bool
+	// DisableMetrics leaves GET /metrics unmounted. The registry still
+	// runs either way — /stats is derived from it.
+	DisableMetrics bool
 }
 
 // Defaults for Config's zero values.
@@ -73,41 +90,83 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = DefaultCacheEntries
 	}
+	if c.Logger == nil {
+		c.Logger = obs.Discard()
+	}
 	return c
 }
 
 // Server is the analysis service. Create with New, mount via
 // http.Handler, stop with Close.
 type Server struct {
-	cfg    Config
-	cache  *resultCache
-	flight *flightGroup
-	pool   *pool
-	met    metrics
-	mux    *http.ServeMux
+	cfg     Config
+	cache   *resultCache
+	flight  *flightGroup
+	pool    *pool
+	met     *serverMetrics
+	logger  *slog.Logger
+	started time.Time
+	mux     *http.ServeMux
 }
 
 // New builds a Server with its worker pool already running.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		cache:  newResultCache(cfg.CacheEntries),
-		flight: newFlightGroup(cfg.SolveTimeout),
-		pool:   newPool(cfg.Workers, cfg.QueueDepth),
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheEntries),
+		flight:  newFlightGroup(cfg.SolveTimeout),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		logger:  cfg.Logger,
+		started: time.Now(),
 	}
+	s.met = newServerMetrics(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	if !cfg.DisableMetrics {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It is the telemetry middleware:
+// it assigns (or adopts) the request ID, counts the request, runs the
+// handler, and emits one structured access-log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.met.requests.Add(1)
-	s.mux.ServeHTTP(w, r)
+	startedAt := time.Now()
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", id)
+	r = r.WithContext(obs.WithRequestID(r.Context(), id))
+
+	s.met.httpRequests.With("endpoint", endpointOf(r.URL.Path)).Inc()
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+
+	attrs := []slog.Attr{
+		slog.String("id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Duration("duration", time.Since(startedAt)),
+	}
+	if cs := w.Header().Get("X-Vsfs-Cache"); cs != "" {
+		attrs = append(attrs, slog.String("cache", cs))
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 }
 
 // Close stops accepting new solves and drains queued and in-flight
@@ -189,21 +248,25 @@ func (s *Server) resolve(ctx context.Context, req AnalyzeRequest) (res *vsfs.Res
 	}
 	key = cacheKey(mode, input, req.Source)
 	if r, ok := s.cache.get(key); ok {
-		s.met.cacheHits.Add(1)
+		s.met.cacheReqs.With("result", "hit").Inc()
 		return r, key, true, nil
 	}
-	s.met.cacheMisses.Add(1)
+	s.met.cacheReqs.With("result", "miss").Inc()
 
 	if req.TimeoutMs > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
 		defer cancel()
 	}
+	// The single-flight solve runs on a context detached from this
+	// request (other waiters may outlive it), so the leader's request ID
+	// must be carried over explicitly for the solve's log lines.
+	reqID := obs.RequestID(ctx)
 	r, shared, err := s.flight.do(ctx, key, func(solveCtx context.Context) (*vsfs.Result, error) {
-		return s.solveOn(solveCtx, key, mode, input, req.Source)
+		return s.solveOn(obs.WithRequestID(solveCtx, reqID), key, mode, input, req.Source)
 	})
 	if shared {
-		s.met.flightShared.Add(1)
+		s.met.flightShared.Inc()
 	}
 	return r, key, false, err
 }
@@ -217,32 +280,36 @@ func (s *Server) solveOn(solveCtx context.Context, key string, mode vsfs.Mode, i
 		err error
 	}
 	ch := make(chan outcome, 1)
+	reqID := obs.RequestID(solveCtx)
 	job := func() {
 		// A solve abandoned by every waiter while still queued: skip it.
 		if err := solveCtx.Err(); err != nil {
-			s.met.solvesCancelled.Add(1)
+			s.met.solveOutcomes.With("outcome", "cancelled").Inc()
+			s.logger.Warn("solve abandoned in queue", "id", reqID, "key", key, "err", err)
 			ch <- outcome{nil, err}
 			return
 		}
-		s.met.solves.Add(1)
+		s.met.solvesStarted.Inc()
 		res, err := vsfs.AnalyzeContext(solveCtx, source, vsfs.Options{Mode: mode, Input: input})
 		switch {
 		case err == nil:
-			s.met.solvesOK.Add(1)
-			s.met.observeSolve(res.Timings())
+			s.met.solveOutcomes.With("outcome", "ok").Inc()
+			s.met.observeSolve(res)
 			// Only complete, successful solves are cached; a cancelled
 			// or failed solve can therefore never corrupt an entry.
 			s.cache.add(key, res)
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			s.met.solvesCancelled.Add(1)
+			s.met.solveOutcomes.With("outcome", "cancelled").Inc()
+			s.logger.Warn("solve cancelled", "id", reqID, "key", key, "err", err)
 		default:
-			s.met.solveErrors.Add(1)
+			s.met.solveOutcomes.With("outcome", "error").Inc()
 		}
 		ch <- outcome{res, err}
 	}
 	if err := s.pool.submit(job); err != nil {
 		if errors.Is(err, ErrQueueFull) {
-			s.met.queueRejects.Add(1)
+			s.met.queueRejects.Inc()
+			s.logger.Warn("solve shed, queue full", "id", reqID, "key", key)
 		}
 		return nil, err
 	}
@@ -262,16 +329,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.snapshot())
 }
 
+// handleMetrics renders the registry in Prometheus text format 0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.reg.WritePrometheus(w)
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	s.met.analyzeRequests.Add(1)
 	var req AnalyzeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
 		return
 	}
 	res, key, hit, err := s.resolve(r.Context(), req)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	setCacheHeaders(w, key, hit)
@@ -284,22 +356,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.met.queryRequests.Add(1)
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
 		return
 	}
 	res, key, hit, err := s.resolve(r.Context(), req.AnalyzeRequest)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	resp := QueryResponse{Key: key, Kind: req.Kind}
 	switch strings.ToLower(req.Kind) {
 	case "points-to", "pointsto", "pts":
 		if req.Var == "" {
-			writeError(w, http.StatusBadRequest, badRequestf(`"points-to" needs "var" (and optionally "func")`))
+			s.writeError(w, r, http.StatusBadRequest, badRequestf(`"points-to" needs "var" (and optionally "func")`))
 			return
 		}
 		resp.PointsTo = res.PointsToVar(req.Func, req.Var)
@@ -308,7 +379,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	case "alias":
 		if req.Var == "" || req.Var2 == "" {
-			writeError(w, http.StatusBadRequest, badRequestf(`"alias" needs "var" and "var2" (and optionally "func"/"func2")`))
+			s.writeError(w, r, http.StatusBadRequest, badRequestf(`"alias" needs "var" and "var2" (and optionally "func"/"func2")`))
 			return
 		}
 		alias := res.MayAlias(req.Func, req.Var, req.Func2, req.Var2)
@@ -326,7 +397,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.CallGraph = edges
 	case "explain", "why":
 		if req.Var == "" {
-			writeError(w, http.StatusBadRequest, badRequestf(`"explain" needs "var" (and optionally "func")`))
+			s.writeError(w, r, http.StatusBadRequest, badRequestf(`"explain" needs "var" (and optionally "func")`))
 			return
 		}
 		resp.Witnesses = res.Explain(req.Func, req.Var)
@@ -339,7 +410,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Findings = []vsfs.Finding{}
 		}
 	default:
-		writeError(w, http.StatusBadRequest,
+		s.writeError(w, r, http.StatusBadRequest,
 			badRequestf("unknown query kind %q (want points-to, alias, callgraph, explain, or check)", req.Kind))
 		return
 	}
@@ -377,11 +448,19 @@ func statusFor(err error) int {
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"requestId,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+// writeError renders a failure with the request ID embedded in the
+// body, so a shed (503) or cancelled (504) request can be matched to
+// the server's log line for the same ID.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	id := obs.RequestID(r.Context())
+	if status >= 500 {
+		s.logger.Warn("request failed", "id", id, "status", status, "err", err)
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: id})
 }
 
 // writeJSON renders v canonically: encoding/json marshals struct fields

@@ -1,53 +1,6 @@
 package server
 
-import (
-	"sync/atomic"
-
-	"vsfs"
-)
-
-// metrics holds the server's monotonic counters; every field is
-// accessed atomically so handler goroutines never contend on a lock
-// for bookkeeping.
-type metrics struct {
-	requests        atomic.Int64
-	analyzeRequests atomic.Int64
-	queryRequests   atomic.Int64
-
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	flightShared atomic.Int64
-
-	solves          atomic.Int64
-	solvesOK        atomic.Int64
-	solveErrors     atomic.Int64
-	solvesCancelled atomic.Int64
-	queueRejects    atomic.Int64
-
-	solveNanos    atomic.Int64
-	maxSolveNanos atomic.Int64
-
-	// Per-phase cumulative wall clock, mirroring vsfs.Timings.
-	andersenNanos atomic.Int64
-	memSSANanos   atomic.Int64
-	svfgNanos     atomic.Int64
-	mainNanos     atomic.Int64
-}
-
-// observeSolve folds one successful run's timings into the counters.
-func (m *metrics) observeSolve(t vsfs.Timings) {
-	m.solveNanos.Add(int64(t.Total))
-	m.andersenNanos.Add(int64(t.Andersen))
-	m.memSSANanos.Add(int64(t.MemSSA))
-	m.svfgNanos.Add(int64(t.SVFG))
-	m.mainNanos.Add(int64(t.Solve))
-	for {
-		old := m.maxSolveNanos.Load()
-		if int64(t.Total) <= old || m.maxSolveNanos.CompareAndSwap(old, int64(t.Total)) {
-			return
-		}
-	}
-}
+import "time"
 
 // PhaseMillis breaks cumulative solve time down by pipeline phase.
 type PhaseMillis struct {
@@ -57,7 +10,9 @@ type PhaseMillis struct {
 	Solve    float64 `json:"solveMs"`
 }
 
-// StatsSnapshot is the JSON body of GET /stats.
+// StatsSnapshot is the JSON body of GET /stats. Every field is read
+// back from the metrics registry (or live server state), so /stats and
+// /metrics always agree.
 type StatsSnapshot struct {
 	Requests        int64 `json:"requests"`
 	AnalyzeRequests int64 `json:"analyzeRequests"`
@@ -76,6 +31,9 @@ type StatsSnapshot struct {
 	QueueRejects    int64 `json:"queueRejects"`
 	QueueDepth      int   `json:"queueDepth"`
 	Workers         int   `json:"workers"`
+	WorkersBusy     int   `json:"workersBusy"`
+
+	UptimeSeconds float64 `json:"uptimeSeconds"`
 
 	AvgSolveMs float64     `json:"avgSolveMs"`
 	MaxSolveMs float64     `json:"maxSolveMs"`
@@ -83,36 +41,42 @@ type StatsSnapshot struct {
 }
 
 func (s *Server) snapshot() StatsSnapshot {
-	m := &s.met
+	m := s.met
+	phaseSum := func(ph string) float64 {
+		return m.phaseSeconds.With("phase", ph).Sum() * 1e3
+	}
 	snap := StatsSnapshot{
-		Requests:        m.requests.Load(),
-		AnalyzeRequests: m.analyzeRequests.Load(),
-		QueryRequests:   m.queryRequests.Load(),
+		Requests:        int64(m.httpRequests.Total()),
+		AnalyzeRequests: int64(m.httpRequests.With("endpoint", "analyze").Value()),
+		QueryRequests:   int64(m.httpRequests.With("endpoint", "query").Value()),
 
-		CacheHits:    m.cacheHits.Load(),
-		CacheMisses:  m.cacheMisses.Load(),
+		CacheHits:    int64(m.cacheReqs.With("result", "hit").Value()),
+		CacheMisses:  int64(m.cacheReqs.With("result", "miss").Value()),
 		CacheEntries: s.cache.len(),
 
-		SingleFlightShared: m.flightShared.Load(),
+		SingleFlightShared: int64(m.flightShared.Value()),
 
-		Solves:          m.solves.Load(),
-		SolvesOK:        m.solvesOK.Load(),
-		SolveErrors:     m.solveErrors.Load(),
-		SolvesCancelled: m.solvesCancelled.Load(),
-		QueueRejects:    m.queueRejects.Load(),
+		Solves:          int64(m.solvesStarted.Value()),
+		SolvesOK:        int64(m.solveOutcomes.With("outcome", "ok").Value()),
+		SolveErrors:     int64(m.solveOutcomes.With("outcome", "error").Value()),
+		SolvesCancelled: int64(m.solveOutcomes.With("outcome", "cancelled").Value()),
+		QueueRejects:    int64(m.queueRejects.Value()),
 		QueueDepth:      s.pool.queued(),
 		Workers:         s.cfg.Workers,
+		WorkersBusy:     s.pool.running(),
 
-		MaxSolveMs: float64(m.maxSolveNanos.Load()) / 1e6,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+
+		MaxSolveMs: m.solveMax.Value() * 1e3,
 		Phase: PhaseMillis{
-			Andersen: float64(m.andersenNanos.Load()) / 1e6,
-			MemSSA:   float64(m.memSSANanos.Load()) / 1e6,
-			SVFG:     float64(m.svfgNanos.Load()) / 1e6,
-			Solve:    float64(m.mainNanos.Load()) / 1e6,
+			Andersen: phaseSum("andersen"),
+			MemSSA:   phaseSum("memssa"),
+			SVFG:     phaseSum("svfg"),
+			Solve:    phaseSum("solve"),
 		},
 	}
-	if ok := snap.SolvesOK; ok > 0 {
-		snap.AvgSolveMs = float64(m.solveNanos.Load()) / 1e6 / float64(ok)
+	if n := m.solveSeconds.Count(); n > 0 {
+		snap.AvgSolveMs = m.solveSeconds.Sum() * 1e3 / float64(n)
 	}
 	return snap
 }

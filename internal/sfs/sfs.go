@@ -27,6 +27,7 @@ type Stats struct {
 	PtsWords       int // total 64-bit words backing those sets
 	TopLevelWords  int // words backing top-level points-to sets
 	CallEdges      int // resolved (call site, callee) pairs
+	WorklistHW     int // worklist high-water mark
 }
 
 // Result holds the analysis outcome.
@@ -140,6 +141,7 @@ func SolveContext(ctx context.Context, g *svfg.Graph) (*Result, error) {
 	if err := s.run(); err != nil {
 		return nil, err
 	}
+	s.Stats.WorklistHW = s.work.hw
 	s.collectStats()
 	return s.Result, nil
 }
@@ -163,11 +165,15 @@ type state struct {
 type worklist struct {
 	queue []uint32
 	in    bitset.Sparse
+	hw    int // high-water mark of queued nodes
 }
 
 func (w *worklist) push(n uint32) {
 	if w.in.Set(n) {
 		w.queue = append(w.queue, n)
+		if len(w.queue) > w.hw {
+			w.hw = len(w.queue)
+		}
 	}
 }
 

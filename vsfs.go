@@ -35,6 +35,7 @@ import (
 	"vsfs/internal/irparse"
 	"vsfs/internal/lang"
 	"vsfs/internal/memssa"
+	"vsfs/internal/obs"
 	"vsfs/internal/sfs"
 	"vsfs/internal/svfg"
 )
@@ -182,6 +183,7 @@ func AnalyzeIR(src string, opts Options) (*Result, error) {
 // its deadline passes. The solver worklist loops poll the context, so
 // cancellation takes effect promptly even mid-fixpoint.
 func AnalyzeContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	sp := obs.StartSpan(ctx, "parse").Arg("input", opts.Input.String()).Arg("bytes", len(src))
 	var prog *ir.Program
 	var err error
 	if opts.Input == InputIR {
@@ -189,6 +191,7 @@ func AnalyzeContext(ctx context.Context, src string, opts Options) (*Result, err
 	} else {
 		prog, err = lang.Compile(src)
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -208,21 +211,31 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, opts Options) 
 	r := &Result{mode: opts.Mode, prog: prog}
 	start := time.Now()
 	var err error
+	sp := obs.StartSpan(ctx, "andersen")
 	r.aux, err = andersen.AnalyzeContext(ctx, prog)
 	if err != nil {
 		return nil, err
 	}
+	sp.Arg("pops", r.aux.Stats.Pops).Arg("propagations", r.aux.Stats.Propagations).End()
 	r.timings.Andersen = time.Since(start)
 
 	t := time.Now()
+	sp = obs.StartSpan(ctx, "memssa")
 	mssa := memssa.Build(prog, r.aux)
+	sp.End()
 	r.timings.MemSSA = time.Since(t)
 
 	t = time.Now()
+	sp = obs.StartSpan(ctx, "svfg")
 	r.g = svfg.Build(prog, r.aux, mssa)
+	sp.Arg("nodes", r.g.NumNodes).
+		Arg("directEdges", r.g.NumDirectEdges).
+		Arg("indirectEdges", r.g.NumIndirectEdges).
+		End()
 	r.timings.SVFG = time.Since(t)
 
 	t = time.Now()
+	sp = obs.StartSpan(ctx, "solve").Arg("mode", opts.Mode.String())
 	switch opts.Mode {
 	case SFS:
 		r.sfsRes, err = sfs.SolveContext(ctx, r.g)
@@ -234,6 +247,7 @@ func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, opts Options) 
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	r.timings.Solve = time.Since(t)
 	r.timings.Total = time.Since(start)
 	return r, nil
@@ -391,13 +405,21 @@ type Summary struct {
 	AddressTaken  int    `json:"addressTaken"`
 
 	// Main-phase effort; zero for FlowInsensitive.
-	NodesProcessed int `json:"nodesProcessed"`
-	Propagations   int `json:"propagations"`
-	PtsSets        int `json:"ptsSets"`
+	NodesProcessed    int `json:"nodesProcessed"`
+	Propagations      int `json:"propagations"`
+	Changed           int `json:"changed"`
+	PtsSets           int `json:"ptsSets"`
+	WorklistHighWater int `json:"worklistHighWater"`
+
+	// Auxiliary-phase effort.
+	AuxPropagations      int `json:"auxPropagations"`
+	AuxWorklistHighWater int `json:"auxWorklistHighWater"`
 
 	// VSFS-only versioning facts.
 	Prelabels        int `json:"prelabels"`
 	DistinctVersions int `json:"distinctVersions"`
+	MeldOps          int `json:"meldOps"`
+	MeldIterations   int `json:"meldIterations"`
 }
 
 // Stats returns the run's Summary.
@@ -411,17 +433,25 @@ func (r *Result) Stats() Summary {
 		TopLevelVars:  r.g.NumTopLevel,
 		AddressTaken:  r.g.NumAddressTaken,
 	}
+	s.AuxPropagations = r.aux.Stats.Propagations
+	s.AuxWorklistHighWater = r.aux.Stats.WorklistHW
 	switch r.mode {
 	case SFS:
 		s.NodesProcessed = r.sfsRes.Stats.NodesProcessed
 		s.Propagations = r.sfsRes.Stats.Propagations
+		s.Changed = r.sfsRes.Stats.Changed
 		s.PtsSets = r.sfsRes.Stats.PtsSets
+		s.WorklistHighWater = r.sfsRes.Stats.WorklistHW
 	case VSFS:
 		s.NodesProcessed = r.vsfsRes.Stats.NodesProcessed
 		s.Propagations = r.vsfsRes.Stats.Propagations
+		s.Changed = r.vsfsRes.Stats.Changed
 		s.PtsSets = r.vsfsRes.Stats.PtsSets
+		s.WorklistHighWater = r.vsfsRes.Stats.WorklistHW
 		s.Prelabels = r.vsfsRes.Stats.Versioning.Prelabels
 		s.DistinctVersions = r.vsfsRes.Stats.Versioning.DistinctVersions
+		s.MeldOps = r.vsfsRes.Stats.Versioning.MeldOps
+		s.MeldIterations = r.vsfsRes.Stats.Versioning.Iterations
 	}
 	return s
 }
