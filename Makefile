@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench serve
+.PHONY: build test race vet fmt-check bench serve fuzz fuzz-native
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,10 @@ bench:
 
 serve:
 	$(GO) run ./cmd/vsfs-serve -addr :8080
+
+fuzz:
+	$(GO) run ./cmd/vsfs-fuzz -seeds 500 -minimize
+
+fuzz-native:
+	$(GO) test -run NONE -fuzz FuzzSparseLaws -fuzztime 30s ./internal/bitset/
+	$(GO) test -run NONE -fuzz FuzzInternerStability -fuzztime 30s ./internal/bitset/

@@ -1,0 +1,171 @@
+// Command vsfs-fuzz drives the differential-testing oracle over random
+// workload programs and the named benchmark profiles, looking for any
+// divergence between Andersen, SFS, and VSFS:
+//
+//	vsfs-fuzz -seeds 500                 check 500 random programs
+//	vsfs-fuzz -start 1000 -seeds 500     a different window of seeds
+//	vsfs-fuzz -profile all               check all 15 named profiles
+//	vsfs-fuzz -mode server -seeds 20     daemon cache/single-flight identity
+//	vsfs-fuzz -mode all -seeds 100       solver battery and daemon checks
+//	vsfs-fuzz -minimize -out regressions minimize failures into a corpus
+//	vsfs-fuzz -skip-resolve              skip the re-solve determinism check
+//
+// Every failing program is reported with its violations; with -minimize
+// it is also delta-debugged to a minimal reproducer and written to the
+// -out directory as a .ir file, ready to be committed to
+// internal/oracle/testdata/regressions/ where `go test` replays the
+// corpus forever. Exit status is 0 when every check passed, 1 on any
+// violation, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vsfs/internal/ir"
+	"vsfs/internal/irparse"
+	"vsfs/internal/oracle"
+	"vsfs/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type fuzzConfig struct {
+	mode       string
+	minimize   bool
+	outDir     string
+	opts       oracle.Options
+	stdout     io.Writer
+	stderr     io.Writer
+	violations int
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vsfs-fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seeds := fs.Int64("seeds", 100, "number of random seeds to check")
+	start := fs.Int64("start", 0, "first seed of the window")
+	mode := fs.String("mode", "diff", "what to check: diff (solver battery), server (daemon identity), or all")
+	profile := fs.String("profile", "", "check a named benchmark profile instead of random seeds (or \"all\")")
+	minimize := fs.Bool("minimize", false, "delta-debug each failure to a minimal reproducer")
+	outDir := fs.String("out", "regressions", "directory minimized reproducers are written to")
+	skipResolve := fs.Bool("skip-resolve", false, "skip the re-solve determinism check (the most expensive invariant)")
+	maxWitnesses := fs.Int("max-witnesses", oracle.DefaultMaxWitnesses, "points-to facts replayed through the witness search per program (-1 = all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *mode {
+	case "diff", "server", "all":
+	default:
+		fmt.Fprintf(stderr, "vsfs-fuzz: unknown -mode %q (want diff, server, or all)\n", *mode)
+		return 2
+	}
+
+	fc := &fuzzConfig{
+		mode:     *mode,
+		minimize: *minimize,
+		outDir:   *outDir,
+		opts:     oracle.Options{SkipResolve: *skipResolve, MaxWitnesses: *maxWitnesses},
+		stdout:   stdout,
+		stderr:   stderr,
+	}
+
+	if *profile != "" {
+		profiles := workload.Profiles()
+		if *profile != "all" {
+			p := workload.ProfileByName(*profile)
+			if p == nil {
+				fmt.Fprintf(stderr, "vsfs-fuzz: unknown profile %q; known:", *profile)
+				for _, q := range profiles {
+					fmt.Fprintf(stderr, " %s", q.Name)
+				}
+				fmt.Fprintln(stderr)
+				return 2
+			}
+			profiles = []workload.Profile{*p}
+		}
+		for _, p := range profiles {
+			fc.checkOne(p.Name, p.Build())
+		}
+		return fc.verdict(len(profiles))
+	}
+
+	for seed := *start; seed < *start+*seeds; seed++ {
+		name := fmt.Sprintf("seed %d", seed)
+		fc.checkOne(name, workload.Random(seed, workload.DefaultRandomConfig()))
+	}
+	return fc.verdict(int(*seeds))
+}
+
+// checkOne runs the configured checks on one program and records any
+// violations, minimizing and saving a reproducer when asked to.
+func (fc *fuzzConfig) checkOne(name string, prog *ir.Program) {
+	if fc.mode == "diff" || fc.mode == "all" {
+		if vs := oracle.CheckProgram(prog, fc.opts); len(vs) > 0 {
+			fc.report(name, prog, vs)
+		}
+	}
+	if fc.mode == "server" || fc.mode == "all" {
+		if vs := oracle.CheckServerIdentity(prog); len(vs) > 0 {
+			fc.violations += len(vs)
+			for _, v := range vs {
+				fmt.Fprintf(fc.stdout, "FAIL %s: %s\n", name, v)
+			}
+		}
+	}
+}
+
+func (fc *fuzzConfig) report(name string, prog *ir.Program, vs []oracle.Violation) {
+	fc.violations += len(vs)
+	for _, v := range vs {
+		fmt.Fprintf(fc.stdout, "FAIL %s: %s\n", name, v)
+	}
+	if !fc.minimize {
+		return
+	}
+	invariant := vs[0].Invariant
+	fmt.Fprintf(fc.stderr, "minimizing %s against %s...\n", name, invariant)
+	min := oracle.Minimize(prog.String(), func(cand *ir.Program) bool {
+		for _, v := range oracle.CheckProgram(cand, fc.opts) {
+			if v.Invariant == invariant {
+				return true
+			}
+		}
+		return false
+	})
+	file := filepath.Join(fc.outDir, fmt.Sprintf("%s-%s.ir",
+		strings.ReplaceAll(name, " ", ""), invariant))
+	if err := os.MkdirAll(fc.outDir, 0o755); err != nil {
+		fmt.Fprintf(fc.stderr, "vsfs-fuzz: %v\n", err)
+		return
+	}
+	header := fmt.Sprintf("# Minimized by vsfs-fuzz from %s; pinned invariant: %s.\n", name, invariant)
+	if err := os.WriteFile(file, []byte(header+min), 0o644); err != nil {
+		fmt.Fprintf(fc.stderr, "vsfs-fuzz: %v\n", err)
+		return
+	}
+	fmt.Fprintf(fc.stdout, "wrote %s (%d instructions)\n", file, minSize(min))
+}
+
+func minSize(src string) int {
+	prog, err := irparse.Parse(src)
+	if err != nil {
+		return -1
+	}
+	return oracle.CountInstrs(prog)
+}
+
+func (fc *fuzzConfig) verdict(programs int) int {
+	if fc.violations > 0 {
+		fmt.Fprintf(fc.stdout, "vsfs-fuzz: %d violation(s) across %d program(s)\n", fc.violations, programs)
+		return 1
+	}
+	fmt.Fprintf(fc.stdout, "vsfs-fuzz: %d program(s), no violations\n", programs)
+	return 0
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSmallSeedWindowIsClean(t *testing.T) {
+	code, out, errOut := runCLI(t, "-seeds", "5")
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "5 program(s), no violations") {
+		t.Fatalf("unexpected verdict: %q", out)
+	}
+}
+
+func TestShiftedWindowAndSkipResolve(t *testing.T) {
+	code, out, _ := runCLI(t, "-start", "2000", "-seeds", "3", "-skip-resolve", "-max-witnesses", "50")
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s", code, out)
+	}
+}
+
+func TestServerMode(t *testing.T) {
+	code, out, _ := runCLI(t, "-mode", "server", "-seeds", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s", code, out)
+	}
+}
+
+func TestProfileMode(t *testing.T) {
+	code, out, _ := runCLI(t, "-profile", "du", "-skip-resolve")
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s", code, out)
+	}
+	if !strings.Contains(out, "1 program(s), no violations") {
+		t.Fatalf("unexpected verdict: %q", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, errOut := runCLI(t, "-profile", "nosuch"); code != 2 ||
+		!strings.Contains(errOut, "unknown profile") {
+		t.Fatalf("unknown profile: exit %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := runCLI(t, "-mode", "nosuch"); code != 2 {
+		t.Fatalf("unknown mode should exit 2, got %d", code)
+	}
+	if code, _, _ := runCLI(t, "-bogusflag"); code != 2 {
+		t.Fatalf("bad flag should exit 2, got %d", code)
+	}
+}

@@ -20,9 +20,10 @@ func NewInterner() *Interner {
 }
 
 // Intern returns the ID for the contents of s, assigning a new one if the
-// contents have not been seen. The caller must not mutate s afterwards if
-// it was newly interned; pass a private copy when in doubt (Intern clones
-// defensively, so mutation is always safe but costs a copy).
+// contents have not been seen. Intern stores a private clone of s, never s
+// itself, so the caller remains free to mutate s afterwards; a mutation
+// can never corrupt the canonical set behind the returned ID (the clone
+// costs a copy only when the contents are new).
 func (in *Interner) Intern(s *Sparse) uint32 {
 	h := s.Hash()
 	for _, id := range in.byHash[h] {

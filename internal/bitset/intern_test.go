@@ -1,0 +1,69 @@
+package bitset
+
+import "testing"
+
+func TestInternEmptyIsZero(t *testing.T) {
+	in := NewInterner()
+	if got := in.Intern(New()); got != 0 {
+		t.Fatalf("Intern(∅) = %d, want 0 (the meld identity ε)", got)
+	}
+	if in.Len() != 1 {
+		t.Fatalf("Len = %d after interning only ∅, want 1", in.Len())
+	}
+}
+
+func TestInternDeduplicates(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern(Of(1, 2, 300))
+	b := in.Intern(Of(1, 2, 300))
+	if a != b {
+		t.Fatalf("equal contents interned to different IDs %d and %d", a, b)
+	}
+	c := in.Intern(Of(1, 2, 301))
+	if c == a {
+		t.Fatalf("different contents interned to the same ID %d", c)
+	}
+	if got := in.Get(a); !got.Equal(Of(1, 2, 300)) {
+		t.Fatalf("Get(%d) = %v, want {1, 2, 300}", a, got)
+	}
+}
+
+// TestInternPostMutationSafety pins the contract the Intern doc comment
+// states: Intern stores a clone, so mutating the argument afterwards —
+// including growing it, clearing it, and re-interning it — cannot
+// corrupt the canonical set behind the assigned ID.
+func TestInternPostMutationSafety(t *testing.T) {
+	in := NewInterner()
+	s := Of(5, 70, 700)
+	id := in.Intern(s)
+
+	s.Set(9000)
+	s.Clear(5)
+	if got := in.Get(id); !got.Equal(Of(5, 70, 700)) {
+		t.Fatalf("canonical set corrupted by post-intern mutation: Get(%d) = %v", id, got)
+	}
+
+	// The mutated value is new content and must intern to a fresh ID;
+	// the original content must still resolve to the original ID.
+	id2 := in.Intern(s)
+	if id2 == id {
+		t.Fatalf("mutated set interned to the old ID %d", id)
+	}
+	if got := in.Intern(Of(5, 70, 700)); got != id {
+		t.Fatalf("original contents re-interned to %d, want %d", got, id)
+	}
+
+	// Draining the argument entirely must not drain the canonical sets.
+	s.Clear(9000)
+	s.Clear(70)
+	s.Clear(700)
+	if !s.IsEmpty() {
+		t.Fatalf("test bug: s should be empty, got %v", s)
+	}
+	if got := in.Get(id2); !got.Equal(Of(70, 700, 9000)) {
+		t.Fatalf("canonical set for %d corrupted by draining the argument: %v", id2, got)
+	}
+	if got := in.Intern(s); got != 0 {
+		t.Fatalf("Intern(drained) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,125 @@
+package bitset
+
+import "testing"
+
+// TestClearCompactsEmptiedWord pins the element-compaction behaviour:
+// clearing the last member of a 64-bit chunk must drop the chunk
+// entirely (Words shrinks), not leave a zero word behind — Equal and
+// Hash compare the element slices structurally, so a lingering zero
+// word would make equal sets compare unequal.
+func TestClearCompactsEmptiedWord(t *testing.T) {
+	s := Of(3, 70, 700)
+	if s.Words() != 3 {
+		t.Fatalf("Words = %d, want 3 chunks for {3, 70, 700}", s.Words())
+	}
+	if !s.Clear(70) {
+		t.Fatal("Clear(70) reported no change")
+	}
+	if s.Words() != 2 {
+		t.Fatalf("Words = %d after emptying the middle chunk, want 2", s.Words())
+	}
+	if !s.Equal(Of(3, 700)) {
+		t.Fatalf("s = %v, want {3, 700}", s)
+	}
+	if s.Hash() != Of(3, 700).Hash() {
+		t.Fatal("hash differs from a freshly built {3, 700}")
+	}
+
+	// Empty the set completely through single Clears.
+	s.Clear(3)
+	s.Clear(700)
+	if !s.IsEmpty() || s.Words() != 0 {
+		t.Fatalf("s = %v (%d words) after clearing everything, want empty", s, s.Words())
+	}
+	if !s.Equal(New()) || s.Hash() != New().Hash() {
+		t.Fatal("fully drained set is not Equal/Hash-identical to a fresh empty set")
+	}
+}
+
+// TestMinOnMultiWordSets exercises Min when the smallest member is not
+// in the first word ever set: insertion order must not matter, only the
+// sorted element layout.
+func TestMinOnMultiWordSets(t *testing.T) {
+	s := New()
+	s.Set(900)
+	s.Set(500)
+	s.Set(130)
+	if got := s.Min(); got != 130 {
+		t.Fatalf("Min = %d, want 130", got)
+	}
+	s.Clear(130)
+	if got := s.Min(); got != 500 {
+		t.Fatalf("Min = %d after clearing the old minimum, want 500", got)
+	}
+	s.Set(64) // exactly on a chunk boundary
+	if got := s.Min(); got != 64 {
+		t.Fatalf("Min = %d, want 64", got)
+	}
+}
+
+// TestSingleOnMultiWordSets: Single must reject sets whose one-bit
+// words are spread over several chunks, and recognise a singleton again
+// once the set shrinks back to one chunk with one bit.
+func TestSingleOnMultiWordSets(t *testing.T) {
+	s := Of(63, 64)
+	if _, ok := s.Single(); ok {
+		t.Fatal("Single on {63, 64} (two chunks, one bit each) reported a singleton")
+	}
+	s.Clear(63)
+	if id, ok := s.Single(); !ok || id != 64 {
+		t.Fatalf("Single = (%d, %v), want (64, true)", id, ok)
+	}
+	s.Set(65)
+	if _, ok := s.Single(); ok {
+		t.Fatal("Single on {64, 65} (one chunk, two bits) reported a singleton")
+	}
+}
+
+// TestCopyOntoLargerDestination: Copy must replace, not merge — stale
+// chunks of a wider destination have to disappear.
+func TestCopyOntoLargerDestination(t *testing.T) {
+	dst := Of(1, 100, 1000, 10000)
+	src := Of(5)
+	dst.Copy(src)
+	if !dst.Equal(src) {
+		t.Fatalf("dst = %v after Copy, want %v", dst, src)
+	}
+	if dst.Words() != 1 {
+		t.Fatalf("dst keeps %d words, want 1", dst.Words())
+	}
+	// And onto an empty source: the destination must drain.
+	dst.Copy(New())
+	if !dst.IsEmpty() {
+		t.Fatalf("dst = %v after Copy(empty), want empty", dst)
+	}
+}
+
+// TestHashStableUnderContentPreservingMutation: Hash is a pure function
+// of the members. Any mutation history that ends at the same contents —
+// including transient members in other chunks — must yield the same
+// hash and Equal result.
+func TestHashStableUnderContentPreservingMutation(t *testing.T) {
+	ref := Of(10, 200, 3000)
+
+	mutated := New()
+	mutated.Set(5000) // transient chunk, removed again below
+	mutated.Set(3000)
+	mutated.Set(10)
+	mutated.Set(11) // transient bit inside a kept chunk
+	mutated.Set(200)
+	mutated.Clear(5000)
+	mutated.Clear(11)
+
+	if !mutated.Equal(ref) {
+		t.Fatalf("mutated = %v, want %v", mutated, ref)
+	}
+	if mutated.Hash() != ref.Hash() {
+		t.Fatal("hash depends on mutation history, not contents")
+	}
+
+	viaSetOps := Of(10, 200, 3000, 77, 140)
+	viaSetOps.DifferenceWith(Of(77, 140))
+	if viaSetOps.Hash() != ref.Hash() || !viaSetOps.Equal(ref) {
+		t.Fatal("DifferenceWith leaves a structurally different set for equal contents")
+	}
+}

@@ -61,7 +61,10 @@ func (r *Result) PointsTo(v ir.ID) *bitset.Sparse {
 	return empty
 }
 
-// CalleesOf returns the flow-sensitively resolved callees of a call.
+// CalleesOf returns the flow-sensitively resolved callees of a call,
+// ordered by name with ties broken by entry label: names alone are not
+// unique (Function.Name is a mutable display string), and sorting map
+// keys by a non-unique key leaks map iteration order into the result.
 func (r *Result) CalleesOf(call *ir.Instr) []*ir.Function {
 	m := r.callees[call]
 	out := make([]*ir.Function, 0, len(m))
@@ -69,11 +72,20 @@ func (r *Result) CalleesOf(call *ir.Instr) []*ir.Function {
 		out = append(out, f)
 	}
 	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+		for j := i; j > 0 && funcLess(out[j], out[j-1]); j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
 	return out
+}
+
+// funcLess orders functions by name, then by entry label (unique per
+// function once the program is finalized).
+func funcLess(a, b *ir.Function) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.EntryInstr.Label < b.EntryInstr.Label
 }
 
 // ObjectSummary returns the union of o's points-to sets over every

@@ -1,0 +1,152 @@
+package oracle
+
+import (
+	"strings"
+
+	"vsfs/internal/ir"
+	"vsfs/internal/irparse"
+)
+
+// Minimize delta-debugs an IR program down to a small reproducer: it
+// repeatedly deletes functions, globals, and instruction lines from the
+// textual form, keeping every deletion under which the program still
+// parses, finalizes, and fails the predicate. The result is a local
+// minimum — removing any single remaining line either breaks the
+// program or makes the failure disappear.
+//
+// fails must be deterministic; it is called once per candidate, so its
+// cost dominates minimization time. If src does not fail to begin with,
+// Minimize returns src unchanged.
+func Minimize(src string, fails func(prog *ir.Program) bool) string {
+	lines := strings.Split(src, "\n")
+	alive := make([]bool, len(lines))
+	for i := range alive {
+		alive[i] = true
+	}
+
+	render := func(keep []bool) string {
+		var b strings.Builder
+		for i, l := range lines {
+			if keep[i] {
+				b.WriteString(l)
+				b.WriteByte('\n')
+			}
+		}
+		return b.String()
+	}
+	try := func(keep []bool) bool {
+		prog, err := irparse.Parse(render(keep))
+		if err != nil {
+			return false
+		}
+		return fails(prog)
+	}
+
+	if !try(alive) {
+		return src
+	}
+
+	without := func(from, to int) []bool {
+		cand := make([]bool, len(alive))
+		copy(cand, alive)
+		for i := from; i < to && i < len(cand); i++ {
+			cand[i] = false
+		}
+		return cand
+	}
+
+	for changed := true; changed; {
+		changed = false
+
+		// Pass 1: drop whole functions (their callers fail to parse, so
+		// only unreferenced functions actually go).
+		for _, span := range funcSpans(lines, alive) {
+			cand := without(span.start, span.end+1)
+			if try(cand) {
+				alive = cand
+				changed = true
+			}
+		}
+
+		// Pass 2: ddmin over the remaining deletable lines, halving the
+		// chunk size down to single lines.
+		cands := deletableLines(lines, alive)
+		for size := len(cands); size >= 1; size /= 2 {
+			for lo := 0; lo < len(cands); lo += size {
+				hi := lo + size
+				if hi > len(cands) {
+					hi = len(cands)
+				}
+				cand := make([]bool, len(alive))
+				copy(cand, alive)
+				removed := false
+				for _, idx := range cands[lo:hi] {
+					if cand[idx] {
+						cand[idx] = false
+						removed = true
+					}
+				}
+				if removed && try(cand) {
+					alive = cand
+					changed = true
+				}
+			}
+			if size == 1 {
+				break
+			}
+		}
+	}
+
+	// Normalize: parse the survivor and print it back, so corpus files
+	// are in canonical form regardless of the original's layout.
+	out := render(alive)
+	if prog, err := irparse.Parse(out); err == nil {
+		return prog.String()
+	}
+	return out
+}
+
+type span struct{ start, end int }
+
+// funcSpans returns the line ranges of function definitions that are
+// still fully alive.
+func funcSpans(lines []string, alive []bool) []span {
+	var out []span
+	for i := 0; i < len(lines); i++ {
+		if !alive[i] || !strings.HasPrefix(strings.TrimSpace(lines[i]), "func ") {
+			continue
+		}
+		for j := i + 1; j < len(lines); j++ {
+			if alive[j] && strings.TrimSpace(lines[j]) == "}" {
+				out = append(out, span{start: i, end: j})
+				i = j
+				break
+			}
+		}
+	}
+	return out
+}
+
+// deletableLines lists alive line indices that are plausible single
+// deletions: instruction and global lines, but not structure (func
+// headers, closing braces, block labels). Structural lines fall out via
+// the function pass or stay; deleting them alone only yields parse
+// errors.
+func deletableLines(lines []string, alive []bool) []int {
+	var out []int
+	for i, l := range lines {
+		if !alive[i] {
+			continue
+		}
+		t := strings.TrimSpace(l)
+		switch {
+		case t == "" || t == "}":
+		case strings.HasPrefix(t, "func "):
+		case strings.HasSuffix(t, ":"):
+		case strings.HasPrefix(t, "//") || strings.HasPrefix(t, "#"):
+		default:
+			out = append(out, i)
+		}
+	}
+	return out
+}

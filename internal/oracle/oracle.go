@@ -1,0 +1,419 @@
+// Package oracle is the differential-testing backbone of this
+// repository: it solves one program with Andersen's analysis, SFS, and
+// VSFS, and cross-checks the battery of invariants the paper's
+// correctness argument rests on — most importantly that VSFS is
+// bit-for-bit as precise as SFS (the versioning theorem of Section
+// IV-E), that both flow-sensitive analyses refine the auxiliary one,
+// and that solving is deterministic. Every future optimisation PR
+// regresses against this oracle: cmd/vsfs-fuzz drives it over random
+// workload programs, and testdata/regressions/ replays every minimized
+// divergence ever found.
+package oracle
+
+import (
+	"fmt"
+
+	"vsfs/internal/andersen"
+	"vsfs/internal/bitset"
+	"vsfs/internal/core"
+	"vsfs/internal/ir"
+	"vsfs/internal/irparse"
+	"vsfs/internal/memssa"
+	"vsfs/internal/sfs"
+	"vsfs/internal/svfg"
+	"vsfs/internal/workload"
+)
+
+// Violation is one invariant breach found by the oracle.
+type Violation struct {
+	// Invariant is a stable short key naming the broken property (see
+	// the check* functions and DESIGN.md §8 for the full list).
+	Invariant string
+	// Detail is a human-readable description pinpointing the breach.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Options tunes how much of the battery runs.
+type Options struct {
+	// SkipResolve disables the determinism/idempotence re-solve (the
+	// most expensive check: it solves both flow-sensitive analyses a
+	// second time).
+	SkipResolve bool
+	// MaxWitnesses caps the number of (pointer, object) facts replayed
+	// through the SVFG witness search; 0 means DefaultMaxWitnesses,
+	// negative means unlimited.
+	MaxWitnesses int
+	// MaxViolations stops checking after this many violations; 0 means
+	// DefaultMaxViolations, negative means unlimited.
+	MaxViolations int
+}
+
+// Defaults for Options' zero values.
+const (
+	DefaultMaxWitnesses  = 200
+	DefaultMaxViolations = 20
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxWitnesses == 0 {
+		o.MaxWitnesses = DefaultMaxWitnesses
+	}
+	if o.MaxViolations == 0 {
+		o.MaxViolations = DefaultMaxViolations
+	}
+	return o
+}
+
+// Bundle holds one program solved by all three analyses over clones of
+// the same SVFG, the shape every cross-analysis invariant needs.
+type Bundle struct {
+	Prog *ir.Program
+	Aux  *andersen.Result
+	// Graph is the pristine SVFG (no on-the-fly edges added).
+	Graph *svfg.Graph
+	SFS   *sfs.Result
+	VSFS  *core.Result
+}
+
+// SolveBundle runs the full staged pipeline once and both flow-sensitive
+// main phases over independent clones of the resulting SVFG.
+func SolveBundle(prog *ir.Program) *Bundle {
+	aux := andersen.Analyze(prog)
+	mssa := memssa.Build(prog, aux)
+	g := svfg.Build(prog, aux, mssa)
+	return &Bundle{
+		Prog:  prog,
+		Aux:   aux,
+		Graph: g,
+		SFS:   sfs.Solve(g.Clone()),
+		VSFS:  core.Solve(g.Clone()),
+	}
+}
+
+// checker accumulates violations up to the configured cap.
+type checker struct {
+	b    *Bundle
+	opts Options
+	out  []Violation
+	full bool
+}
+
+func (c *checker) failf(invariant, format string, args ...any) {
+	if c.full {
+		return
+	}
+	c.out = append(c.out, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+	if c.opts.MaxViolations > 0 && len(c.out) >= c.opts.MaxViolations {
+		c.full = true
+	}
+}
+
+// Check runs the whole battery on an already-solved bundle.
+func Check(b *Bundle, opts Options) []Violation {
+	c := &checker{b: b, opts: opts.withDefaults()}
+	c.checkTopLevel()
+	c.checkMemory()
+	c.checkCallGraph()
+	c.checkStorage()
+	c.checkWitnesses()
+	if !c.opts.SkipResolve {
+		c.checkResolve()
+	}
+	return c.out
+}
+
+// CheckProgram solves prog with all three analyses and checks the
+// battery. The program must be finalized and never previously analysed.
+func CheckProgram(prog *ir.Program, opts Options) []Violation {
+	return Check(SolveBundle(prog), opts)
+}
+
+// CheckSource parses textual IR and checks it; parse failures are
+// reported as a violation rather than an error so corpus replay loops
+// stay simple.
+func CheckSource(src string, opts Options) []Violation {
+	prog, err := irparse.Parse(src)
+	if err != nil {
+		return []Violation{{Invariant: "parse", Detail: err.Error()}}
+	}
+	return CheckProgram(prog, opts)
+}
+
+// CheckSeed generates the workload program for (seed, cfg) and checks
+// it.
+func CheckSeed(seed int64, cfg workload.RandomConfig, opts Options) []Violation {
+	return CheckProgram(workload.Random(seed, cfg), opts)
+}
+
+// checkTopLevel asserts, for every top-level pointer v:
+//
+//	vsfs-eq-toplevel:  pts_VSFS(v) = pts_SFS(v)   (the precision theorem)
+//	sfs-subset-aux:    pts_SFS(v) ⊆ pts_aux(v)    (staging soundness)
+func (c *checker) checkTopLevel() {
+	b := c.b
+	for id := ir.ID(1); int(id) < b.Prog.NumValues(); id++ {
+		if c.full {
+			return
+		}
+		if !b.Prog.IsPointer(id) {
+			continue
+		}
+		sp, vp := b.SFS.PointsTo(id), b.VSFS.PointsTo(id)
+		if !sp.Equal(vp) {
+			c.failf("vsfs-eq-toplevel", "pts(%s): SFS %v ≠ VSFS %v", b.Prog.NameOf(id), sp, vp)
+		}
+		if !sp.SubsetOf(b.Aux.PointsTo(id)) {
+			c.failf("sfs-subset-aux", "pts(%s): SFS %v ⊄ Andersen %v",
+				b.Prog.NameOf(id), sp, b.Aux.PointsTo(id))
+		}
+	}
+}
+
+// checkMemory asserts the address-taken half of the precision theorem at
+// every memory access ℓ and every object o it μ/χ-references:
+//
+//	vsfs-eq-consumed:  pt_{ξ_ℓ(o)}(o) = IN_SFS[ℓ](o)
+//	vsfs-eq-yielded:   pt_{η_ℓ(o)}(o) = OUT_SFS[ℓ](o)   (stores)
+//	sfs-in-subset-aux: IN_SFS[ℓ](o) ⊆ pts_aux(o)
+func (c *checker) checkMemory() {
+	b := c.b
+	mssa := b.Graph.MSSA
+	for _, f := range b.Prog.Funcs {
+		if c.full {
+			return
+		}
+		f.ForEachInstr(func(in *ir.Instr) {
+			if c.full {
+				return
+			}
+			switch in.Op {
+			case ir.Load:
+				mssa.MuOf(in.Label).ForEach(func(o32 uint32) {
+					o := ir.ID(o32)
+					ss, vs := b.SFS.InSet(in.Label, o), b.VSFS.ConsumedSet(in.Label, o)
+					if !ss.Equal(vs) {
+						c.failf("vsfs-eq-consumed", "load ℓ%d, %s: SFS IN %v ≠ VSFS %v",
+							in.Label, b.Prog.NameOf(o), ss, vs)
+					}
+					if !ss.SubsetOf(b.Aux.PointsTo(o)) {
+						c.failf("sfs-in-subset-aux", "load ℓ%d, %s: IN %v ⊄ Andersen %v",
+							in.Label, b.Prog.NameOf(o), ss, b.Aux.PointsTo(o))
+					}
+				})
+			case ir.Store:
+				mssa.ChiOf(in.Label).ForEach(func(o32 uint32) {
+					o := ir.ID(o32)
+					ss, vs := b.SFS.InSet(in.Label, o), b.VSFS.ConsumedSet(in.Label, o)
+					if !ss.Equal(vs) {
+						c.failf("vsfs-eq-consumed", "store ℓ%d, %s: SFS IN %v ≠ VSFS %v",
+							in.Label, b.Prog.NameOf(o), ss, vs)
+					}
+					so, vo := b.SFS.OutSet(in.Label, o), b.VSFS.YieldedSet(in.Label, o)
+					if !so.Equal(vo) {
+						c.failf("vsfs-eq-yielded", "store ℓ%d, %s: SFS OUT %v ≠ VSFS %v",
+							in.Label, b.Prog.NameOf(o), so, vo)
+					}
+				})
+			}
+		})
+	}
+}
+
+// checkCallGraph asserts per call site:
+//
+//	vsfs-eq-callgraph:  callees_VSFS = callees_SFS (same functions, same order)
+//	sfs-cg-subset-aux:  callees_SFS ⊆ callees_aux  (indirect calls)
+func (c *checker) checkCallGraph() {
+	b := c.b
+	for _, f := range b.Prog.Funcs {
+		if c.full {
+			return
+		}
+		f.ForEachInstr(func(in *ir.Instr) {
+			if c.full || in.Op != ir.Call {
+				return
+			}
+			sc, vc := b.SFS.CalleesOf(in), b.VSFS.CalleesOf(in)
+			if len(sc) != len(vc) {
+				c.failf("vsfs-eq-callgraph", "call ℓ%d: SFS %v ≠ VSFS %v", in.Label, sc, vc)
+				return
+			}
+			for i := range sc {
+				if sc[i] != vc[i] {
+					c.failf("vsfs-eq-callgraph", "call ℓ%d: SFS %v ≠ VSFS %v", in.Label, sc, vc)
+					return
+				}
+			}
+			if in.IsIndirectCall() {
+				aux := map[*ir.Function]bool{}
+				for _, g := range b.Aux.CalleesOf(in) {
+					aux[g] = true
+				}
+				for _, g := range sc {
+					if !aux[g] {
+						c.failf("sfs-cg-subset-aux", "call ℓ%d: SFS resolves %s, Andersen does not",
+							in.Label, g.Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// checkStorage asserts the paper's storage claim: VSFS never keeps more
+// per-object points-to sets than SFS's IN/OUT maps (vsfs-storage).
+func (c *checker) checkStorage() {
+	if c.b.VSFS.Stats.PtsSets > c.b.SFS.Stats.PtsSets {
+		c.failf("vsfs-storage", "VSFS stores %d sets, SFS %d",
+			c.b.VSFS.Stats.PtsSets, c.b.SFS.Stats.PtsSets)
+	}
+}
+
+// checkWitnesses replays solved facts through the SVFG witness search:
+// every (v, o) with o ∈ pts_VSFS(v) and a known definition site must
+// have a value-flow explanation from o's allocation to v's definition
+// (witness-replay). A missing witness means the solver produced a fact
+// the graph cannot justify.
+func (c *checker) checkWitnesses() {
+	b := c.b
+	// Witness search runs on the VSFS-solved clone: it carries the
+	// on-the-fly indirect edges the resolution added.
+	g := b.VSFS.Graph
+	prog := b.Prog
+
+	summaries := map[ir.ID]*bitset.Sparse{}
+	holds := func(x, o ir.ID) bool {
+		if prog.IsPointer(x) {
+			return b.VSFS.PointsTo(x).Has(uint32(o))
+		}
+		s := summaries[x]
+		if s == nil {
+			s = b.VSFS.ObjectSummary(x)
+			summaries[x] = s
+		}
+		return s.Has(uint32(o))
+	}
+
+	checked := 0
+	for id := ir.ID(1); int(id) < prog.NumValues(); id++ {
+		if c.full {
+			return
+		}
+		if !prog.IsPointer(id) || g.DefSite[id] == 0 {
+			continue
+		}
+		target := g.DefSite[id]
+		if prog.Instrs[target].Op == ir.FunEntry {
+			// Parameters have no intraprocedural definition to chain
+			// back from; their facts are justified at call sites.
+			continue
+		}
+		var bad bool
+		b.VSFS.PointsTo(id).ForEach(func(o32 uint32) {
+			if bad || c.full {
+				return
+			}
+			if c.opts.MaxWitnesses > 0 && checked >= c.opts.MaxWitnesses {
+				return
+			}
+			checked++
+			o := ir.ID(o32)
+			w := g.ExplainPointsTo(holds, id, o)
+			if w == nil {
+				c.failf("witness-replay", "no witness for %s → %s",
+					prog.NameOf(id), prog.NameOf(o))
+				bad = true
+				return
+			}
+			if len(w.Steps) == 0 {
+				c.failf("witness-replay", "empty witness for %s → %s",
+					prog.NameOf(id), prog.NameOf(o))
+				bad = true
+				return
+			}
+			first, last := w.Steps[0], w.Steps[len(w.Steps)-1]
+			if first.Instr == nil || (first.Instr.Op != ir.Alloc && first.Instr.Op != ir.Field) {
+				c.failf("witness-replay", "witness for %s → %s does not start at an origin site",
+					prog.NameOf(id), prog.NameOf(o))
+				bad = true
+				return
+			}
+			if last.Label != target {
+				c.failf("witness-replay", "witness for %s → %s ends at ℓ%d, def site is ℓ%d",
+					prog.NameOf(id), prog.NameOf(o), last.Label, target)
+				bad = true
+			}
+		})
+		if c.opts.MaxWitnesses > 0 && checked >= c.opts.MaxWitnesses {
+			return
+		}
+	}
+}
+
+// checkResolve solves both flow-sensitive analyses a second time over
+// fresh clones and asserts the results are identical (solve-determinism):
+// worklist scheduling and map iteration order must not leak into the
+// fixpoint.
+func (c *checker) checkResolve() {
+	b := c.b
+	sfs2 := sfs.Solve(b.Graph.Clone())
+	vsfs2 := core.Solve(b.Graph.Clone())
+	for id := ir.ID(1); int(id) < b.Prog.NumValues(); id++ {
+		if c.full {
+			return
+		}
+		if !b.Prog.IsPointer(id) {
+			continue
+		}
+		if !b.SFS.PointsTo(id).Equal(sfs2.PointsTo(id)) {
+			c.failf("solve-determinism", "SFS re-solve differs at pts(%s)", b.Prog.NameOf(id))
+		}
+		if !b.VSFS.PointsTo(id).Equal(vsfs2.PointsTo(id)) {
+			c.failf("solve-determinism", "VSFS re-solve differs at pts(%s)", b.Prog.NameOf(id))
+		}
+	}
+	for _, f := range b.Prog.Funcs {
+		if c.full {
+			return
+		}
+		f.ForEachInstr(func(in *ir.Instr) {
+			if c.full || in.Op != ir.Call {
+				return
+			}
+			v1, v2 := b.VSFS.CalleesOf(in), vsfs2.CalleesOf(in)
+			if len(v1) != len(v2) {
+				c.failf("solve-determinism", "VSFS re-solve call graph differs at ℓ%d", in.Label)
+				return
+			}
+			for i := range v1 {
+				if v1[i] != v2[i] {
+					c.failf("solve-determinism", "VSFS re-solve callee order differs at ℓ%d: %v vs %v",
+						in.Label, v1, v2)
+					return
+				}
+			}
+		})
+	}
+}
+
+// CountInstrs counts the user-visible instructions of a program — the
+// size metric minimized reproducers are measured by. Synthetic nodes
+// (FUNENTRY/FUNEXIT/MEMPHI/CallRet) and the globals function's ALLOCs
+// are excluded.
+func CountInstrs(prog *ir.Program) int {
+	n := 0
+	for _, f := range prog.Funcs {
+		if f == prog.GlobalsFunc() {
+			continue
+		}
+		f.ForEachInstr(func(in *ir.Instr) {
+			switch in.Op {
+			case ir.Alloc, ir.Copy, ir.Phi, ir.Field, ir.Load, ir.Store, ir.Call:
+				n++
+			}
+		})
+	}
+	return n
+}

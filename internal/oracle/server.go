@@ -1,0 +1,116 @@
+package oracle
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"vsfs/internal/ir"
+	"vsfs/internal/server"
+)
+
+// CheckServerIdentity exercises the daemon's cache and single-flight
+// layers against the cold-solve result for prog:
+//
+//	server-cache-identity:  a cache hit's body is byte-identical to the
+//	                        miss that populated it, and marked as a hit.
+//	server-flight-identity: N concurrent identical requests against a
+//	                        cold server all return bodies byte-identical
+//	                        to each other and to the cold solve.
+//
+// Responses are deterministic by design (sorted keys everywhere), so
+// byte equality is the correct notion of "same result".
+func CheckServerIdentity(prog *ir.Program) []Violation {
+	src := prog.String()
+	body := fmt.Sprintf(`{"source": %q, "lang": "ir", "mode": "vsfs"}`, src)
+	var out []Violation
+	failf := func(invariant, format string, args ...any) {
+		out = append(out, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	post := func(ts *httptest.Server) (int, string, []byte, error) {
+		resp, err := http.Post(ts.URL+"/analyze", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return 0, "", nil, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return 0, "", nil, err
+		}
+		return resp.StatusCode, resp.Header.Get("X-Vsfs-Cache"), buf.Bytes(), nil
+	}
+
+	closeAll := func(srv *server.Server, ts *httptest.Server) {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	}
+
+	// Cold solve, then a cache hit on the same server.
+	srv := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	coldStatus, coldCache, coldBody, err := post(ts)
+	if err != nil {
+		closeAll(srv, ts)
+		failf("server-cache-identity", "cold request failed: %v", err)
+		return out
+	}
+	if coldStatus != http.StatusOK {
+		closeAll(srv, ts)
+		failf("server-cache-identity", "cold solve returned %d: %s", coldStatus, coldBody)
+		return out
+	}
+	if coldCache != "miss" {
+		failf("server-cache-identity", "cold solve marked %q, want miss", coldCache)
+	}
+	warmStatus, warmCache, warmBody, err := post(ts)
+	closeAll(srv, ts)
+	if err != nil || warmStatus != http.StatusOK {
+		failf("server-cache-identity", "warm request failed: status %d, err %v", warmStatus, err)
+		return out
+	}
+	if warmCache != "hit" {
+		failf("server-cache-identity", "repeat request marked %q, want hit", warmCache)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		failf("server-cache-identity", "cache hit body differs from the miss that populated it")
+	}
+
+	// Concurrent identical requests against a fresh (cold) server: the
+	// single-flight layer must hand every waiter the same result, and
+	// that result must match the independent cold solve above.
+	const concurrent = 8
+	srv2 := server.New(server.Config{Workers: 2})
+	ts2 := httptest.NewServer(srv2)
+	bodies := make([][]byte, concurrent)
+	errs := make([]error, concurrent)
+	statuses := make([]int, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _, bodies[i], errs[i] = post(ts2)
+		}(i)
+	}
+	wg.Wait()
+	closeAll(srv2, ts2)
+	for i := 0; i < concurrent; i++ {
+		if errs[i] != nil || statuses[i] != http.StatusOK {
+			failf("server-flight-identity", "concurrent request %d failed: status %d, err %v",
+				i, statuses[i], errs[i])
+			return out
+		}
+		if !bytes.Equal(bodies[i], coldBody) {
+			failf("server-flight-identity", "concurrent request %d body differs from cold solve", i)
+			return out
+		}
+	}
+	return out
+}

@@ -83,6 +83,17 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 	case <-c.done:
 		return c.res, shared, c.err
 	case <-ctx.Done():
+		// When done and ctx.Done() are both ready, select picks at
+		// random — a request whose deadline expires just as the shared
+		// solve completes must still get the ready result, not a 504.
+		// Re-check done non-blockingly before honouring ctx.Err(); the
+		// completion path never touches the waiter refcount, so taking
+		// it here keeps the bookkeeping consistent.
+		select {
+		case <-c.done:
+			return c.res, shared, c.err
+		default:
+		}
 		g.mu.Lock()
 		c.waiters--
 		last := c.waiters == 0

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"vsfs"
+)
+
+// TestFlightReadyResultBeatsExpiredContext is the regression test for
+// the done/ctx.Done() select race: when the shared solve has already
+// completed, a waiter whose context expired at the same moment must
+// return the ready result, never ctx.Err(). Pre-fix, select picked
+// between the two ready channels at random, so this failed roughly
+// half of its iterations.
+func TestFlightReadyResultBeatsExpiredContext(t *testing.T) {
+	g := newFlightGroup(0)
+	want := &vsfs.Result{}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // both channels ready from the very first select
+
+	for i := 0; i < 300; i++ {
+		// Plant a completed call: done closed, result written — the
+		// state do() observes when the solve finishes just as the
+		// waiter's deadline passes.
+		c := &flightCall{done: make(chan struct{}), cancel: func() {}, waiters: 1}
+		c.res = want
+		close(c.done)
+		g.mu.Lock()
+		g.calls["k"] = c
+		g.mu.Unlock()
+
+		res, shared, err := g.do(ctx, "k", func(context.Context) (*vsfs.Result, error) {
+			t.Fatal("fn must not run: a call for this key is already complete")
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatalf("iteration %d: got err %v with a ready result", i, err)
+		}
+		if res != want {
+			t.Fatalf("iteration %d: got res %p, want the planted result", i, res)
+		}
+		if !shared {
+			t.Fatalf("iteration %d: joining an in-flight call must report shared", i)
+		}
+
+		g.mu.Lock()
+		delete(g.calls, "k")
+		g.mu.Unlock()
+	}
+}
+
+// TestFlightExpiredContextStillAbandonsRunningSolve pins the other side
+// of the fix: when the solve is NOT done, an expired context must still
+// abandon the call promptly, and the last waiter's abandonment cancels
+// the underlying solve.
+func TestFlightExpiredContextStillAbandonsRunningSolve(t *testing.T) {
+	g := newFlightGroup(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	release := make(chan struct{})
+	var cancelled sync.WaitGroup
+	cancelled.Add(1)
+	_, _, err := g.do(ctx, "k", func(solveCtx context.Context) (*vsfs.Result, error) {
+		go func() {
+			defer cancelled.Done()
+			<-solveCtx.Done() // the abandoned solve must be cancelled
+		}()
+		<-release
+		return nil, solveCtx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	done := make(chan struct{})
+	go func() { cancelled.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoning the last waiter did not cancel the solve context")
+	}
+	close(release)
+}

@@ -1,0 +1,49 @@
+package sfs
+
+import (
+	"testing"
+
+	"vsfs/internal/andersen"
+	"vsfs/internal/ir"
+	"vsfs/internal/memssa"
+	"vsfs/internal/svfg"
+)
+
+// TestCalleesOfDuplicateNamesDeterministic mirrors the core package's
+// regression test: two distinct functions renamed to collide must come
+// back from CalleesOf in a stable order (name, then entry label), not
+// map iteration order.
+func TestCalleesOfDuplicateNamesDeterministic(t *testing.T) {
+	prog := ir.NewProgram()
+	h1 := prog.NewFunction("h1", 0)
+	h2 := prog.NewFunction("h2", 0)
+	mainFn := prog.NewFunction("main", 0)
+
+	b := mainFn.Entry
+	fp1 := prog.NewPointer("fp1")
+	mainFn.EmitAlloc(b, fp1, prog.FuncObj(h1))
+	fp2 := prog.NewPointer("fp2")
+	mainFn.EmitAlloc(b, fp2, prog.FuncObj(h2))
+	ph := prog.NewPointer("ph")
+	mainFn.EmitPhi(b, ph, fp1, fp2)
+	call := mainFn.EmitCallIndirect(b, ir.None, ph)
+
+	if err := prog.Finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	h1.Name, h2.Name = "handler", "handler"
+
+	aux := andersen.Analyze(prog)
+	mssa := memssa.Build(prog, aux)
+	r := Solve(svfg.Build(prog, aux, mssa))
+
+	for i := 0; i < 64; i++ {
+		got := r.CalleesOf(call)
+		if len(got) != 2 {
+			t.Fatalf("CalleesOf = %v, want both handlers", got)
+		}
+		if got[0] != h1 || got[1] != h2 {
+			t.Fatalf("iteration %d: CalleesOf order differs from entry-label tie-break", i)
+		}
+	}
+}

@@ -15,9 +15,10 @@ type WitnessStep struct {
 }
 
 // Witness is a value-flow path explaining why a pointer may point to an
-// object: it starts at the object's allocation site and follows direct
-// (top-level) and indirect (through-memory) value-flow edges to the
-// pointer's definition.
+// object: it starts at one of the object's origin sites (an allocation,
+// or the FIELD instruction that derived a field object) and follows
+// direct (top-level) and indirect (through-memory) value-flow edges to
+// the pointer's definition.
 type Witness struct {
 	Var   ir.ID
 	Obj   ir.ID
@@ -50,17 +51,26 @@ func (w *Witness) Format(prog *ir.Program) string {
 func (g *Graph) ExplainPointsTo(holds func(x ir.ID, o ir.ID) bool, v, obj ir.ID) *Witness {
 	prog := g.Prog
 
-	// Find the allocation site of obj (or of its base for field objects).
-	base := prog.Value(obj).Base
-	var alloc *ir.Instr
+	// Find every origin site of obj. Most objects have exactly one
+	// allocation, but a function object is re-allocated by every
+	// funcaddr of its function, and a field object is born at FIELD
+	// instructions, not allocations: a FIELD's def holds only objects
+	// the instruction itself derived, so holds(def, obj) identifies the
+	// deriving sites without re-running the analysis. Seeding the search
+	// from one arbitrary site (as this function once did) made witnesses
+	// for facts reached from the other sites unfindable.
+	var origins []*ir.Instr
 	for _, f := range prog.Funcs {
 		f.ForEachInstr(func(in *ir.Instr) {
-			if in.Op == ir.Alloc && (in.Obj == obj || in.Obj == base) {
-				alloc = in
+			switch {
+			case in.Op == ir.Alloc && in.Obj == obj:
+				origins = append(origins, in)
+			case in.Op == ir.Field && in.Def != ir.None && holds(in.Def, obj):
+				origins = append(origins, in)
 			}
 		})
 	}
-	if alloc == nil {
+	if len(origins) == 0 {
 		return nil
 	}
 
@@ -143,8 +153,19 @@ func (g *Graph) ExplainPointsTo(holds func(x ir.ID, o ir.ID) bool, v, obj ir.ID)
 		prev  int
 		note  string
 	}
-	visits := []visit{{label: alloc.Label, prev: -1, note: "allocation"}}
-	seen := map[uint32]bool{alloc.Label: true}
+	var visits []visit
+	seen := map[uint32]bool{}
+	for _, origin := range origins {
+		if seen[origin.Label] {
+			continue
+		}
+		seen[origin.Label] = true
+		note := "allocation"
+		if origin.Op == ir.Field {
+			note = "field address"
+		}
+		visits = append(visits, visit{label: origin.Label, prev: -1, note: note})
+	}
 	for i := 0; i < len(visits); i++ {
 		cur := visits[i]
 		if cur.label == target {
