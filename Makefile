@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench serve fuzz fuzz-native
+.PHONY: build test race vet fmt-check bench serve fuzz fuzz-native faults
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,7 @@ fuzz:
 fuzz-native:
 	$(GO) test -run NONE -fuzz FuzzSparseLaws -fuzztime 30s ./internal/bitset/
 	$(GO) test -run NONE -fuzz FuzzInternerStability -fuzztime 30s ./internal/bitset/
+
+faults:
+	$(GO) test -race -run 'Fault|Shed|Degrad|Breaker|Overload' ./...
+	$(GO) run ./cmd/vsfs-fuzz -faults -skip-resolve -seeds 50

@@ -7,8 +7,16 @@
 //	vsfs-fuzz -profile all               check all 15 named profiles
 //	vsfs-fuzz -mode server -seeds 20     daemon cache/single-flight identity
 //	vsfs-fuzz -mode all -seeds 100       solver battery and daemon checks
+//	vsfs-fuzz -faults -seeds 50          fault-injection battery per program
 //	vsfs-fuzz -minimize -out regressions minimize failures into a corpus
 //	vsfs-fuzz -skip-resolve              skip the re-solve determinism check
+//
+// With -faults each program is additionally run through the resource-
+// governance battery (internal/oracle CheckDegradation, CheckFaults):
+// deterministic panics in every pipeline phase and seeded budget
+// blowouts, asserting the process never dies, panics surface as typed
+// phase errors, and an over-budget run degrades to exactly the
+// standalone Andersen result — never an unsound partial one.
 //
 // Every failing program is reported with its violations; with -minimize
 // it is also delta-debugged to a minimal reproducer and written to the
@@ -38,6 +46,7 @@ func main() {
 
 type fuzzConfig struct {
 	mode       string
+	faults     bool
 	minimize   bool
 	outDir     string
 	opts       oracle.Options
@@ -53,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	start := fs.Int64("start", 0, "first seed of the window")
 	mode := fs.String("mode", "diff", "what to check: diff (solver battery), server (daemon identity), or all")
 	profile := fs.String("profile", "", "check a named benchmark profile instead of random seeds (or \"all\")")
+	faults := fs.Bool("faults", false, "also run the fault-injection battery (panic isolation, budget degradation) on every program")
 	minimize := fs.Bool("minimize", false, "delta-debug each failure to a minimal reproducer")
 	outDir := fs.String("out", "regressions", "directory minimized reproducers are written to")
 	skipResolve := fs.Bool("skip-resolve", false, "skip the re-solve determinism check (the most expensive invariant)")
@@ -69,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fc := &fuzzConfig{
 		mode:     *mode,
+		faults:   *faults,
 		minimize: *minimize,
 		outDir:   *outDir,
 		opts:     oracle.Options{SkipResolve: *skipResolve, MaxWitnesses: *maxWitnesses},
@@ -90,22 +101,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			profiles = []workload.Profile{*p}
 		}
-		for _, p := range profiles {
-			fc.checkOne(p.Name, p.Build())
+		for i, p := range profiles {
+			fc.checkOne(p.Name, p.Build(), int64(i))
 		}
 		return fc.verdict(len(profiles))
 	}
 
 	for seed := *start; seed < *start+*seeds; seed++ {
 		name := fmt.Sprintf("seed %d", seed)
-		fc.checkOne(name, workload.Random(seed, workload.DefaultRandomConfig()))
+		fc.checkOne(name, workload.Random(seed, workload.DefaultRandomConfig()), seed)
 	}
 	return fc.verdict(int(*seeds))
 }
 
 // checkOne runs the configured checks on one program and records any
-// violations, minimizing and saving a reproducer when asked to.
-func (fc *fuzzConfig) checkOne(name string, prog *ir.Program) {
+// violations, minimizing and saving a reproducer when asked to. The
+// fault battery re-parses the program's textual form per run because
+// the pipeline finalizes (renumbers) the program it analyses.
+func (fc *fuzzConfig) checkOne(name string, prog *ir.Program, seed int64) {
+	var src string
+	if fc.faults {
+		src = prog.String()
+	}
 	if fc.mode == "diff" || fc.mode == "all" {
 		if vs := oracle.CheckProgram(prog, fc.opts); len(vs) > 0 {
 			fc.report(name, prog, vs)
@@ -113,6 +130,16 @@ func (fc *fuzzConfig) checkOne(name string, prog *ir.Program) {
 	}
 	if fc.mode == "server" || fc.mode == "all" {
 		if vs := oracle.CheckServerIdentity(prog); len(vs) > 0 {
+			fc.violations += len(vs)
+			for _, v := range vs {
+				fmt.Fprintf(fc.stdout, "FAIL %s: %s\n", name, v)
+			}
+		}
+	}
+	if fc.faults {
+		vs := oracle.CheckDegradation(src, fc.opts)
+		vs = append(vs, oracle.CheckFaults(src, seed, fc.opts)...)
+		if len(vs) > 0 {
 			fc.violations += len(vs)
 			for _, v := range vs {
 				fmt.Fprintf(fc.stdout, "FAIL %s: %s\n", name, v)

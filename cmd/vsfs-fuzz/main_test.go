@@ -30,6 +30,16 @@ func TestShiftedWindowAndSkipResolve(t *testing.T) {
 	}
 }
 
+func TestFaultsMode(t *testing.T) {
+	code, out, errOut := runCLI(t, "-faults", "-skip-resolve", "-seeds", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "3 program(s), no violations") {
+		t.Fatalf("unexpected verdict: %q", out)
+	}
+}
+
 func TestServerMode(t *testing.T) {
 	code, out, _ := runCLI(t, "-mode", "server", "-seeds", "1")
 	if code != 0 {

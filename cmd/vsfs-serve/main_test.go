@@ -125,6 +125,73 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeGovernanceFlags boots with the resource-governance knobs
+// set and verifies the daemon still solves and exports the governance
+// counters.
+func TestServeGovernanceFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	var out, errb strings.Builder
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0",
+			"-max-steps", "1000000000", "-max-mem", "1000000000",
+			"-breaker-threshold", "5", "-breaker-open", "10s"},
+			ctx, ready, &out, &errb)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+	base := "http://" + addr
+
+	src := `int main() { int a; int *p; p = &a; return 0; }`
+	resp, err := http.Post(base+"/analyze", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"source":%q}`, src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/analyze under budgets: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Vsfs-Degraded") != "" {
+		t.Fatal("generous budget degraded the solve")
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"vsfs_shed_requests_total 0",
+		"vsfs_degraded_results_total 0",
+		"vsfs_breaker_opens_total 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
 func TestServeBadFlags(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-bogus"}, context.Background(), nil, &out, &errb); code != 2 {

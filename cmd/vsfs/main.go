@@ -13,8 +13,14 @@
 //	vsfs -why p prog.c             explain why p points to what it does
 //	vsfs -json prog.c              print the full result as canonical JSON
 //	vsfs -timeout 5s prog.c        abort cleanly if analysis exceeds 5s
+//	vsfs -max-steps 1e6 prog.c     degrade to Andersen past a step budget
+//	vsfs -max-mem 64e6 prog.c      degrade to Andersen past a memory budget
 //	vsfs -trace out.json prog.c    write a Chrome trace of the pipeline phases
 //	vsfs -v prog.c                 log analysis progress to stderr
+//
+// Exit codes: 0 success; 1 analysis error (or findings with -check);
+// 2 usage error; 3 success with a degraded (flow-insensitive) result
+// after exceeding -max-steps/-max-mem; 4 timed out (-timeout).
 package main
 
 import (
@@ -32,12 +38,22 @@ import (
 	"vsfs/internal/andersen"
 	"vsfs/internal/checker"
 	"vsfs/internal/core"
+	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 	"vsfs/internal/irparse"
 	"vsfs/internal/lang"
 	"vsfs/internal/memssa"
 	"vsfs/internal/obs"
 	"vsfs/internal/svfg"
+)
+
+// Exit codes; part of the CLI contract (see the package comment).
+const (
+	exitOK       = 0 // full-precision success
+	exitError    = 1 // analysis error, or findings under -check
+	exitUsage    = 2 // bad flags or arguments
+	exitDegraded = 3 // success, but degraded to the flow-insensitive result
+	exitTimeout  = 4 // -timeout elapsed before the analysis finished
 )
 
 func main() {
@@ -59,11 +75,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	check := fs.Bool("check", false, "run the bug-finding clients (null-deref, dangling returns, stack escapes)")
 	why := fs.String("why", "", "explain a points-to fact: print value-flow witnesses for every object the named variable may reference (name or func.name)")
 	jsonOut := fs.Bool("json", false, "print the full result (points-to, call graph, findings, stats) as canonical JSON")
-	timeout := fs.Duration("timeout", 0, "abort analysis after this long with a clean error and non-zero exit (0 = no limit)")
+	timeout := fs.Duration("timeout", 0, "abort analysis after this long, exiting 4 (0 = no limit)")
+	maxSteps := fs.Int64("max-steps", 0, "worklist-step budget; past it the run degrades to the flow-insensitive result and exits 3 (0 = no limit)")
+	maxMem := fs.Int64("max-mem", 0, "points-to storage budget in bytes; past it the run degrades and exits 3 (0 = no limit)")
 	traceOut := fs.String("trace", "", "write the pipeline phases as Chrome trace_event JSON to this file (open in Perfetto)")
 	verbose := fs.Bool("v", false, "log analysis progress to stderr")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitUsage
 	}
 
 	logger := obs.Discard()
@@ -77,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	ctx = guard.WithBudget(ctx, guard.NewBudget(*maxSteps, *maxMem, 0))
 
 	if *traceOut != "" {
 		tr := obs.NewTrace()
@@ -100,16 +119,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: vsfs [flags] <file.c|file.vir>")
+		fmt.Fprintln(stderr, "exit codes: 0 ok, 1 error/findings, 2 usage, 3 degraded result, 4 timeout")
 		fs.PrintDefaults()
-		return 2
+		return exitUsage
 	}
 	fail := func(err error) int {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(stderr, "vsfs: analysis timed out (-timeout %v)\n", *timeout)
-			return 1
+			return exitTimeout
 		}
 		fmt.Fprintln(stderr, "vsfs:", err)
-		return 1
+		return exitError
+	}
+	// exit folds degradation into a success path's code and tells the
+	// user on stderr (stdout stays the machine-readable result).
+	exit := func(results ...*vsfs.Result) int {
+		for _, r := range results {
+			if r.Degraded() {
+				fmt.Fprintln(stderr, "vsfs: degraded:", r.Degradation())
+				return exitDegraded
+			}
+		}
+		return exitOK
 	}
 	path := fs.Arg(0)
 	src, err := os.ReadFile(path)
@@ -129,13 +160,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if perr != nil {
 			return fail(perr)
 		}
-		aux := andersen.Analyze(prog)
-		mssa := memssa.Build(prog, aux)
-		g := svfg.Build(prog, aux, mssa)
+		aux, aerr := andersen.AnalyzeContext(ctx, prog)
+		if aerr != nil {
+			return fail(aerr)
+		}
+		mssa, merr := memssa.BuildContext(ctx, prog, aux)
+		if merr != nil {
+			return fail(merr)
+		}
+		g, gerr := svfg.BuildContext(ctx, prog, aux, mssa)
+		if gerr != nil {
+			return fail(gerr)
+		}
 		if err := g.WriteDot(stdout); err != nil {
 			return fail(err)
 		}
-		return 0
+		return exitOK
 	}
 
 	if *dumpIR {
@@ -185,8 +225,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if aerr != nil {
 			return fail(aerr)
 		}
-		mssa := memssa.Build(prog, aux)
-		g := svfg.Build(prog, aux, mssa)
+		mssa, merr := memssa.BuildContext(ctx, prog, aux)
+		if merr != nil {
+			return fail(merr)
+		}
+		g, gerr := svfg.BuildContext(ctx, prog, aux, mssa)
+		if gerr != nil {
+			return fail(gerr)
+		}
 		solved, serr := core.SolveContext(ctx, g)
 		if serr != nil {
 			return fail(serr)
@@ -200,9 +246,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "%d finding(s)\n", len(all))
 		if len(all) > 0 {
-			return 1
+			return exitError
 		}
-		return 0
+		return exitOK
 	}
 
 	if *why != "" {
@@ -220,8 +266,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if aerr != nil {
 			return fail(aerr)
 		}
-		mssa := memssa.Build(prog, aux)
-		g := svfg.Build(prog, aux, mssa)
+		mssa, merr := memssa.BuildContext(ctx, prog, aux)
+		if merr != nil {
+			return fail(merr)
+		}
+		g, gerr := svfg.BuildContext(ctx, prog, aux, mssa)
+		if gerr != nil {
+			return fail(gerr)
+		}
 		solved, serr := core.SolveContext(ctx, g)
 		if serr != nil {
 			return fail(serr)
@@ -286,7 +338,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, "SFS ≡ VSFS: identical points-to solutions")
 		fmt.Fprint(stdout, rv.Dump())
-		return 0
+		return exit(rs, rv)
 	}
 
 	m, err := vsfs.ParseMode(*mode)
@@ -304,7 +356,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(merr)
 		}
 		stdout.Write(append(data, '\n'))
-		return 0
+		return exit(r)
 	}
 	fmt.Fprint(stdout, r.Dump())
 
@@ -332,5 +384,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "       prelabels=%d distinctVersions=%d\n", s.Prelabels, s.DistinctVersions)
 		}
 	}
-	return 0
+	return exit(r)
 }

@@ -1,10 +1,18 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+
+	"vsfs"
+	"vsfs/internal/andersen"
+	"vsfs/internal/guard"
+	"vsfs/internal/irparse"
 )
 
 func writeTemp(t *testing.T, name, content string) string {
@@ -181,8 +189,8 @@ func TestRunJSONDeterministic(t *testing.T) {
 func TestRunTimeout(t *testing.T) {
 	path := writeTemp(t, "p.c", okC)
 	code, _, errb := runCLI(t, "-timeout", "1ns", path)
-	if code != 1 {
-		t.Fatalf("exit = %d, want 1", code)
+	if code != exitTimeout {
+		t.Fatalf("exit = %d, want %d", code, exitTimeout)
 	}
 	if !strings.Contains(errb, "timed out") {
 		t.Fatalf("stderr missing clean timeout message: %q", errb)
@@ -190,5 +198,84 @@ func TestRunTimeout(t *testing.T) {
 	// A generous limit must not trip.
 	if code, _, _ := runCLI(t, "-timeout", "1m", path); code != 0 {
 		t.Fatalf("exit with ample timeout = %d, want 0", code)
+	}
+}
+
+// budgetIR generates a program big enough that the pipeline's budget
+// checkpoints actually fire: n heap objects all stored to and loaded
+// through one pointer, giving every phase real work.
+func budgetIR(n int) string {
+	var b strings.Builder
+	b.WriteString("func main() {\nentry:\n  p = alloc h 0\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  x%d = alloc o%d 0\n  store p, x%d\n  y%d = load p\n", i, i, i, i)
+	}
+	b.WriteString("  ret\n}\n")
+	return b.String()
+}
+
+// TestRunBudgetDegrades drives -max-steps and -max-mem end-to-end. The
+// limits are computed adaptively: run Andersen alone and the full
+// pipeline under instrumented budgets, then pick a limit past what
+// Andersen needs but short of what the flow-sensitive phases need, so
+// the breach deterministically lands after the fallback result exists.
+func TestRunBudgetDegrades(t *testing.T) {
+	src := budgetIR(600)
+	path := writeTemp(t, "big.vir", src)
+
+	prog, err := irparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux := guard.NewBudget(1<<40, 1<<40, 0)
+	if _, err := andersen.AnalyzeContext(guard.WithBudget(context.Background(), aux), prog); err != nil {
+		t.Fatal(err)
+	}
+	aSteps, aBytes := aux.StepsUsed(), aux.BytesUsed()
+
+	full := guard.NewBudget(1<<40, 1<<40, 0)
+	if _, err := vsfs.AnalyzeContext(guard.WithBudget(context.Background(), full), src,
+		vsfs.Options{Mode: vsfs.VSFS, Input: vsfs.InputIR}); err != nil {
+		t.Fatal(err)
+	}
+	fSteps, fBytes := full.StepsUsed(), full.BytesUsed()
+	if fSteps <= aSteps || fBytes <= aBytes+4096 {
+		t.Fatalf("generator too small to separate phases: steps %d→%d bytes %d→%d",
+			aSteps, fSteps, aBytes, fBytes)
+	}
+
+	// Steps: at exactly Andersen's usage the auxiliary phase completes
+	// (breach is strict >) and the first flow-sensitive checkpoint trips.
+	code, out, errb := runCLI(t, "-json", "-max-steps", strconv.FormatInt(aSteps, 10), path)
+	if code != exitDegraded {
+		t.Fatalf("-max-steps %d exit = %d, want %d (stderr %q)", aSteps, code, exitDegraded, errb)
+	}
+	if !strings.Contains(errb, "degraded") || !strings.Contains(errb, "steps budget exceeded") {
+		t.Fatalf("stderr missing degradation notice: %q", errb)
+	}
+	for _, want := range []string{`"degraded": true`, `"mode": "andersen"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-json degraded output missing %s", want)
+		}
+	}
+
+	// Memory: give the flow-sensitive phases a little headroom over
+	// Andersen so the auxiliary phase never trips, then breach on growth.
+	memLimit := aBytes + (fBytes-aBytes)/8
+	code, out, errb = runCLI(t, "-json", "-max-mem", strconv.FormatInt(memLimit, 10), path)
+	if code != exitDegraded {
+		t.Fatalf("-max-mem %d exit = %d, want %d (stderr %q)", memLimit, code, exitDegraded, errb)
+	}
+	if !strings.Contains(errb, "mem budget exceeded") {
+		t.Fatalf("stderr missing mem degradation notice: %q", errb)
+	}
+	if !strings.Contains(out, `"degraded": true`) {
+		t.Error("-json mem-degraded output not marked degraded")
+	}
+
+	// Generous budgets must not trip: full-precision result, exit 0.
+	code, out, _ = runCLI(t, "-max-steps", strconv.FormatInt(1<<40, 10), "-max-mem", strconv.FormatInt(1<<40, 10), "-stats", path)
+	if code != exitOK || !strings.Contains(out, "stats: mode=vsfs") {
+		t.Fatalf("ample budgets: exit = %d out tail %q", code, out[max(0, len(out)-200):])
 	}
 }

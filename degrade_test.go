@@ -1,0 +1,147 @@
+package vsfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"vsfs/internal/guard"
+)
+
+// analyzeWith runs demoC under the given fault plan and budget.
+func analyzeWith(t *testing.T, mode Mode, plan *guard.FaultPlan, b *guard.Budget) (*Result, error) {
+	t.Helper()
+	ctx := context.Background()
+	if plan != nil {
+		ctx = guard.WithFaults(ctx, plan)
+	}
+	ctx = guard.WithBudget(ctx, b)
+	return AnalyzeContext(ctx, demoC, Options{Mode: mode})
+}
+
+func TestDegradeOnSolveBudget(t *testing.T) {
+	// A slowdown fault in the solve phase charges a huge step count, so
+	// the budget is guaranteed to survive every earlier phase and blow
+	// in solve — deterministically, whatever the program's real cost.
+	plan := guard.NewFaultPlan(guard.Fault{Phase: "solve", Step: 0, Kind: guard.FaultSlow})
+	res, err := analyzeWith(t, VSFS, plan, guard.NewBudget(1<<30, 0, 0))
+	if err != nil {
+		t.Fatalf("AnalyzeContext: %v", err)
+	}
+	if !res.Degraded() {
+		t.Fatal("result not degraded")
+	}
+	if res.Mode() != FlowInsensitive || res.RequestedMode() != VSFS {
+		t.Fatalf("Mode = %v, RequestedMode = %v", res.Mode(), res.RequestedMode())
+	}
+	phase, resource := res.DegradedCause()
+	if phase != "solve" || resource != "steps" {
+		t.Fatalf("DegradedCause = %q/%q", phase, resource)
+	}
+	if res.Degradation() == "" {
+		t.Fatal("no degradation reason")
+	}
+}
+
+func TestDegradedEqualsStandaloneAndersen(t *testing.T) {
+	for _, phase := range []string{"memssa", "svfg", "solve"} {
+		plan := guard.NewFaultPlan(guard.Fault{Phase: phase, Step: 0, Kind: guard.FaultSlow})
+		deg, err := analyzeWith(t, VSFS, plan, guard.NewBudget(1<<30, 0, 0))
+		if err != nil {
+			t.Fatalf("%s: degraded run: %v", phase, err)
+		}
+		if !deg.Degraded() {
+			t.Fatalf("%s: run not degraded", phase)
+		}
+		plain, err := AnalyzeC(demoC, Options{Mode: FlowInsensitive})
+		if err != nil {
+			t.Fatalf("%s: standalone run: %v", phase, err)
+		}
+		if deg.Dump() != plain.Dump() {
+			t.Errorf("%s: degraded Dump differs from standalone Andersen:\n%s\nvs\n%s",
+				phase, deg.Dump(), plain.Dump())
+		}
+		dr, pr := deg.Report(), plain.Report()
+		if phase != "solve" {
+			// A run degraded before the SVFG exists reports findings at
+			// pre-memssa instruction labels (memssa inserts nodes and
+			// renumbers); the facts themselves must still agree.
+			for i := range dr.Findings {
+				dr.Findings[i].Label = 0
+			}
+			for i := range pr.Findings {
+				pr.Findings[i].Label = 0
+			}
+		}
+		db, _ := Report{Functions: dr.Functions, Findings: dr.Findings}.MarshalIndent()
+		pb, _ := Report{Functions: pr.Functions, Findings: pr.Findings}.MarshalIndent()
+		if !bytes.Equal(db, pb) {
+			t.Errorf("%s: degraded facts differ from standalone Andersen:\n%s\nvs\n%s", phase, db, pb)
+		}
+		if !dr.Degraded || dr.Degradation == "" {
+			t.Errorf("%s: report degradation fields = %v %q", phase, dr.Degraded, dr.Degradation)
+		}
+		if pr.Degraded || pr.Degradation != "" {
+			t.Errorf("%s: standalone run reports degradation", phase)
+		}
+		// Stats must be readable even when the SVFG was never built.
+		if s := deg.Stats(); s.Mode != "andersen" {
+			t.Errorf("%s: degraded Stats mode = %q", phase, s.Mode)
+		}
+	}
+}
+
+func TestMemBudgetDegrades(t *testing.T) {
+	plan := guard.NewFaultPlan(guard.Fault{Phase: "svfg", Step: 0, Kind: guard.FaultAllocSpike})
+	res, err := analyzeWith(t, SFS, plan, guard.NewBudget(0, 1<<40, 0))
+	if err != nil {
+		t.Fatalf("AnalyzeContext: %v", err)
+	}
+	phase, resource := res.DegradedCause()
+	if !res.Degraded() || phase != "svfg" || resource != "mem" {
+		t.Fatalf("degraded=%v cause=%q/%q", res.Degraded(), phase, resource)
+	}
+}
+
+func TestPanicIsolatedInEveryPhase(t *testing.T) {
+	for _, phase := range guard.PipelinePhases {
+		plan := guard.NewFaultPlan(guard.Fault{Phase: phase, Step: 0, Kind: guard.FaultPanic})
+		res, err := analyzeWith(t, VSFS, plan, nil)
+		var pe *guard.PhaseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: err = %v (res=%v), want *guard.PhaseError", phase, err, res)
+		}
+		if pe.Phase != phase {
+			t.Fatalf("PhaseError.Phase = %q, want %q", pe.Phase, phase)
+		}
+		if pe.ProgramHash != guard.Hash([]byte(demoC)) {
+			t.Fatalf("%s: PhaseError.ProgramHash = %q", phase, pe.ProgramHash)
+		}
+		if res != nil {
+			t.Fatalf("%s: panic run returned a result", phase)
+		}
+	}
+}
+
+func TestCancellationNeverDegrades(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AnalyzeContext(ctx, demoC, Options{Mode: VSFS})
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("cancelled analyze: res=%v err=%v", res, err)
+	}
+}
+
+func TestAndersenBudgetBreachFailsOutright(t *testing.T) {
+	// A breach during the auxiliary phase has no fallback to offer.
+	plan := guard.NewFaultPlan(guard.Fault{Phase: "andersen", Step: 0, Kind: guard.FaultSlow})
+	res, err := analyzeWith(t, VSFS, plan, guard.NewBudget(1<<30, 0, 0))
+	var be *guard.ErrBudgetExceeded
+	if !errors.As(err, &be) || res != nil {
+		t.Fatalf("res=%v err=%v, want *ErrBudgetExceeded", res, err)
+	}
+	if be.Phase != "andersen" {
+		t.Fatalf("breach phase = %q", be.Phase)
+	}
+}

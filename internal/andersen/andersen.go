@@ -15,6 +15,7 @@ import (
 
 	"vsfs/internal/bitset"
 	"vsfs/internal/graph"
+	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 )
 
@@ -310,7 +311,7 @@ func (s *solver) solve() error {
 	s.collapseCycles()
 	for steps := 0; ; steps++ {
 		if steps%cancelCheckInterval == 0 {
-			if err := s.ctx.Err(); err != nil {
+			if err := guard.Tick(s.ctx, "andersen", cancelCheckInterval); err != nil {
 				return err
 			}
 		}

@@ -62,6 +62,7 @@ func (s *Sparse) Set(id uint32) bool {
 	s.elems = append(s.elems, element{})
 	copy(s.elems[i+1:], s.elems[i:])
 	s.elems[i] = element{base: base, word: bit}
+	trackAlloc(1)
 	return true
 }
 
@@ -126,6 +127,7 @@ func (s *Sparse) Single() (uint32, bool) {
 
 // Copy replaces the contents of s with those of t.
 func (s *Sparse) Copy(t *Sparse) {
+	trackAlloc(len(t.elems) - len(s.elems))
 	s.elems = append(s.elems[:0], t.elems...)
 }
 
@@ -159,9 +161,11 @@ func (s *Sparse) UnionWith(t *Sparse) bool {
 	}
 	if len(s.elems) == 0 {
 		s.elems = append(s.elems[:0], t.elems...)
+		trackAlloc(len(t.elems))
 		return true
 	}
 	changed := false
+	before := len(s.elems)
 	out := make([]element, 0, len(s.elems)+len(t.elems))
 	i, j := 0, 0
 	for i < len(s.elems) && j < len(t.elems) {
@@ -190,6 +194,7 @@ func (s *Sparse) UnionWith(t *Sparse) bool {
 		out = append(out, t.elems[j:]...)
 	}
 	s.elems = out
+	trackAlloc(len(out) - before)
 	return changed
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"vsfs/internal/bitset"
+	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 	"vsfs/internal/meld"
 	"vsfs/internal/svfg"
@@ -118,7 +119,7 @@ func runVersioning(ctx context.Context, g *svfg.Graph) (*versioning, error) {
 	// Meld labelling to a fixed point.
 	for steps := 0; ; steps++ {
 		if steps%cancelCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
+			if err := guard.Tick(ctx, "solve", cancelCheckInterval); err != nil {
 				return nil, err
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vsfs/internal/bitset"
+	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 	"vsfs/internal/meld"
 	"vsfs/internal/obs"
@@ -334,7 +335,7 @@ func (s *state) run() error {
 	}
 	for steps := 0; ; steps++ {
 		if steps%cancelCheckInterval == 0 {
-			if err := s.ctx.Err(); err != nil {
+			if err := guard.Tick(s.ctx, "solve", cancelCheckInterval); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,62 @@
+package memssa
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vsfs/internal/andersen"
+	"vsfs/internal/irparse"
+)
+
+const ctxFixture = `
+func main() {
+entry:
+  p = alloc a 0
+  x = alloc b 0
+  store p, x
+  y = load p
+  ret
+}
+`
+
+func TestBuildContextCancelled(t *testing.T) {
+	prog, err := irparse.Parse(ctxFixture)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	aux := andersen.Analyze(prog)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := BuildContext(ctx, prog, aux)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildContext on cancelled ctx: res=%v err=%v, want context.Canceled", res, err)
+	}
+}
+
+func TestBuildContextMatchesBuild(t *testing.T) {
+	parse := func() (*Result, error) {
+		prog, err := irparse.Parse(ctxFixture)
+		if err != nil {
+			return nil, err
+		}
+		aux := andersen.Analyze(prog)
+		return BuildContext(context.Background(), prog, aux)
+	}
+	a, err := parse()
+	if err != nil {
+		t.Fatalf("BuildContext: %v", err)
+	}
+	b, err := parse()
+	if err != nil {
+		t.Fatalf("BuildContext: %v", err)
+	}
+	if len(a.Edges) == 0 || len(a.Edges) != len(b.Edges) {
+		t.Fatalf("edge counts differ or empty: %d vs %d", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+}

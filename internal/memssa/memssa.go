@@ -8,13 +8,19 @@
 package memssa
 
 import (
+	"context"
 	"sort"
 
 	"vsfs/internal/andersen"
 	"vsfs/internal/bitset"
 	"vsfs/internal/cfg"
+	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 )
+
+// cancelCheckInterval is how many fixpoint iterations pass between
+// context/budget polls inside the mod/ref worklist.
+const cancelCheckInterval = 1024
 
 // IndirEdge is one indirect value-flow: the definition of Obj at From
 // reaches a use (μ, the previous-version operand of a χ, or a MEMPHI
@@ -76,7 +82,22 @@ var empty = bitset.New()
 // Build constructs the memory SSA form. It inserts MEMPHI instructions
 // into prog's blocks and renumbers instruction labels.
 func Build(prog *ir.Program, aux *andersen.Result) *Result {
+	res, err := BuildContext(context.Background(), prog, aux)
+	if err != nil {
+		// Unreachable: a background context carries no deadline, budget
+		// or fault plan, so construction cannot be interrupted.
+		panic(err)
+	}
+	return res
+}
+
+// BuildContext is Build with cooperative cancellation: construction
+// polls ctx (and any guard budget or fault plan attached to it) between
+// passes and periodically inside the mod/ref fixpoint, returning the
+// context or budget error instead of a Result.
+func BuildContext(ctx context.Context, prog *ir.Program, aux *andersen.Result) (*Result, error) {
 	b := &builder{
+		ctx:  ctx,
 		prog: prog,
 		aux:  aux,
 		res: &Result{
@@ -88,18 +109,28 @@ func Build(prog *ir.Program, aux *andersen.Result) *Result {
 		},
 		edgeSeen: make(map[IndirEdge]struct{}),
 	}
-	b.normalizeEntries()
-	b.modRef()
-	b.insertCallRets()
-	b.placeMemPhis()
-	prog.Renumber()
-	b.annotate()
-	b.rename()
-	b.interprocDirectCalls()
-	return b.res
+	for _, pass := range []func() error{
+		func() error { b.normalizeEntries(); return nil },
+		b.modRef,
+		func() error { b.insertCallRets(); return nil },
+		func() error { b.placeMemPhis(); return nil },
+		func() error { prog.Renumber(); return nil },
+		func() error { b.annotate(); return nil },
+		b.rename,
+		func() error { b.interprocDirectCalls(); return nil },
+	} {
+		if err := b.tick(0); err != nil {
+			return nil, err
+		}
+		if err := pass(); err != nil {
+			return nil, err
+		}
+	}
+	return b.res, nil
 }
 
 type builder struct {
+	ctx  context.Context
 	prog *ir.Program
 	aux  *andersen.Result
 	res  *Result
@@ -108,6 +139,10 @@ type builder struct {
 	ref map[*ir.Function]*bitset.Sparse
 
 	edgeSeen map[IndirEdge]struct{}
+}
+
+func (b *builder) tick(n int64) error {
+	return guard.Tick(b.ctx, "memssa", n)
 }
 
 // normalizeEntries guarantees no entry block has CFG predecessors, so
@@ -137,7 +172,7 @@ func (b *builder) normalizeEntries() {
 
 // modRef computes transitive mod/ref summaries over the auxiliary call
 // graph with a worklist fixpoint.
-func (b *builder) modRef() {
+func (b *builder) modRef() error {
 	b.mod = make(map[*ir.Function]*bitset.Sparse)
 	b.ref = make(map[*ir.Function]*bitset.Sparse)
 	callers := make(map[*ir.Function][]*ir.Function)
@@ -166,7 +201,12 @@ func (b *builder) modRef() {
 	for _, f := range work {
 		inWork[f] = true
 	}
-	for len(work) > 0 {
+	for steps := 0; len(work) > 0; steps++ {
+		if steps%cancelCheckInterval == 0 && steps > 0 {
+			if err := b.tick(cancelCheckInterval); err != nil {
+				return err
+			}
+		}
 		g := work[len(work)-1]
 		work = work[:len(work)-1]
 		inWork[g] = false
@@ -188,6 +228,7 @@ func (b *builder) modRef() {
 		b.res.FormalIn[f] = fin
 		b.res.FormalOut[f] = b.mod[f].Clone()
 	}
+	return nil
 }
 
 // insertCallRets gives every call that may modify objects (per the
@@ -333,8 +374,11 @@ func (b *builder) addEdge(from, to uint32, obj ir.ID) {
 
 // rename walks each function's dominator tree, maintaining a stack of
 // reaching definitions per object, and records def→use edges.
-func (b *builder) rename() {
+func (b *builder) rename() error {
 	for _, f := range b.prog.Funcs {
+		if err := b.tick(int64(len(f.Blocks))); err != nil {
+			return err
+		}
 		info := cfg.Compute(f)
 
 		// Dominator-tree children.
@@ -400,6 +444,7 @@ func (b *builder) rename() {
 		}
 		visit(f.Entry)
 	}
+	return nil
 }
 
 // interprocDirectCalls wires the μ/χ chains across direct calls: the

@@ -1,0 +1,36 @@
+package oracle
+
+import (
+	"testing"
+
+	"vsfs/internal/workload"
+)
+
+// TestCheckDegradationHolds runs the degradation contract over a few
+// random workload programs: forcing a budget blowout in any
+// post-auxiliary phase must yield exactly the standalone Andersen
+// result, marked degraded.
+func TestCheckDegradationHolds(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		src := workload.Random(seed, workload.DefaultRandomConfig()).String()
+		if vs := CheckDegradation(src, Options{}); len(vs) > 0 {
+			for _, v := range vs {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+		}
+	}
+}
+
+// TestCheckFaultsHolds runs the fault battery: injected panics in every
+// phase stay isolated, and seeded faults can only produce governed
+// outcomes.
+func TestCheckFaultsHolds(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		src := workload.Random(seed, workload.DefaultRandomConfig()).String()
+		if vs := CheckFaults(src, seed, Options{}); len(vs) > 0 {
+			for _, v := range vs {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+		}
+	}
+}

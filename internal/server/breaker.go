@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// breaker is a per-program circuit breaker: a program (cache key) whose
+// solves keep failing hard — panics or non-degradable budget blowouts —
+// is short-circuited to its cached failure for a cooling-off period
+// instead of being allowed to burn a worker on every retry. Degraded
+// results and cancellations never trip it: the former are successes,
+// the latter say nothing about the program.
+type breaker struct {
+	threshold int           // consecutive hard failures before opening
+	openFor   time.Duration // how long an open entry short-circuits
+	now       func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	fails    int
+	open     bool
+	openedAt time.Time
+	lastErr  error
+}
+
+// breakerMaxEntries caps the tracked-program map; when full, untripped
+// entries are dropped first so an adversarial key stream cannot grow
+// memory without bound.
+const breakerMaxEntries = 4096
+
+func newBreaker(threshold int, openFor time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{
+		threshold: threshold,
+		openFor:   openFor,
+		now:       now,
+		entries:   make(map[string]*breakerEntry),
+	}
+}
+
+// errBreakerOpen is the cached failure served while a program's breaker
+// is open. It unwraps to the failure that tripped the circuit.
+type errBreakerOpen struct {
+	retryAfter time.Duration
+	cause      error
+}
+
+func (e errBreakerOpen) Error() string {
+	return fmt.Sprintf("server: circuit open for this program (retry in %s): last failure: %v",
+		e.retryAfter.Round(time.Second), e.cause)
+}
+
+func (e errBreakerOpen) Unwrap() error { return e.cause }
+
+// allow reports whether a solve for key may proceed. While the circuit
+// is open it returns the cached failure; once the cooling-off period
+// ends the next caller is let through half-open (a success resets the
+// entry, a failure reopens it immediately).
+func (b *breaker) allow(key string) error {
+	if b == nil || b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || !e.open {
+		return nil
+	}
+	remaining := b.openFor - b.now().Sub(e.openedAt)
+	if remaining > 0 {
+		return errBreakerOpen{retryAfter: remaining, cause: e.lastErr}
+	}
+	// Half-open: admit this probe; one more failure reopens at once.
+	e.open = false
+	e.fails = b.threshold - 1
+	return nil
+}
+
+// recordFailure notes one hard failure for key and reports whether this
+// one tripped the circuit open.
+func (b *breaker) recordFailure(key string, cause error) bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil {
+		if len(b.entries) >= breakerMaxEntries {
+			b.evictLocked()
+		}
+		e = &breakerEntry{}
+		b.entries[key] = e
+	}
+	e.fails++
+	e.lastErr = cause
+	if e.fails >= b.threshold && !e.open {
+		e.open = true
+		e.openedAt = b.now()
+		return true
+	}
+	return false
+}
+
+// recordSuccess clears key's failure history.
+func (b *breaker) recordSuccess(key string) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.entries, key)
+}
+
+// evictLocked drops untripped entries, or — when every entry is open —
+// the stalest open one. Caller holds mu.
+func (b *breaker) evictLocked() {
+	var oldestKey string
+	var oldest time.Time
+	for k, e := range b.entries {
+		if !e.open {
+			delete(b.entries, k)
+			return
+		}
+		if oldestKey == "" || e.openedAt.Before(oldest) {
+			oldestKey, oldest = k, e.openedAt
+		}
+	}
+	if oldestKey != "" {
+		delete(b.entries, oldestKey)
+	}
+}
+
+// tracked returns the number of programs with failure history.
+func (b *breaker) tracked() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"vsfs"
+	"vsfs/internal/guard"
 	"vsfs/internal/obs"
 )
 
@@ -20,7 +21,13 @@ type serverMetrics struct {
 
 	solvesStarted *obs.Series
 	solveOutcomes *obs.Family // counter by outcome (ok|error|cancelled)
-	queueRejects  *obs.Series
+	shedRequests  *obs.Series
+
+	guardPanics     *obs.Family // counter by phase (pipeline phases + "server")
+	degradedResults *obs.Series
+	budgetExceeded  *obs.Family // counter by phase and resource
+	breakerOpens    *obs.Series
+	breakerRejects  *obs.Series
 
 	solveSeconds *obs.Series // histogram: total solve latency
 	phaseSeconds *obs.Family // histogram by phase (andersen|memssa|svfg|solve)
@@ -52,8 +59,19 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Solves handed to the worker pool."),
 		solveOutcomes: r.CounterVec("vsfs_solves_total",
 			"Completed solves, by outcome."),
-		queueRejects: r.Counter("vsfs_queue_rejects_total",
+		shedRequests: r.Counter("vsfs_shed_requests_total",
 			"Solves shed with 503 because the queue was full."),
+
+		guardPanics: r.CounterVec("vsfs_guard_panics_total",
+			"Pipeline panics isolated by the guard layer, by phase."),
+		degradedResults: r.Counter("vsfs_degraded_results_total",
+			"Solves that exhausted their budget and fell back to the flow-insensitive result."),
+		budgetExceeded: r.CounterVec("vsfs_budget_exceeded_total",
+			"Budget breaches, by pipeline phase and exhausted resource."),
+		breakerOpens: r.Counter("vsfs_breaker_opens_total",
+			"Per-program circuits tripped open by repeated hard failures."),
+		breakerRejects: r.Counter("vsfs_breaker_rejects_total",
+			"Requests short-circuited to a cached failure by an open circuit."),
 
 		solveSeconds: r.Histogram("vsfs_solve_seconds",
 			"End-to-end solve latency (parse through main phase).", obs.LatencyBuckets),
@@ -105,6 +123,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 	for _, ph := range []string{"andersen", "memssa", "svfg", "solve"} {
 		m.phaseSeconds.With("phase", ph)
 	}
+	for _, ph := range guard.PipelinePhases {
+		m.guardPanics.With("phase", ph)
+	}
+	m.guardPanics.With("phase", "server")
 	return m
 }
 

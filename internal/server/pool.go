@@ -20,34 +20,46 @@ var (
 // immediately, which the HTTP layer maps to 503 so load-shedding is
 // visible to clients instead of piling up goroutines.
 type pool struct {
-	jobs chan func()
-	wg   sync.WaitGroup
-	busy atomic.Int64
+	jobs    chan func()
+	wg      sync.WaitGroup
+	busy    atomic.Int64
+	onPanic func(v any)
 
 	mu     sync.Mutex
 	closed bool
 }
 
-func newPool(workers, queueDepth int) *pool {
+func newPool(workers, queueDepth int, onPanic func(v any)) *pool {
 	if workers < 1 {
 		workers = 1
 	}
 	if queueDepth < 0 {
 		queueDepth = 0
 	}
-	p := &pool{jobs: make(chan func(), queueDepth)}
+	p := &pool{jobs: make(chan func(), queueDepth), onPanic: onPanic}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
 				p.busy.Add(1)
-				job()
+				p.run(job)
 				p.busy.Add(-1)
 			}
 		}()
 	}
 	return p
+}
+
+// run executes one job, containing any panic so a single bad job can
+// never take the worker (and with it a pool slot) down for good.
+func (p *pool) run(job func()) {
+	defer func() {
+		if v := recover(); v != nil && p.onPanic != nil {
+			p.onPanic(v)
+		}
+	}()
+	job()
 }
 
 // submit enqueues job without blocking.

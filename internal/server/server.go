@@ -40,10 +40,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"vsfs"
+	"vsfs/internal/guard"
 	"vsfs/internal/obs"
 )
 
@@ -66,13 +68,39 @@ type Config struct {
 	// DisableMetrics leaves GET /metrics unmounted. The registry still
 	// runs either way — /stats is derived from it.
 	DisableMetrics bool
+
+	// StepBudget is a server-wide pool of worklist steps: each solve
+	// runs under a budget of StepBudget/Workers steps. A solve that
+	// exhausts it after the auxiliary phase degrades to the
+	// flow-insensitive result; earlier breaches fail with 503. Zero
+	// means unbounded.
+	StepBudget int64
+	// MemBudget is the server-wide pool of points-to storage bytes,
+	// split across Workers like StepBudget. Zero means unbounded.
+	MemBudget int64
+
+	// BreakerThreshold is how many consecutive hard failures (panics or
+	// non-degradable budget blowouts) a single program may cause before
+	// its circuit opens and requests for it are short-circuited to the
+	// cached failure. Zero selects the default; negative disables the
+	// breaker.
+	BreakerThreshold int
+	// BreakerOpenFor is the cooling-off period of an open circuit;
+	// default 30s.
+	BreakerOpenFor time.Duration
+
+	// Faults injects a deterministic guard.FaultPlan into every solve.
+	// Test and chaos-drill hook; leave nil in production.
+	Faults *guard.FaultPlan
 }
 
 // Defaults for Config's zero values.
 const (
-	DefaultQueueDepth   = 64
-	DefaultCacheEntries = 128
-	DefaultSolveTimeout = 30 * time.Second
+	DefaultQueueDepth       = 64
+	DefaultCacheEntries     = 128
+	DefaultSolveTimeout     = 30 * time.Second
+	DefaultBreakerThreshold = 3
+	DefaultBreakerOpenFor   = 30 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -93,6 +121,14 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = obs.Discard()
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	} else if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0
+	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = DefaultBreakerOpenFor
+	}
 	return c
 }
 
@@ -103,10 +139,15 @@ type Server struct {
 	cache   *resultCache
 	flight  *flightGroup
 	pool    *pool
+	brk     *breaker
 	met     *serverMetrics
 	logger  *slog.Logger
 	started time.Time
 	mux     *http.ServeMux
+
+	// Per-solve share of the server-wide budget pools.
+	stepsPerSolve int64
+	memPerSolve   int64
 }
 
 // New builds a Server with its worker pool already running.
@@ -116,11 +157,24 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		cache:   newResultCache(cfg.CacheEntries),
 		flight:  newFlightGroup(cfg.SolveTimeout),
-		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerOpenFor, nil),
 		logger:  cfg.Logger,
 		started: time.Now(),
 	}
+	if cfg.StepBudget > 0 {
+		s.stepsPerSolve = max64(1, cfg.StepBudget/int64(cfg.Workers))
+	}
+	if cfg.MemBudget > 0 {
+		s.memPerSolve = max64(1, cfg.MemBudget/int64(cfg.Workers))
+	}
 	s.met = newServerMetrics(s)
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, func(v any) {
+		// Last-resort defense: solve jobs recover their own panics, so
+		// this only fires for a bug in the job plumbing itself. The
+		// worker survives either way.
+		s.met.guardPanics.With("phase", "server").Inc()
+		s.logger.Error("worker recovered from panic", "panic", fmt.Sprint(v))
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -253,6 +307,14 @@ func (s *Server) resolve(ctx context.Context, req AnalyzeRequest) (res *vsfs.Res
 	}
 	s.met.cacheReqs.With("result", "miss").Inc()
 
+	// A program that keeps taking workers down is short-circuited to
+	// its cached failure until the circuit's cooling-off period ends.
+	if err := s.brk.allow(key); err != nil {
+		s.met.breakerRejects.Inc()
+		s.logger.Warn("request short-circuited, breaker open", "id", obs.RequestID(ctx), "key", key)
+		return nil, key, false, err
+	}
+
 	if req.TimeoutMs > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
@@ -282,33 +344,81 @@ func (s *Server) solveOn(solveCtx context.Context, key string, mode vsfs.Mode, i
 	ch := make(chan outcome, 1)
 	reqID := obs.RequestID(solveCtx)
 	job := func() {
+		done := false
+		defer func() {
+			// Defense in depth: the facade isolates phase panics itself,
+			// so this recover only fires for a panic outside any phase.
+			// The waiters still get an answer and the worker survives.
+			if v := recover(); v != nil && !done {
+				err := &guard.PhaseError{Phase: "server", Value: v}
+				s.met.solveOutcomes.With("outcome", "error").Inc()
+				s.met.guardPanics.With("phase", "server").Inc()
+				s.logger.Error("solve panicked outside pipeline", "id", reqID, "key", key, "panic", fmt.Sprint(v))
+				ch <- outcome{nil, err}
+			}
+		}()
 		// A solve abandoned by every waiter while still queued: skip it.
 		if err := solveCtx.Err(); err != nil {
 			s.met.solveOutcomes.With("outcome", "cancelled").Inc()
 			s.logger.Warn("solve abandoned in queue", "id", reqID, "key", key, "err", err)
+			done = true
 			ch <- outcome{nil, err}
 			return
 		}
 		s.met.solvesStarted.Inc()
-		res, err := vsfs.AnalyzeContext(solveCtx, source, vsfs.Options{Mode: mode, Input: input})
+		ctx := guard.WithBudget(solveCtx, guard.NewBudget(s.stepsPerSolve, s.memPerSolve, 0))
+		if s.cfg.Faults != nil {
+			ctx = guard.WithFaults(ctx, s.cfg.Faults)
+		}
+		res, err := vsfs.AnalyzeContext(ctx, source, vsfs.Options{Mode: mode, Input: input})
 		switch {
 		case err == nil:
 			s.met.solveOutcomes.With("outcome", "ok").Inc()
 			s.met.observeSolve(res)
-			// Only complete, successful solves are cached; a cancelled
-			// or failed solve can therefore never corrupt an entry.
+			s.brk.recordSuccess(key)
+			if res.Degraded() {
+				phase, resource := res.DegradedCause()
+				s.met.degradedResults.Inc()
+				s.met.budgetExceeded.With("phase", phase, "resource", resource).Inc()
+				s.logger.Warn("solve degraded", "id", reqID, "key", key, "reason", res.Degradation())
+			}
+			// Only complete solves are cached — including degraded ones,
+			// which are deterministic for a fixed server budget, so a
+			// repeat of an over-budget program is a cache hit rather than
+			// another doomed solve. A cancelled or failed solve can never
+			// corrupt an entry.
 			s.cache.add(key, res)
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			s.met.solveOutcomes.With("outcome", "cancelled").Inc()
 			s.logger.Warn("solve cancelled", "id", reqID, "key", key, "err", err)
 		default:
 			s.met.solveOutcomes.With("outcome", "error").Inc()
+			var pe *guard.PhaseError
+			var be *guard.ErrBudgetExceeded
+			switch {
+			case errors.As(err, &pe):
+				s.met.guardPanics.With("phase", pe.Phase).Inc()
+				if s.brk.recordFailure(key, err) {
+					s.met.breakerOpens.Inc()
+				}
+				s.logger.Error("solve panicked", "id", reqID, "key", key,
+					"phase", pe.Phase, "program", pe.ProgramHash, "panic", fmt.Sprint(pe.Value))
+			case errors.As(err, &be):
+				// A breach before the auxiliary result exists has no
+				// fallback; repeated ones trip the breaker like panics.
+				s.met.budgetExceeded.With("phase", be.Phase, "resource", string(be.Resource)).Inc()
+				if s.brk.recordFailure(key, err) {
+					s.met.breakerOpens.Inc()
+				}
+				s.logger.Warn("solve over budget, no fallback", "id", reqID, "key", key, "err", err)
+			}
 		}
+		done = true
 		ch <- outcome{res, err}
 	}
 	if err := s.pool.submit(job); err != nil {
 		if errors.Is(err, ErrQueueFull) {
-			s.met.queueRejects.Inc()
+			s.met.shedRequests.Inc()
 			s.logger.Warn("solve shed, queue full", "id", reqID, "key", key)
 		}
 		return nil, err
@@ -343,10 +453,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	res, key, hit, err := s.resolve(r.Context(), req)
 	if err != nil {
+		setRetryHeaders(w, err)
 		s.writeError(w, r, statusFor(err), err)
 		return
 	}
-	setCacheHeaders(w, key, hit)
+	setResultHeaders(w, key, hit, res)
 	writeJSON(w, http.StatusOK, AnalyzeResponse{
 		Key:    key,
 		Mode:   res.Stats().Mode,
@@ -363,6 +474,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, key, hit, err := s.resolve(r.Context(), req.AnalyzeRequest)
 	if err != nil {
+		setRetryHeaders(w, err)
 		s.writeError(w, r, statusFor(err), err)
 		return
 	}
@@ -414,30 +526,62 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			badRequestf("unknown query kind %q (want points-to, alias, callgraph, explain, or check)", req.Kind))
 		return
 	}
-	setCacheHeaders(w, key, hit)
+	setResultHeaders(w, key, hit, res)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// setCacheHeaders reports cache status out of band: the body must stay
-// byte-identical between a miss and the hits it feeds.
-func setCacheHeaders(w http.ResponseWriter, key string, hit bool) {
+// setResultHeaders reports cache and degradation status out of band:
+// the body must stay byte-identical between a miss and the hits it
+// feeds, so anything that may vary or merely annotate rides in headers.
+func setResultHeaders(w http.ResponseWriter, key string, hit bool, res *vsfs.Result) {
 	status := "miss"
 	if hit {
 		status = "hit"
 	}
 	w.Header().Set("X-Vsfs-Cache", status)
 	w.Header().Set("X-Vsfs-Key", key)
+	if res.Degraded() {
+		w.Header().Set("X-Vsfs-Degraded", "true")
+	}
 }
 
-// statusFor maps resolve errors to HTTP statuses: queue pressure and
-// shutdown are 503 (retryable), cancellation/deadline is 504, malformed
-// requests are 400, and programs that fail to compile are 422.
-func statusFor(err error) int {
+// setRetryHeaders attaches Retry-After to retryable failures: a shed or
+// shutting-down request may retry almost immediately, an open circuit
+// when it closes, and a budget breach after backing off.
+func setRetryHeaders(w http.ResponseWriter, err error) {
+	var bo errBreakerOpen
+	var be *guard.ErrBudgetExceeded
 	switch {
+	case errors.As(err, &bo):
+		secs := int(bo.retryAfter/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.Header().Set("X-Vsfs-Breaker", "open")
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShutdown):
+		w.Header().Set("Retry-After", "1")
+	case errors.As(err, &be):
+		w.Header().Set("Retry-After", "5")
+	}
+}
+
+// statusFor maps resolve errors to HTTP statuses: queue pressure,
+// shutdown, open circuits, and non-degradable budget breaches are 503
+// (retryable), cancellation/deadline is 504, a pipeline panic is 500,
+// malformed requests are 400, and programs that fail to compile are 422.
+func statusFor(err error) int {
+	var bo errBreakerOpen
+	var pe *guard.PhaseError
+	var be *guard.ErrBudgetExceeded
+	switch {
+	case errors.As(err, &bo):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShutdown):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
+	case errors.As(err, &be):
+		return http.StatusServiceUnavailable
 	default:
 		var bad errBadRequest
 		if errors.As(err, &bad) {
@@ -445,6 +589,13 @@ func statusFor(err error) int {
 		}
 		return http.StatusUnprocessableEntity
 	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 type errorResponse struct {

@@ -381,8 +381,8 @@ func TestQueueShedding(t *testing.T) {
 	if shed == 0 {
 		t.Fatal("no request was shed; queue bound not enforced")
 	}
-	if st := s.Stats(); st.QueueRejects != int64(shed) {
-		t.Fatalf("QueueRejects = %d, want %d", st.QueueRejects, shed)
+	if st := s.Stats(); st.ShedRequests != int64(shed) {
+		t.Fatalf("ShedRequests = %d, want %d", st.ShedRequests, shed)
 	}
 }
 

@@ -28,10 +28,17 @@ type StatsSnapshot struct {
 	SolvesOK        int64 `json:"solvesOK"`
 	SolveErrors     int64 `json:"solveErrors"`
 	SolvesCancelled int64 `json:"solvesCancelled"`
-	QueueRejects    int64 `json:"queueRejects"`
+	ShedRequests    int64 `json:"shedRequests"`
 	QueueDepth      int   `json:"queueDepth"`
 	Workers         int   `json:"workers"`
 	WorkersBusy     int   `json:"workersBusy"`
+
+	GuardPanics     int64 `json:"guardPanics"`
+	DegradedResults int64 `json:"degradedResults"`
+	BudgetExceeded  int64 `json:"budgetExceeded"`
+	BreakerOpens    int64 `json:"breakerOpens"`
+	BreakerRejects  int64 `json:"breakerRejects"`
+	BreakerTracked  int   `json:"breakerTracked"`
 
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 
@@ -60,10 +67,17 @@ func (s *Server) snapshot() StatsSnapshot {
 		SolvesOK:        int64(m.solveOutcomes.With("outcome", "ok").Value()),
 		SolveErrors:     int64(m.solveOutcomes.With("outcome", "error").Value()),
 		SolvesCancelled: int64(m.solveOutcomes.With("outcome", "cancelled").Value()),
-		QueueRejects:    int64(m.queueRejects.Value()),
+		ShedRequests:    int64(m.shedRequests.Value()),
 		QueueDepth:      s.pool.queued(),
 		Workers:         s.cfg.Workers,
 		WorkersBusy:     s.pool.running(),
+
+		GuardPanics:     int64(m.guardPanics.Total()),
+		DegradedResults: int64(m.degradedResults.Value()),
+		BudgetExceeded:  int64(m.budgetExceeded.Total()),
+		BreakerOpens:    int64(m.breakerOpens.Value()),
+		BreakerRejects:  int64(m.breakerRejects.Value()),
+		BreakerTracked:  s.brk.tracked(),
 
 		UptimeSeconds: time.Since(s.started).Seconds(),
 

@@ -13,6 +13,7 @@ import (
 	"context"
 
 	"vsfs/internal/bitset"
+	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 	"vsfs/internal/svfg"
 )
@@ -282,7 +283,7 @@ func (s *state) run() error {
 	}
 	for steps := 0; ; steps++ {
 		if steps%cancelCheckInterval == 0 {
-			if err := s.ctx.Err(); err != nil {
+			if err := guard.Tick(s.ctx, "solve", cancelCheckInterval); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,35 @@
+package svfg
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vsfs/internal/andersen"
+	"vsfs/internal/irparse"
+	"vsfs/internal/memssa"
+)
+
+func TestBuildContextCancelled(t *testing.T) {
+	prog, err := irparse.Parse(`
+func main() {
+entry:
+  p = alloc a 0
+  x = alloc b 0
+  store p, x
+  y = load p
+  ret
+}
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	aux := andersen.Analyze(prog)
+	mssa := memssa.Build(prog, aux)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, err := BuildContext(ctx, prog, aux, mssa)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildContext on cancelled ctx: g=%v err=%v, want context.Canceled", g, err)
+	}
+}

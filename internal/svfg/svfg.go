@@ -9,12 +9,19 @@
 package svfg
 
 import (
+	"context"
+
 	"vsfs/internal/andersen"
 	"vsfs/internal/bitset"
 	"vsfs/internal/graph"
+	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 	"vsfs/internal/memssa"
 )
+
+// cancelCheckInterval is how many indirect edges are wired between
+// context/budget polls during construction.
+const cancelCheckInterval = 1024
 
 // Graph is the sparse value-flow graph.
 type Graph struct {
@@ -56,7 +63,21 @@ type Graph struct {
 // results and memory-SSA form, with on-the-fly call-graph resolution
 // left to the flow-sensitive solvers (the paper's configuration).
 func Build(prog *ir.Program, aux *andersen.Result, mssa *memssa.Result) *Graph {
-	return build(prog, aux, mssa, false)
+	g, err := build(context.Background(), prog, aux, mssa, false)
+	if err != nil {
+		// Unreachable: a background context carries no deadline, budget
+		// or fault plan, so construction cannot be interrupted.
+		panic(err)
+	}
+	return g
+}
+
+// BuildContext is Build with cooperative cancellation: construction
+// polls ctx (and any guard budget or fault plan attached to it) between
+// sub-passes and periodically while wiring indirect edges, returning
+// the context or budget error instead of a Graph.
+func BuildContext(ctx context.Context, prog *ir.Program, aux *andersen.Result, mssa *memssa.Result) (*Graph, error) {
+	return build(ctx, prog, aux, mssa, false)
 }
 
 // BuildAuxCallGraph assembles the SVFG with the auxiliary call graph
@@ -67,10 +88,14 @@ func Build(prog *ir.Program, aux *andersen.Result, mssa *memssa.Result) *Graph {
 // per the paper, performance) of on-the-fly resolution for a simpler
 // pre-analysis. Kept as an ablation.
 func BuildAuxCallGraph(prog *ir.Program, aux *andersen.Result, mssa *memssa.Result) *Graph {
-	return build(prog, aux, mssa, true)
+	g, err := build(context.Background(), prog, aux, mssa, true)
+	if err != nil {
+		panic(err) // unreachable, as in Build
+	}
+	return g
 }
 
-func build(prog *ir.Program, aux *andersen.Result, mssa *memssa.Result, prewire bool) *Graph {
+func build(ctx context.Context, prog *ir.Program, aux *andersen.Result, mssa *memssa.Result, prewire bool) (*Graph, error) {
 	n := len(prog.Instrs)
 	g := &Graph{
 		Prog:     prog,
@@ -82,18 +107,32 @@ func build(prog *ir.Program, aux *andersen.Result, mssa *memssa.Result, prewire 
 		indirOut: make([]map[ir.ID][]uint32, n),
 		Delta:    make([]bool, n),
 	}
+	if err := guard.Tick(ctx, "svfg", 0); err != nil {
+		return nil, err
+	}
 	g.buildDirect()
-	for _, e := range mssa.Edges {
+	for i, e := range mssa.Edges {
+		if i%cancelCheckInterval == 0 {
+			if err := guard.Tick(ctx, "svfg", cancelCheckInterval); err != nil {
+				return nil, err
+			}
+		}
 		g.AddIndirectEdge(e.From, e.To, e.Obj)
+	}
+	if err := guard.Tick(ctx, "svfg", 0); err != nil {
+		return nil, err
 	}
 	if prewire {
 		g.prewireIndirectCalls()
 	} else {
 		g.markDelta()
 	}
+	if err := guard.Tick(ctx, "svfg", 0); err != nil {
+		return nil, err
+	}
 	g.computeSingletons()
 	g.countStats()
-	return g
+	return g, nil
 }
 
 // prewireIndirectCalls adds the interprocedural value-flow edges of

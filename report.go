@@ -39,6 +39,13 @@ type Report struct {
 	Functions []FuncReport `json:"functions"`
 	Findings  []Finding    `json:"findings"`
 	Stats     Summary      `json:"stats"`
+
+	// Degraded marks a run that exhausted its resource budget and fell
+	// back to the flow-insensitive (Andersen) result; Degradation is
+	// the human-readable reason. Mode reflects the analysis that
+	// actually produced the facts ("andersen" on degraded runs).
+	Degraded    bool   `json:"degraded,omitempty"`
+	Degradation string `json:"degradation,omitempty"`
 }
 
 // Report builds the structured result. Order is deterministic
@@ -46,9 +53,11 @@ type Report struct {
 // sorted by name, findings in instruction order.
 func (r *Result) Report() Report {
 	rep := Report{
-		Mode:     r.mode.String(),
-		Findings: r.Check(),
-		Stats:    r.Stats(),
+		Mode:        r.mode.String(),
+		Findings:    r.Check(),
+		Stats:       r.Stats(),
+		Degraded:    r.degraded,
+		Degradation: r.degradation,
 	}
 	if rep.Findings == nil {
 		rep.Findings = []Finding{}

@@ -23,6 +23,7 @@ package vsfs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"vsfs/internal/andersen"
 	"vsfs/internal/bitset"
 	"vsfs/internal/core"
+	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 	"vsfs/internal/irparse"
 	"vsfs/internal/lang"
@@ -138,10 +140,59 @@ type Result struct {
 	vsfsRes *core.Result
 
 	timings Timings
+
+	// Degradation state: when a resource budget is exhausted after the
+	// auxiliary phase has completed, the run falls back to the
+	// flow-insensitive Andersen result (sound, less precise) instead of
+	// failing. mode is rewritten to FlowInsensitive so every query
+	// dispatches exactly as a standalone Andersen run would.
+	requested        Mode
+	degraded         bool
+	degradation      string
+	degradedPhase    string
+	degradedResource string
 }
 
 // Timings returns the per-phase wall-clock durations of the run.
 func (r *Result) Timings() Timings { return r.timings }
+
+// Mode returns the analysis mode that produced the answers: the
+// requested mode, or FlowInsensitive after degradation.
+func (r *Result) Mode() Mode { return r.mode }
+
+// RequestedMode returns the mode the caller asked for, which differs
+// from Mode only on degraded runs.
+func (r *Result) RequestedMode() Mode { return r.requested }
+
+// Degraded reports whether the run exhausted a resource budget after
+// the auxiliary phase and fell back to the flow-insensitive result.
+func (r *Result) Degraded() bool { return r.degraded }
+
+// Degradation returns the human-readable reason for the fallback, or
+// "" when the run completed at full precision.
+func (r *Result) Degradation() string { return r.degradation }
+
+// DegradedCause returns the pipeline phase and budget resource that
+// triggered the fallback ("", "" when not degraded).
+func (r *Result) DegradedCause() (phase, resource string) {
+	return r.degradedPhase, r.degradedResource
+}
+
+// degrade rewrites the Result to answer every query from the
+// already-computed auxiliary analysis. Only *guard.ErrBudgetExceeded
+// qualifies: cancellation is the caller's abort and panics are
+// correctness failures — neither may silently lose precision.
+func (r *Result) degrade(be *guard.ErrBudgetExceeded) {
+	r.mode = FlowInsensitive
+	r.degraded = true
+	r.degradedPhase = be.Phase
+	r.degradedResource = string(be.Resource)
+	r.degradation = fmt.Sprintf(
+		"%s budget exceeded in %s phase (limit %d); fell back to flow-insensitive (Andersen) result",
+		be.Resource, be.Phase, be.Limit)
+	r.sfsRes = nil
+	r.vsfsRes = nil
+}
 
 // pointsTo dispatches to the selected analysis.
 func (r *Result) pointsTo(v ir.ID) *bitset.Sparse {
@@ -182,20 +233,30 @@ func AnalyzeIR(src string, opts Options) (*Result, error) {
 // solves it, aborting with ctx.Err() when the context is cancelled or
 // its deadline passes. The solver worklist loops poll the context, so
 // cancellation takes effect promptly even mid-fixpoint.
+//
+// Resource governance rides on the context: attach a *guard.Budget with
+// guard.WithBudget to bound the run, in which case a budget exhausted
+// after the auxiliary phase degrades the Result (Degraded reports true)
+// to the flow-insensitive answer instead of failing. A panic in any
+// phase is isolated and returned as a *guard.PhaseError.
 func AnalyzeContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	hash := guard.Hash([]byte(src))
 	sp := obs.StartSpan(ctx, "parse").Arg("input", opts.Input.String()).Arg("bytes", len(src))
 	var prog *ir.Program
-	var err error
-	if opts.Input == InputIR {
-		prog, err = irparse.Parse(src)
-	} else {
-		prog, err = lang.Compile(src)
-	}
+	err := guard.Recover(ctx, "parse", hash, func() error {
+		var perr error
+		if opts.Input == InputIR {
+			prog, perr = irparse.Parse(src)
+		} else {
+			prog, perr = lang.Compile(src)
+		}
+		return perr
+	})
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeProgramContext(ctx, prog, opts)
+	return analyzeProgram(ctx, prog, opts, hash)
 }
 
 // AnalyzeProgram runs the staged pipeline over an already-built program.
@@ -205,52 +266,109 @@ func AnalyzeProgram(prog *ir.Program, opts Options) (*Result, error) {
 	return AnalyzeProgramContext(context.Background(), prog, opts)
 }
 
-// AnalyzeProgramContext is AnalyzeProgram with cancellation; see
-// AnalyzeContext.
+// AnalyzeProgramContext is AnalyzeProgram with cancellation and
+// resource governance; see AnalyzeContext.
 func AnalyzeProgramContext(ctx context.Context, prog *ir.Program, opts Options) (*Result, error) {
-	r := &Result{mode: opts.Mode, prog: prog}
+	return analyzeProgram(ctx, prog, opts, "")
+}
+
+// budgetBreach extracts the degradation trigger from a phase error:
+// only a typed budget breach qualifies. Cancellation and deadlines
+// propagate (the caller aborted), and panics propagate (correctness
+// failures must not silently lose precision).
+func budgetBreach(err error) (*guard.ErrBudgetExceeded, bool) {
+	var be *guard.ErrBudgetExceeded
+	if errors.As(err, &be) {
+		return be, true
+	}
+	return nil, false
+}
+
+func analyzeProgram(ctx context.Context, prog *ir.Program, opts Options, hash string) (*Result, error) {
+	r := &Result{mode: opts.Mode, requested: opts.Mode, prog: prog}
 	start := time.Now()
-	var err error
 	sp := obs.StartSpan(ctx, "andersen")
-	r.aux, err = andersen.AnalyzeContext(ctx, prog)
+	err := guard.Recover(ctx, "andersen", hash, func() error {
+		var aerr error
+		r.aux, aerr = andersen.AnalyzeContext(ctx, prog)
+		return aerr
+	})
 	if err != nil {
+		// Nothing to degrade to: the auxiliary result is the fallback.
 		return nil, err
 	}
 	sp.Arg("pops", r.aux.Stats.Pops).Arg("propagations", r.aux.Stats.Propagations).End()
 	r.timings.Andersen = time.Since(start)
 
+	finish := func() (*Result, error) {
+		r.timings.Total = time.Since(start)
+		return r, nil
+	}
+
+	var mssa *memssa.Result
 	t := time.Now()
 	sp = obs.StartSpan(ctx, "memssa")
-	mssa := memssa.Build(prog, r.aux)
+	err = guard.Recover(ctx, "memssa", hash, func() error {
+		var merr error
+		mssa, merr = memssa.BuildContext(ctx, prog, r.aux)
+		return merr
+	})
 	sp.End()
 	r.timings.MemSSA = time.Since(t)
+	if err != nil {
+		if be, ok := budgetBreach(err); ok {
+			r.degrade(be)
+			return finish()
+		}
+		return nil, err
+	}
 
 	t = time.Now()
 	sp = obs.StartSpan(ctx, "svfg")
-	r.g = svfg.Build(prog, r.aux, mssa)
+	err = guard.Recover(ctx, "svfg", hash, func() error {
+		var gerr error
+		r.g, gerr = svfg.BuildContext(ctx, prog, r.aux, mssa)
+		return gerr
+	})
+	r.timings.SVFG = time.Since(t)
+	if err != nil {
+		sp.End()
+		r.g = nil
+		if be, ok := budgetBreach(err); ok {
+			r.degrade(be)
+			return finish()
+		}
+		return nil, err
+	}
 	sp.Arg("nodes", r.g.NumNodes).
 		Arg("directEdges", r.g.NumDirectEdges).
 		Arg("indirectEdges", r.g.NumIndirectEdges).
 		End()
-	r.timings.SVFG = time.Since(t)
 
 	t = time.Now()
 	sp = obs.StartSpan(ctx, "solve").Arg("mode", opts.Mode.String())
-	switch opts.Mode {
-	case SFS:
-		r.sfsRes, err = sfs.SolveContext(ctx, r.g)
-	case FlowInsensitive:
-		// Auxiliary results only.
-	default:
-		r.vsfsRes, err = core.SolveContext(ctx, r.g)
-	}
-	if err != nil {
-		return nil, err
-	}
+	err = guard.Recover(ctx, "solve", hash, func() error {
+		var serr error
+		switch opts.Mode {
+		case SFS:
+			r.sfsRes, serr = sfs.SolveContext(ctx, r.g)
+		case FlowInsensitive:
+			// Auxiliary results only.
+		default:
+			r.vsfsRes, serr = core.SolveContext(ctx, r.g)
+		}
+		return serr
+	})
 	sp.End()
 	r.timings.Solve = time.Since(t)
-	r.timings.Total = time.Since(start)
-	return r, nil
+	if err != nil {
+		if be, ok := budgetBreach(err); ok {
+			r.degrade(be)
+			return finish()
+		}
+		return nil, err
+	}
+	return finish()
 }
 
 // matchingVars returns the pointer temps belonging to the source-level
@@ -425,13 +543,16 @@ type Summary struct {
 // Stats returns the run's Summary.
 func (r *Result) Stats() Summary {
 	s := Summary{
-		Mode:          r.mode.String(),
-		Functions:     len(r.prog.Funcs),
-		SVFGNodes:     r.g.NumNodes,
-		DirectEdges:   r.g.NumDirectEdges,
-		IndirectEdges: r.g.NumIndirectEdges,
-		TopLevelVars:  r.g.NumTopLevel,
-		AddressTaken:  r.g.NumAddressTaken,
+		Mode:      r.mode.String(),
+		Functions: len(r.prog.Funcs),
+	}
+	// r.g is nil when the run degraded before the SVFG was assembled.
+	if r.g != nil {
+		s.SVFGNodes = r.g.NumNodes
+		s.DirectEdges = r.g.NumDirectEdges
+		s.IndirectEdges = r.g.NumIndirectEdges
+		s.TopLevelVars = r.g.NumTopLevel
+		s.AddressTaken = r.g.NumAddressTaken
 	}
 	s.AuxPropagations = r.aux.Stats.Propagations
 	s.AuxWorklistHighWater = r.aux.Stats.WorklistHW
