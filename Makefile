@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench serve fuzz fuzz-native faults
+.PHONY: build test race vet lint fmt-check bench serve fuzz fuzz-native faults check golden
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,22 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+lint: vet
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...
+
+# Run the memory-safety checker suite over the corpus (text report).
+# vsfs exits 5 when findings are reported, which is the point here.
+check:
+	@$(GO) build -o /tmp/vsfs-make ./cmd/vsfs
+	@for f in testdata/checks/*.c; do \
+		echo "== $$f"; /tmp/vsfs-make -check $$f; \
+		st=$$?; if [ $$st -ne 0 ] && [ $$st -ne 5 ]; then exit $$st; fi; \
+	done
+
+# Regenerate the corpus golden files after a deliberate output change.
+golden:
+	$(GO) test -run TestChecksCorpus -update .
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

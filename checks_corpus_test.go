@@ -1,0 +1,117 @@
+package vsfs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vsfs/internal/diag"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/checks golden files")
+
+// corpusTaint is the taint configuration the corpus is replayed with;
+// only taint.c defines the source and sink functions, so it is a no-op
+// for every other program.
+var corpusTaint = CheckConfig{TaintSource: "source", TaintSink: "sink"}
+
+// renderCorpus runs the full -check pipeline on one corpus program
+// under the given analysis mode: solve, check, diagnose, apply inline
+// suppressions, and apply the committed baseline sidecar if one exists.
+func renderCorpus(t *testing.T, path string, mode Mode) string {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := AnalyzeC(string(src), Options{Mode: mode, Filename: filepath.Base(path)})
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	raws := []diag.Raw{}
+	for _, f := range r.CheckWith(corpusTaint) {
+		raws = append(raws, diag.Raw{Kind: f.Kind, Func: f.Func, Label: f.Label,
+			Line: f.Line, Col: f.Col, Message: f.Message})
+	}
+	findings := diag.New(filepath.Base(path), raws, nil)
+	findings, suppressed := diag.Suppress(string(src), findings)
+	baselined := 0
+	if bf, err := os.Open(path + ".baseline"); err == nil {
+		b, err := diag.ReadBaseline(bf)
+		bf.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path+".baseline", err)
+		}
+		findings, baselined = b.Filter(findings)
+	}
+	var sb strings.Builder
+	diag.RenderText(&sb, findings)
+	fmt.Fprintf(&sb, "# findings: %d, suppressed: %d, baselined: %d\n",
+		len(findings), suppressed, baselined)
+	return sb.String()
+}
+
+// TestChecksCorpus replays every testdata/checks program through the
+// checker suite and diagnostics engine and compares the rendered output
+// to the committed golden file. Run with -update to regenerate goldens.
+// Each program is rendered under both flow-sensitive modes and the
+// outputs must be byte-identical — the checker-level face of the
+// precision theorem, pinned on real mini-C programs rather than random
+// IR.
+func TestChecksCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "checks", "*.c"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			got := renderCorpus(t, path, VSFS)
+			if sfs := renderCorpus(t, path, SFS); sfs != got {
+				t.Errorf("SFS output differs from VSFS:\n--- SFS ---\n%s--- VSFS ---\n%s", sfs, got)
+			}
+			golden := path + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run go test -run ChecksCorpus -update ./): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestChecksCorpusFindsEveryKind guards the corpus against rot: every
+// checker kind must be exercised by at least one program.
+func TestChecksCorpusFindsEveryKind(t *testing.T) {
+	files, _ := filepath.Glob(filepath.Join("testdata", "checks", "*.c"))
+	seen := map[string]bool{}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := AnalyzeC(string(src), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range r.CheckWith(corpusTaint) {
+			seen[f.Kind] = true
+		}
+	}
+	for _, kind := range []string{"null-deref", "dangling-return", "stack-escape",
+		"use-after-free", "double-free", "memory-leak", "leak"} {
+		if !seen[kind] {
+			t.Errorf("no corpus program produces a %s finding", kind)
+		}
+	}
+}

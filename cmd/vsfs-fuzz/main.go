@@ -8,6 +8,8 @@
 //	vsfs-fuzz -mode server -seeds 20     daemon cache/single-flight identity
 //	vsfs-fuzz -mode all -seeds 100       solver battery and daemon checks
 //	vsfs-fuzz -faults -seeds 50          fault-injection battery per program
+//	vsfs-fuzz -free 0                    generate programs without free()
+//	vsfs-fuzz -corpus testdata/checks    replay mini-C corpus programs
 //	vsfs-fuzz -minimize -out regressions minimize failures into a corpus
 //	vsfs-fuzz -skip-resolve              skip the re-solve determinism check
 //
@@ -36,6 +38,7 @@ import (
 
 	"vsfs/internal/ir"
 	"vsfs/internal/irparse"
+	"vsfs/internal/lang"
 	"vsfs/internal/oracle"
 	"vsfs/internal/workload"
 )
@@ -67,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outDir := fs.String("out", "regressions", "directory minimized reproducers are written to")
 	skipResolve := fs.Bool("skip-resolve", false, "skip the re-solve determinism check (the most expensive invariant)")
 	maxWitnesses := fs.Int("max-witnesses", oracle.DefaultMaxWitnesses, "points-to facts replayed through the witness search per program (-1 = all)")
+	freeProb := fs.Float64("free", 0.2, "probability of a free() per generated instruction slot, exercising the deallocation checkers")
+	corpus := fs.String("corpus", "", "also replay every .c program in this directory through the solver battery")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +90,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts:     oracle.Options{SkipResolve: *skipResolve, MaxWitnesses: *maxWitnesses},
 		stdout:   stdout,
 		stderr:   stderr,
+	}
+
+	if *corpus != "" {
+		n, err := fc.checkCorpus(*corpus)
+		if err != nil {
+			fmt.Fprintf(stderr, "vsfs-fuzz: %v\n", err)
+			return 2
+		}
+		if *seeds == 0 && *profile == "" {
+			return fc.verdict(n)
+		}
 	}
 
 	if *profile != "" {
@@ -107,11 +123,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fc.verdict(len(profiles))
 	}
 
+	cfg := workload.DefaultRandomConfig()
+	cfg.FreeProb = *freeProb
 	for seed := *start; seed < *start+*seeds; seed++ {
 		name := fmt.Sprintf("seed %d", seed)
-		fc.checkOne(name, workload.Random(seed, workload.DefaultRandomConfig()), seed)
+		fc.checkOne(name, workload.Random(seed, cfg), seed)
 	}
 	return fc.verdict(int(*seeds))
+}
+
+// checkCorpus compiles every mini-C program in dir and runs the solver
+// battery (including the checker-level invariants) on it. The corpus
+// programs are written to exercise specific checkers, so this pins the
+// SFS/VSFS/Andersen relationships on curated, human-meaningful inputs
+// alongside the random sweep.
+func (fc *fuzzConfig) checkCorpus(dir string) (int, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.c"))
+	if err != nil || len(files) == 0 {
+		return 0, fmt.Errorf("no .c programs in %s", dir)
+	}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return 0, err
+		}
+		prog, err := lang.Compile(string(src))
+		if err != nil {
+			return 0, fmt.Errorf("%s: %v", path, err)
+		}
+		if vs := oracle.CheckProgram(prog, fc.opts); len(vs) > 0 {
+			fc.violations += len(vs)
+			for _, v := range vs {
+				fmt.Fprintf(fc.stdout, "FAIL %s: %s\n", path, v)
+			}
+		}
+	}
+	return len(files), nil
 }
 
 // checkOne runs the configured checks on one program and records any

@@ -9,7 +9,8 @@
 //	vsfs -dump-ir prog.c           print the lowered IR and exit
 //	vsfs -dot prog.c               print the SVFG as Graphviz dot
 //	vsfs -callgraph prog.c         print the call graph
-//	vsfs -check prog.c             run the bug-finding clients
+//	vsfs -check prog.c             run the memory-safety checkers
+//	vsfs -check -sarif prog.c      ... emitting SARIF 2.1.0 on stdout
 //	vsfs -why p prog.c             explain why p points to what it does
 //	vsfs -json prog.c              print the full result as canonical JSON
 //	vsfs -timeout 5s prog.c        abort cleanly if analysis exceeds 5s
@@ -18,9 +19,19 @@
 //	vsfs -trace out.json prog.c    write a Chrome trace of the pipeline phases
 //	vsfs -v prog.c                 log analysis progress to stderr
 //
-// Exit codes: 0 success; 1 analysis error (or findings with -check);
-// 2 usage error; 3 success with a degraded (flow-insensitive) result
-// after exceeding -max-steps/-max-mem; 4 timed out (-timeout).
+// The checker suite (-check) runs null-deref, dangling-return,
+// stack-escape, use-after-free, double-free and memory-leak over the
+// facts of the selected -mode (VSFS by default), and the taint checker
+// when -taint-source and -taint-sink name functions. Findings print as
+// "file:line:col: severity: message [kind]" or, with -sarif, as a
+// SARIF 2.1.0 log. "// vsfs:ignore(kind)" comments suppress findings
+// on their line; -baseline hides findings recorded with
+// -write-baseline; -severity overrides per-kind severities.
+//
+// Exit codes: 0 success; 1 analysis error; 2 usage error; 3 success
+// with a degraded (flow-insensitive) result after exceeding
+// -max-steps/-max-mem; 4 timed out (-timeout); 5 findings reported by
+// -check (takes precedence over 3).
 package main
 
 import (
@@ -36,8 +47,8 @@ import (
 
 	"vsfs"
 	"vsfs/internal/andersen"
-	"vsfs/internal/checker"
 	"vsfs/internal/core"
+	"vsfs/internal/diag"
 	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 	"vsfs/internal/irparse"
@@ -50,10 +61,11 @@ import (
 // Exit codes; part of the CLI contract (see the package comment).
 const (
 	exitOK       = 0 // full-precision success
-	exitError    = 1 // analysis error, or findings under -check
+	exitError    = 1 // analysis error
 	exitUsage    = 2 // bad flags or arguments
 	exitDegraded = 3 // success, but degraded to the flow-insensitive result
 	exitTimeout  = 4 // -timeout elapsed before the analysis finished
+	exitFindings = 5 // -check reported at least one finding
 )
 
 func main() {
@@ -72,7 +84,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dot := fs.Bool("dot", false, "print the SVFG in Graphviz dot format and exit")
 	callgraph := fs.Bool("callgraph", false, "print the resolved call graph")
 	stats := fs.Bool("stats", false, "print analysis statistics")
-	check := fs.Bool("check", false, "run the bug-finding clients (null-deref, dangling returns, stack escapes)")
+	check := fs.Bool("check", false, "run the memory-safety checkers (null-deref, dangling-return, stack-escape, use-after-free, double-free, memory-leak)")
+	sarif := fs.Bool("sarif", false, "with -check: print findings as SARIF 2.1.0 instead of text")
+	baselinePath := fs.String("baseline", "", "with -check: hide findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "with -check: record current findings to this baseline file and exit")
+	severityFlag := fs.String("severity", "", "with -check: per-kind severity overrides, e.g. null-deref=error,memory-leak=note")
+	taintSource := fs.String("taint-source", "", "with -check: treat objects allocated in this function as sensitive")
+	taintSink := fs.String("taint-sink", "", "with -check: report sensitive objects reaching arguments of this function")
+	taintSanitizers := fs.String("taint-sanitizers", "", "with -check: comma-separated functions whose call arguments are declassified")
 	why := fs.String("why", "", "explain a points-to fact: print value-flow witnesses for every object the named variable may reference (name or func.name)")
 	jsonOut := fs.Bool("json", false, "print the full result (points-to, call graph, findings, stats) as canonical JSON")
 	timeout := fs.Duration("timeout", 0, "abort analysis after this long, exiting 4 (0 = no limit)")
@@ -119,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: vsfs [flags] <file.c|file.vir>")
-		fmt.Fprintln(stderr, "exit codes: 0 ok, 1 error/findings, 2 usage, 3 degraded result, 4 timeout")
+		fmt.Fprintln(stderr, "exit codes: 0 ok, 1 error, 2 usage, 3 degraded result, 4 timeout, 5 findings")
 		fs.PrintDefaults()
 		return exitUsage
 	}
@@ -201,54 +220,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			input = vsfs.InputIR
 		}
 		logger.Info("analyzing", "file", path, "mode", m.String(), "bytes", len(src))
-		r, err := vsfs.AnalyzeContext(ctx, string(src), vsfs.Options{Mode: m, Input: input})
+		r, err := vsfs.AnalyzeContext(ctx, string(src), vsfs.Options{Mode: m, Input: input, Filename: path})
 		if err == nil {
 			t := r.Timings()
 			logger.Info("analysis complete", "total", t.Total,
 				"andersen", t.Andersen, "memssa", t.MemSSA, "svfg", t.SVFG, "solve", t.Solve)
 		}
 		return r, err
-	}
-
-	if *check {
-		var prog *ir.Program
-		var perr error
-		if isIR {
-			prog, perr = irparse.Parse(string(src))
-		} else {
-			prog, perr = lang.Compile(string(src))
-		}
-		if perr != nil {
-			return fail(perr)
-		}
-		aux, aerr := andersen.AnalyzeContext(ctx, prog)
-		if aerr != nil {
-			return fail(aerr)
-		}
-		mssa, merr := memssa.BuildContext(ctx, prog, aux)
-		if merr != nil {
-			return fail(merr)
-		}
-		g, gerr := svfg.BuildContext(ctx, prog, aux, mssa)
-		if gerr != nil {
-			return fail(gerr)
-		}
-		solved, serr := core.SolveContext(ctx, g)
-		if serr != nil {
-			return fail(serr)
-		}
-		var all []checker.Finding
-		all = append(all, checker.NullDerefs(prog, solved)...)
-		all = append(all, checker.DanglingReturns(prog, solved)...)
-		all = append(all, checker.StackEscapes(prog, solved)...)
-		for _, f := range all {
-			fmt.Fprintln(stdout, f)
-		}
-		fmt.Fprintf(stdout, "%d finding(s)\n", len(all))
-		if len(all) > 0 {
-			return exitError
-		}
-		return exitOK
 	}
 
 	if *why != "" {
@@ -345,6 +323,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+
+	if *check || *sarif {
+		severities, serr := parseSeverities(*severityFlag)
+		if serr != nil {
+			fmt.Fprintln(stderr, "vsfs:", serr)
+			return exitUsage
+		}
+		r, err := analyze(m)
+		if err != nil {
+			return fail(err)
+		}
+		cfg := vsfs.CheckConfig{TaintSource: *taintSource, TaintSink: *taintSink}
+		if *taintSanitizers != "" {
+			cfg.TaintSanitizers = strings.Split(*taintSanitizers, ",")
+		}
+		return runCheck(r, string(src), path, checkOpts{
+			sarif:         *sarif,
+			baseline:      *baselinePath,
+			writeBaseline: *writeBaseline,
+			severities:    severities,
+			cfg:           cfg,
+		}, stdout, stderr)
+	}
+
 	r, err := analyze(m)
 	if err != nil {
 		return fail(err)
@@ -385,4 +387,113 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return exit(r)
+}
+
+// checkOpts carries the -check presentation knobs into runCheck.
+type checkOpts struct {
+	sarif         bool
+	baseline      string
+	writeBaseline string
+	severities    map[string]diag.Severity
+	cfg           vsfs.CheckConfig
+}
+
+// parseSeverities parses "kind=level,kind=level" severity overrides.
+func parseSeverities(s string) (map[string]diag.Severity, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]diag.Severity{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("bad -severity entry %q (want kind=level)", part)
+		}
+		switch lvl := diag.Severity(kv[1]); lvl {
+		case diag.Error, diag.Warning, diag.Note:
+			out[kv[0]] = lvl
+		default:
+			return nil, fmt.Errorf("bad severity %q (want error, warning or note)", kv[1])
+		}
+	}
+	return out, nil
+}
+
+// runCheck turns the analysis result into rendered diagnostics: convert
+// checker findings through the diag engine (severities, fingerprints),
+// apply inline suppressions and the baseline, then render text or
+// SARIF. Findings exit 5; a degraded run without findings exits 3.
+func runCheck(r *vsfs.Result, src, path string, o checkOpts, stdout, stderr io.Writer) int {
+	raw := r.CheckWith(o.cfg)
+	rawd := make([]diag.Raw, len(raw))
+	for i, f := range raw {
+		rawd[i] = diag.Raw{Kind: f.Kind, Func: f.Func, Label: f.Label, Line: f.Line, Col: f.Col, Message: f.Message}
+	}
+	findings := diag.New(path, rawd, o.severities)
+	findings, suppressed := diag.Suppress(src, findings)
+
+	baselined := 0
+	if o.baseline != "" {
+		bf, err := os.Open(o.baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "vsfs:", err)
+			return exitError
+		}
+		b, err := diag.ReadBaseline(bf)
+		bf.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "vsfs:", err)
+			return exitError
+		}
+		findings, baselined = b.Filter(findings)
+	}
+
+	if r.Degraded() {
+		fmt.Fprintln(stderr, "vsfs: degraded:", r.Degradation())
+	}
+
+	if o.writeBaseline != "" {
+		f, err := os.Create(o.writeBaseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "vsfs:", err)
+			return exitError
+		}
+		werr := diag.NewBaseline(findings).Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "vsfs:", werr)
+			return exitError
+		}
+		fmt.Fprintf(stdout, "baseline with %d finding(s) written to %s\n", len(findings), o.writeBaseline)
+		if r.Degraded() {
+			return exitDegraded
+		}
+		return exitOK
+	}
+
+	if o.sarif {
+		if err := diag.WriteSARIF(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "vsfs:", err)
+			return exitError
+		}
+	} else {
+		diag.RenderText(stdout, findings)
+		fmt.Fprintf(stdout, "%d finding(s)", len(findings))
+		if suppressed > 0 {
+			fmt.Fprintf(stdout, ", %d suppressed", suppressed)
+		}
+		if baselined > 0 {
+			fmt.Fprintf(stdout, ", %d baselined", baselined)
+		}
+		fmt.Fprintln(stdout)
+	}
+	switch {
+	case len(findings) > 0:
+		return exitFindings
+	case r.Degraded():
+		return exitDegraded
+	}
+	return exitOK
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -129,7 +130,7 @@ func TestRunCheckFindsBugs(t *testing.T) {
 	}
 	buggy := writeTemp(t, "bug.c", buggyC)
 	code, out, _ = runCLI(t, "-check", buggy)
-	if code != 1 || !strings.Contains(out, "stack-escape") {
+	if code != exitFindings || !strings.Contains(out, "stack-escape") {
 		t.Errorf("buggy check: exit = %d out:\n%s", code, out)
 	}
 }
@@ -277,5 +278,146 @@ func TestRunBudgetDegrades(t *testing.T) {
 	code, out, _ = runCLI(t, "-max-steps", strconv.FormatInt(1<<40, 10), "-max-mem", strconv.FormatInt(1<<40, 10), "-stats", path)
 	if code != exitOK || !strings.Contains(out, "stats: mode=vsfs") {
 		t.Fatalf("ample budgets: exit = %d out tail %q", code, out[max(0, len(out)-200):])
+	}
+}
+
+const uafC = `int main() {
+  int *p;
+  p = malloc();
+  *p = 1;
+  free(p);
+  *p = 2;
+  return 0;
+}
+`
+
+func TestRunCheckUseAfterFreePositions(t *testing.T) {
+	path := writeTemp(t, "uaf.c", uafC)
+	code, out, _ := runCLI(t, "-check", path)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d\n%s", code, exitFindings, out)
+	}
+	want := path + ":6:3: error: "
+	if !strings.Contains(out, want) || !strings.Contains(out, "[use-after-free]") {
+		t.Errorf("missing positioned use-after-free (%q):\n%s", want, out)
+	}
+	// The facts must come from the flow-sensitive solver: the same file
+	// has no finding at the pre-free write on line 4.
+	if strings.Contains(out, ":4:") {
+		t.Errorf("pre-free write flagged:\n%s", out)
+	}
+}
+
+func TestRunCheckSARIF(t *testing.T) {
+	path := writeTemp(t, "uaf.c", uafC)
+	code, out, _ := runCLI(t, "-check", "-sarif", path)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d", code, exitFindings)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v", err)
+	}
+	if doc["version"] != "2.1.0" {
+		t.Errorf("version = %v", doc["version"])
+	}
+	runs := doc["runs"].([]any)
+	results := runs[0].(map[string]any)["results"].([]any)
+	foundUAF := false
+	for _, ri := range results {
+		res := ri.(map[string]any)
+		if res["ruleId"] != "use-after-free" {
+			continue
+		}
+		foundUAF = true
+		loc := res["locations"].([]any)[0].(map[string]any)
+		phys := loc["physicalLocation"].(map[string]any)
+		region := phys["region"].(map[string]any)
+		if region["startLine"].(float64) != 6 || region["startColumn"].(float64) != 3 {
+			t.Errorf("region = %v, want 6:3", region)
+		}
+		if phys["artifactLocation"].(map[string]any)["uri"] != path {
+			t.Errorf("uri = %v", phys)
+		}
+	}
+	if !foundUAF {
+		t.Errorf("no use-after-free result in SARIF:\n%s", out)
+	}
+}
+
+func TestRunCheckSuppressionAndBaseline(t *testing.T) {
+	suppressed := `int main() {
+  int *p;
+  p = malloc();
+  free(p);
+  *p = 2; // vsfs:ignore(use-after-free)
+  return 0;
+}
+`
+	path := writeTemp(t, "supp.c", suppressed)
+	code, out, _ := runCLI(t, "-check", path)
+	if code != exitOK || !strings.Contains(out, "0 finding(s), 1 suppressed") {
+		t.Errorf("suppression: exit = %d out:\n%s", code, out)
+	}
+
+	uaf := writeTemp(t, "uaf.c", uafC)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	code, _, _ = runCLI(t, "-check", "-write-baseline", base, uaf)
+	if code != exitOK {
+		t.Fatalf("write-baseline exit = %d", code)
+	}
+	code, out, _ = runCLI(t, "-check", "-baseline", base, uaf)
+	if code != exitOK || !strings.Contains(out, "baselined") {
+		t.Errorf("baselined run: exit = %d out:\n%s", code, out)
+	}
+}
+
+func TestRunCheckSeverityOverride(t *testing.T) {
+	path := writeTemp(t, "uaf.c", uafC)
+	code, out, _ := runCLI(t, "-check", "-severity", "use-after-free=note", path)
+	if code != exitFindings || !strings.Contains(out, ": note: ") {
+		t.Errorf("exit = %d out:\n%s", code, out)
+	}
+	if code, _, _ := runCLI(t, "-check", "-severity", "use-after-free=nope", path); code != exitUsage {
+		t.Error("bad severity level should exit 2")
+	}
+}
+
+func TestRunCheckTaint(t *testing.T) {
+	taint := `int *fetch() {
+  int *s;
+  s = malloc();
+  return s;
+}
+void scrub(int *d) { return; }
+void ship(int *d) { return; }
+int main() {
+  int *x;
+  x = fetch();
+  ship(x);
+  return 0;
+}
+`
+	path := writeTemp(t, "taint.c", taint)
+	code, out, _ := runCLI(t, "-check", "-taint-source", "fetch", "-taint-sink", "ship", path)
+	if code != exitFindings || !strings.Contains(out, "[leak]") {
+		t.Errorf("taint: exit = %d out:\n%s", code, out)
+	}
+	code, out, _ = runCLI(t, "-check", "-taint-source", "fetch", "-taint-sink", "scrub",
+		"-taint-sanitizers", "ship", path)
+	if code != exitOK {
+		t.Errorf("sanitized-off sink: exit = %d out:\n%s", code, out)
+	}
+}
+
+func TestRunCheckRespectsMode(t *testing.T) {
+	// Flow-insensitively the post-free store is indistinguishable; the
+	// Andersen run must report at least as many use-after-free findings
+	// as VSFS (here: the pre-free write too).
+	path := writeTemp(t, "uaf.c", uafC)
+	_, vout, _ := runCLI(t, "-check", path)
+	_, aout, _ := runCLI(t, "-check", "-mode", "andersen", path)
+	if strings.Count(aout, "[use-after-free]") < strings.Count(vout, "[use-after-free]") {
+		t.Errorf("andersen reported fewer UAFs than vsfs:\n--- vsfs ---\n%s--- andersen ---\n%s", vout, aout)
 	}
 }

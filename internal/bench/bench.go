@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"vsfs/internal/andersen"
+	"vsfs/internal/bitset"
+	"vsfs/internal/checker"
 	"vsfs/internal/core"
 	"vsfs/internal/ir"
 	"vsfs/internal/memssa"
@@ -63,6 +65,12 @@ type Row struct {
 
 	SFSStats  sfs.Stats
 	VSFSStats core.Stats
+
+	// Checker overhead: wall time of the full memory-safety checker
+	// suite over the solved VSFS facts, and how many findings it
+	// produced. Quantifies what -check adds on top of solving.
+	CheckTime     time.Duration
+	CheckFindings int
 }
 
 // Per-entry overhead constants for the memory model: a bitset header +
@@ -108,6 +116,7 @@ func RunProfile(p workload.Profile, opts Options) Row {
 	row.AddressTaken = g.NumAddressTaken
 
 	var sfsTotal, vsfsTotal, verTotal time.Duration
+	var lastVR *core.Result
 	for i := 0; i < opts.Runs; i++ {
 		gs := g.Clone()
 		start = time.Now()
@@ -120,7 +129,11 @@ func RunProfile(p workload.Profile, opts Options) Row {
 		vsfsTotal += vr.Stats.SolveTime
 		verTotal += vr.Stats.Versioning.Duration
 		row.VSFSStats = vr.Stats
+		lastVR = vr
 	}
+	start = time.Now()
+	row.CheckFindings = runCheckers(prog, lastVR)
+	row.CheckTime = time.Since(start)
 	row.SFSTime = sfsTotal / time.Duration(opts.Runs)
 	row.VSFSTime = vsfsTotal / time.Duration(opts.Runs)
 	row.VersionTime = verTotal / time.Duration(opts.Runs)
@@ -409,4 +422,26 @@ func FormatVersionStats(rows []VersionRow) string {
 			r.SFSSets, r.VSFSSets, sr, r.Prelabels, r.DistinctVersions)
 	}
 	return b.String()
+}
+
+// checkFacts adapts a solved VSFS result to the checker interfaces.
+type checkFacts struct{ r *core.Result }
+
+func (f checkFacts) PointsTo(v ir.ID) *bitset.Sparse      { return f.r.PointsTo(v) }
+func (f checkFacts) ObjectSummary(o ir.ID) *bitset.Sparse { return f.r.ObjectSummary(o) }
+func (f checkFacts) ContentsBefore(label uint32, o ir.ID) *bitset.Sparse {
+	return f.r.ConsumedSet(label, o)
+}
+
+// runCheckers runs the memory-safety checker suite once, returning the
+// total finding count (the work -check performs after solving).
+func runCheckers(prog *ir.Program, vr *core.Result) int {
+	facts := checkFacts{vr}
+	n := len(checker.NullDerefs(prog, facts))
+	n += len(checker.DanglingReturns(prog, facts))
+	n += len(checker.StackEscapes(prog, facts))
+	n += len(checker.UseAfterFrees(prog, facts))
+	n += len(checker.DoubleFrees(prog, facts))
+	n += len(checker.MemoryLeaks(prog, facts))
+	return n
 }

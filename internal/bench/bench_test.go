@@ -113,3 +113,22 @@ func TestVersionStats(t *testing.T) {
 		t.Error("formatting missing row")
 	}
 }
+
+// TestRunProfileMeasuresCheckerOverhead pins the new -check overhead
+// quantities: the suite must actually run (nonzero time) and the JSON
+// artifact must carry them.
+func TestRunProfileMeasuresCheckerOverhead(t *testing.T) {
+	p := workload.Profiles()[0]
+	row := RunProfile(p, Options{Runs: 1})
+	if row.CheckTime <= 0 {
+		t.Errorf("CheckTime = %v, want > 0", row.CheckTime)
+	}
+	if row.CheckFindings < 0 {
+		t.Errorf("CheckFindings = %d", row.CheckFindings)
+	}
+	rep := JSONReportOf([]Row{row})
+	if rep.Rows[0].CheckMs != ms(row.CheckTime) || rep.Rows[0].CheckFindings != row.CheckFindings {
+		t.Errorf("JSON row = %+v, want checkMs %v / findings %d",
+			rep.Rows[0], ms(row.CheckTime), row.CheckFindings)
+	}
+}

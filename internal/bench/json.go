@@ -29,6 +29,10 @@ type JSONRow struct {
 	VSFSMemMB  float64 `json:"vsfsMemMB"`
 	Speedup    float64 `json:"speedup"`
 	MemRatio   float64 `json:"memRatio"`
+
+	// Checker suite overhead on the solved VSFS facts.
+	CheckMs       float64 `json:"checkMs"`
+	CheckFindings int     `json:"checkFindings"`
 }
 
 // JSONReport is the body of a BENCH_*.json artifact: every row plus the
@@ -62,6 +66,8 @@ func JSONReportOf(rows []Row) JSONReport {
 			VSFSMemMB:     mb(r.VSFSMem),
 			Speedup:       r.Speedup,
 			MemRatio:      r.MemRatio,
+			CheckMs:       ms(r.CheckTime),
+			CheckFindings: r.CheckFindings,
 		})
 		if !r.SFSOOM {
 			speedups = append(speedups, r.Speedup)

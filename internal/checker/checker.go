@@ -1,9 +1,36 @@
-// Package checker hosts client analyses built on the pointer-analysis
-// results: a null/uninitialised-dereference checker and a
-// dangling-stack-pointer checker. They consume any solver's results
-// through the PointsTo interface, so the same client runs on Andersen's,
-// SFS or VSFS facts — with flow-sensitive facts finding strictly more
-// (and more precise) issues.
+// Package checker hosts the memory-safety and information-flow clients
+// built on the pointer-analysis results:
+//
+//   - null-deref: a load or store whose base pointer has an empty
+//     points-to set at that point (null or uninitialised);
+//   - dangling-return: a function may return a pointer into its own
+//     stack frame;
+//   - stack-escape: the address of a local escapes into a global or
+//     heap object that outlives the frame;
+//   - use-after-free: a load or store may access an object that was
+//     freed on some path reaching it, or dereferences a pointer value
+//     that was itself loaded from freed memory;
+//   - double-free: a free whose operand may point to an
+//     already-freed object;
+//   - memory-leak: a heap allocation that is neither freed nor
+//     reachable from any root (global contents or main's pointers) when
+//     the program exits;
+//   - leak (taint): an object allocated in a source function reaches an
+//     argument of a sink call, with optional sanitizer functions that
+//     clear sensitivity.
+//
+// Deallocation is modelled by lowering free(p) to a store of the
+// distinguished FREED token object through p (ir.Program.FreedObj).
+// "Object o is freed before instruction ℓ" is then exactly "the FREED
+// token is in o's contents entering ℓ", a question every flow-sensitive
+// solver already answers; strong updates on singleton pointees make the
+// answer per-path precise.
+//
+// The checkers consume any solver's results through the PointsTo /
+// ObjectSummaries / FlowFacts interfaces, so the same client runs on
+// Andersen's, SFS or VSFS facts — with flow-sensitive facts giving
+// strictly more precise answers. See internal/oracle for the formal
+// relationships between the three solvers' findings.
 package checker
 
 import (
@@ -31,17 +58,36 @@ const (
 	// StackEscape: a store publishes the address of a local variable
 	// into a global or heap object that outlives the frame.
 	StackEscape Kind = "stack-escape"
+	// UseAfterFree: a load or store may access an object already freed
+	// at that point, or dereferences a pointer loaded from freed memory.
+	UseAfterFree Kind = "use-after-free"
+	// DoubleFree: a free whose operand may point to an already-freed
+	// object.
+	DoubleFree Kind = "double-free"
+	// MemoryLeak: a heap allocation neither freed nor reachable from
+	// any root when the program exits.
+	MemoryLeak Kind = "memory-leak"
 )
+
+// Kinds lists every finding kind the package can produce, in reporting
+// order. Diagnostics configuration (internal/diag) indexes by these.
+func Kinds() []Kind {
+	return []Kind{NullDeref, DanglingReturn, StackEscape, UseAfterFree, DoubleFree, MemoryLeak, Leak}
+}
 
 // Finding is one reported issue.
 type Finding struct {
 	Kind    Kind
 	Func    string
 	Label   uint32 // instruction label
+	Pos     ir.Pos // source position, when the IR carries provenance
 	Message string
 }
 
 func (f Finding) String() string {
+	if f.Pos.IsKnown() {
+		return fmt.Sprintf("[%s] %s (%s): %s", f.Kind, f.Func, f.Pos, f.Message)
+	}
 	return fmt.Sprintf("[%s] %s (ℓ%d): %s", f.Kind, f.Func, f.Label, f.Message)
 }
 
@@ -66,6 +112,7 @@ func NullDerefs(prog *ir.Program, res PointsTo) []Finding {
 					Kind:  NullDeref,
 					Func:  f.Name,
 					Label: in.Label,
+					Pos:   in.Pos,
 					Message: fmt.Sprintf("%s through %s, which points to nothing here",
 						what, prog.NameOf(base)),
 				})
@@ -90,6 +137,7 @@ func DanglingReturns(prog *ir.Program, res PointsTo) []Finding {
 					Kind:  DanglingReturn,
 					Func:  f.Name,
 					Label: f.ExitInstr.Label,
+					Pos:   f.ExitInstr.Pos,
 					Message: fmt.Sprintf("returns a pointer to its own local %s",
 						v.Name),
 				})
@@ -103,6 +151,21 @@ func DanglingReturns(prog *ir.Program, res PointsTo) []Finding {
 // by the flow-sensitive solvers and by Andersen's PointsTo directly.
 type ObjectSummaries interface {
 	ObjectSummary(o ir.ID) *bitset.Sparse
+}
+
+// FlowFacts is what the deallocation checkers need: top-level points-to
+// sets, per-object summaries, and the flow-sensitive contents of an
+// object at a program point. ContentsBefore(ℓ, o) is what o may hold
+// immediately before instruction ℓ executes — SFS answers it with
+// IN[ℓ](o), VSFS with the points-to set of o's consume version at ℓ,
+// and Andersen's over-approximates it with the object summary. It is
+// meaningful whenever the memory-SSA pass placed a μ or χ for o at ℓ,
+// which holds for every o in the points-to set of ℓ's base pointer;
+// callers must not rely on it elsewhere.
+type FlowFacts interface {
+	PointsTo
+	ObjectSummaries
+	ContentsBefore(label uint32, o ir.ID) *bitset.Sparse
 }
 
 // StackEscapes reports stores that publish a local's address into
@@ -127,6 +190,7 @@ func StackEscapes(prog *ir.Program, sums ObjectSummaries) []Finding {
 				Kind:  StackEscape,
 				Func:  pointee.DefFunc.Name,
 				Label: pointee.DefFunc.ExitInstr.Label,
+				Pos:   pointee.DefFunc.ExitInstr.Pos,
 				Message: fmt.Sprintf("address of local %s escapes into %s %s",
 					pointee.Name, holder.ObjKind, holder.Name),
 			})

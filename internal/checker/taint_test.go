@@ -115,3 +115,37 @@ func TestLeaksMissingFunctions(t *testing.T) {
 		t.Errorf("findings = %v", f)
 	}
 }
+
+func TestLeaksSanitizer(t *testing.T) {
+	prog, fs := solve(t, `
+int *fetch() {
+  int *s;
+  s = malloc();
+  return s;
+}
+void scrub(int *d) {
+  return;
+}
+void ship(int *d) {
+  return;
+}
+int main() {
+  int *x;
+  x = fetch();
+  scrub(x);
+  ship(x);
+  return 0;
+}
+`)
+	src, snk := LeakSource{Func: "fetch"}, LeakSink{Func: "ship"}
+	if f := Leaks(prog, fs, fs, src, snk); len(f) != 1 {
+		t.Fatalf("without sanitizer: findings = %v, want 1", f)
+	}
+	if f := Leaks(prog, fs, fs, src, snk, LeakSanitizer{Func: "scrub"}); len(f) != 0 {
+		t.Errorf("with sanitizer: findings = %v, want none (declassified)", f)
+	}
+	// A sanitizer that never runs on the secret declassifies nothing.
+	if f := Leaks(prog, fs, fs, src, snk, LeakSanitizer{Func: "nosuch"}); len(f) != 1 {
+		t.Errorf("with missing sanitizer: findings = %v, want 1", f)
+	}
+}

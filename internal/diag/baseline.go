@@ -1,0 +1,68 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Baseline records the fingerprints of accepted findings. Runs filter
+// against it so only findings introduced since the baseline was taken
+// are reported — the standard way to adopt a checker on a codebase
+// with pre-existing issues.
+type Baseline struct {
+	Version      int      `json:"version"`
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// baselineVersion guards the file format.
+const baselineVersion = 1
+
+// NewBaseline captures the given findings as the accepted set.
+func NewBaseline(findings []Finding) *Baseline {
+	fps := make([]string, 0, len(findings))
+	for _, f := range findings {
+		fps = append(fps, f.Fingerprint)
+	}
+	sort.Strings(fps)
+	return &Baseline{Version: baselineVersion, Fingerprints: fps}
+}
+
+// ReadBaseline parses a baseline written by Write.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("diag: malformed baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("diag: unsupported baseline version %d", b.Version)
+	}
+	return &b, nil
+}
+
+// Write serialises the baseline as deterministic, diff-friendly JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Filter returns the findings not present in the baseline and how many
+// were hidden by it.
+func (b *Baseline) Filter(findings []Finding) ([]Finding, int) {
+	known := make(map[string]bool, len(b.Fingerprints))
+	for _, fp := range b.Fingerprints {
+		known[fp] = true
+	}
+	kept := findings[:0:0]
+	hidden := 0
+	for _, f := range findings {
+		if known[f.Fingerprint] {
+			hidden++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, hidden
+}

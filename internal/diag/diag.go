@@ -1,0 +1,174 @@
+// Package diag is the diagnostics engine sitting between the checkers
+// and the user: it turns raw checker findings into presentable,
+// suppressible, diffable diagnostics.
+//
+//   - every finding gets a stable fingerprint (content hash of kind,
+//     file, function and message — deliberately not the line number, so
+//     unrelated edits that shift code do not churn baselines);
+//   - severities are configurable per kind on top of built-in defaults;
+//   - inline "// vsfs:ignore(kind)" comments suppress findings at their
+//     source line (a directive on its own line covers the line below);
+//   - a JSON baseline file records fingerprints of known findings so
+//     only new ones are reported;
+//   - two renderers: human-readable text (file:line:col: severity:
+//     message [kind]) and SARIF 2.1.0 for code-scanning UIs.
+//
+// The package is self-contained (stdlib only) and consumes plain
+// structs, so any producer of findings — the facade, the daemon, tests
+// — can use it without import cycles.
+package diag
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Severity grades a finding. The values match SARIF result levels.
+type Severity string
+
+const (
+	Error   Severity = "error"
+	Warning Severity = "warning"
+	Note    Severity = "note"
+)
+
+// defaultSeverity maps the built-in checker kinds to their default
+// grade. Kinds not listed default to Warning.
+var defaultSeverity = map[string]Severity{
+	"use-after-free":  Error,
+	"double-free":     Error,
+	"dangling-return": Error,
+	"null-deref":      Warning,
+	"stack-escape":    Warning,
+	"memory-leak":     Warning,
+	"leak":            Warning,
+}
+
+// DefaultSeverity returns the built-in severity for a finding kind.
+func DefaultSeverity(kind string) Severity {
+	if s, ok := defaultSeverity[kind]; ok {
+		return s
+	}
+	return Warning
+}
+
+// Finding is one diagnostic, ready to render. Line and Col are 1-based;
+// zero means the IR carried no source provenance and renderers fall
+// back to the function name and instruction label.
+type Finding struct {
+	Kind        string   `json:"kind"`
+	Func        string   `json:"func"`
+	Label       uint32   `json:"label"`
+	File        string   `json:"file,omitempty"`
+	Line        int      `json:"line,omitempty"`
+	Col         int      `json:"col,omitempty"`
+	Message     string   `json:"message"`
+	Severity    Severity `json:"severity"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+// Location renders the finding's anchor: "file:line:col" when the
+// source position is known, "func (ℓN)" otherwise.
+func (f Finding) Location() string {
+	if f.Line > 0 && f.File != "" {
+		return fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col)
+	}
+	if f.Line > 0 {
+		return fmt.Sprintf("%d:%d", f.Line, f.Col)
+	}
+	return fmt.Sprintf("%s (ℓ%d)", f.Func, f.Label)
+}
+
+// String renders the finding in the text format:
+// location: severity: message [kind].
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", f.Location(), f.Severity, f.Message, f.Kind)
+}
+
+// Raw is the producer-side view of a finding, mirroring
+// checker.Finding without importing it.
+type Raw struct {
+	Kind    string
+	Func    string
+	Label   uint32
+	Line    int
+	Col     int
+	Message string
+}
+
+// New builds presentable findings from raw checker output: stamps the
+// file, resolves severities (overrides win over defaults, keyed by
+// kind), computes fingerprints, and sorts by position then kind. Equal
+// raw findings get distinct fingerprints via an occurrence counter, so
+// a baseline that saw N copies hides exactly N.
+func New(file string, raw []Raw, severities map[string]Severity) []Finding {
+	out := make([]Finding, 0, len(raw))
+	for _, r := range raw {
+		sev := DefaultSeverity(r.Kind)
+		if s, ok := severities[r.Kind]; ok {
+			sev = s
+		}
+		out = append(out, Finding{
+			Kind:     r.Kind,
+			Func:     r.Func,
+			Label:    r.Label,
+			File:     file,
+			Line:     r.Line,
+			Col:      r.Col,
+			Message:  r.Message,
+			Severity: sev,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Kind < b.Kind
+	})
+	occ := make(map[string]int, len(out))
+	for i := range out {
+		key := fingerprintKey(out[i])
+		occ[key]++
+		out[i].Fingerprint = fingerprint(key, occ[key])
+	}
+	return out
+}
+
+// fingerprintKey is the stable identity of a finding. Line and column
+// are excluded on purpose: moving code around must not invalidate a
+// baseline, only changing what is reported (kind, function, message)
+// or where it lives (file) should.
+func fingerprintKey(f Finding) string {
+	return fmt.Sprintf("v1\x00%s\x00%s\x00%s\x00%s", f.Kind, f.File, f.Func, f.Message)
+}
+
+func fingerprint(key string, occurrence int) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d", key, occurrence)))
+	return hex.EncodeToString(h[:8])
+}
+
+// RenderText writes the findings one per line in the human format.
+func RenderText(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}
+
+// CountBySeverity tallies findings per severity grade.
+func CountBySeverity(findings []Finding) map[Severity]int {
+	out := map[Severity]int{}
+	for _, f := range findings {
+		out[f.Severity]++
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() []Finding {
+	return New("prog.c", []Raw{
+		{Kind: "use-after-free", Func: "main", Label: 12, Line: 7, Col: 3, Message: "store through p may access heap.1 after it was freed"},
+		{Kind: "null-deref", Func: "main", Label: 9, Line: 5, Col: 3, Message: "load through q, which points to nothing here"},
+		{Kind: "memory-leak", Func: "lose", Label: 4, Line: 2, Col: 7, Message: "heap allocation heap.2 is never freed and unreachable at exit"},
+	}, nil)
+}
+
+func TestNewSortsAndFingerprints(t *testing.T) {
+	fs := sample()
+	if fs[0].Kind != "memory-leak" || fs[1].Kind != "null-deref" || fs[2].Kind != "use-after-free" {
+		t.Fatalf("order = %v, want position order", fs)
+	}
+	seen := map[string]bool{}
+	for _, f := range fs {
+		if f.Fingerprint == "" || len(f.Fingerprint) != 16 {
+			t.Errorf("fingerprint %q, want 16 hex chars", f.Fingerprint)
+		}
+		if seen[f.Fingerprint] {
+			t.Errorf("duplicate fingerprint %q", f.Fingerprint)
+		}
+		seen[f.Fingerprint] = true
+	}
+	// Stable across runs and independent of line shifts.
+	again := New("prog.c", []Raw{
+		{Kind: "null-deref", Func: "main", Label: 30, Line: 50, Col: 3, Message: "load through q, which points to nothing here"},
+	}, nil)
+	if again[0].Fingerprint != fs[1].Fingerprint {
+		t.Errorf("fingerprint changed with line shift: %q vs %q", again[0].Fingerprint, fs[1].Fingerprint)
+	}
+}
+
+func TestDuplicateFindingsGetDistinctFingerprints(t *testing.T) {
+	raw := []Raw{
+		{Kind: "null-deref", Func: "f", Message: "same"},
+		{Kind: "null-deref", Func: "f", Message: "same"},
+	}
+	fs := New("a.c", raw, nil)
+	if fs[0].Fingerprint == fs[1].Fingerprint {
+		t.Errorf("identical raw findings share fingerprint %q", fs[0].Fingerprint)
+	}
+}
+
+func TestSeverityDefaultsAndOverrides(t *testing.T) {
+	fs := sample()
+	for _, f := range fs {
+		want := DefaultSeverity(f.Kind)
+		if f.Severity != want {
+			t.Errorf("%s severity = %s, want %s", f.Kind, f.Severity, want)
+		}
+	}
+	over := New("p.c", []Raw{{Kind: "null-deref", Func: "m", Message: "x"}},
+		map[string]Severity{"null-deref": Error})
+	if over[0].Severity != Error {
+		t.Errorf("override ignored: %s", over[0].Severity)
+	}
+	if DefaultSeverity("made-up-kind") != Warning {
+		t.Errorf("unknown kind default = %s, want warning", DefaultSeverity("made-up-kind"))
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	var buf bytes.Buffer
+	RenderText(&buf, sample())
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if lines[1] != "prog.c:5:3: warning: load through q, which points to nothing here [null-deref]" {
+		t.Errorf("line = %q", lines[1])
+	}
+}
+
+func TestLocationFallback(t *testing.T) {
+	f := Finding{Kind: "null-deref", Func: "g", Label: 42, Message: "m", Severity: Warning}
+	if got := f.Location(); got != "g (ℓ42)" {
+		t.Errorf("Location() = %q", got)
+	}
+}
+
+func TestSuppress(t *testing.T) {
+	src := `int main() {
+  int *q;
+  *q = 1; // vsfs:ignore(null-deref)
+  // vsfs:ignore
+  *q = 2;
+  *q = 3; // vsfs:ignore(use-after-free)
+  return 0;
+}`
+	fs := New("p.c", []Raw{
+		{Kind: "null-deref", Func: "main", Line: 3, Col: 3, Message: "a"},
+		{Kind: "null-deref", Func: "main", Line: 5, Col: 3, Message: "b"},
+		{Kind: "null-deref", Func: "main", Line: 6, Col: 3, Message: "c"},
+	}, nil)
+	kept, n := Suppress(src, fs)
+	if n != 2 || len(kept) != 1 {
+		t.Fatalf("kept = %v, suppressed = %d; want the line-6 finding only", kept, n)
+	}
+	if kept[0].Line != 6 {
+		t.Errorf("kept = %v (wrong-kind directive must not suppress)", kept[0])
+	}
+}
+
+func TestSuppressIgnoresPositionlessFindings(t *testing.T) {
+	fs := []Finding{{Kind: "k", Func: "f", Message: "m"}}
+	kept, n := Suppress("// vsfs:ignore\nx", fs)
+	if n != 0 || len(kept) != 1 {
+		t.Errorf("positionless finding suppressed")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	fs := sample()
+	b := NewBaseline(fs[:2])
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, hidden := back.Filter(fs)
+	if hidden != 2 || len(kept) != 1 {
+		t.Fatalf("kept = %v, hidden = %d", kept, hidden)
+	}
+	if kept[0].Kind != "use-after-free" {
+		t.Errorf("kept = %v", kept[0])
+	}
+}
+
+func TestBaselineRejectsBadInput(t *testing.T) {
+	if _, err := ReadBaseline(strings.NewReader("{")); err == nil {
+		t.Error("truncated baseline accepted")
+	}
+	if _, err := ReadBaseline(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if doc["version"] != "2.1.0" {
+		t.Errorf("version = %v", doc["version"])
+	}
+	runs := doc["runs"].([]any)
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "vsfs" {
+		t.Errorf("driver = %v", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != 3 {
+		t.Errorf("rules = %d, want 3 (one per kind present)", len(rules))
+	}
+	results := run["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "memory-leak" {
+		t.Errorf("ruleId = %v", first["ruleId"])
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)
+	phys := loc["physicalLocation"].(map[string]any)
+	if phys["artifactLocation"].(map[string]any)["uri"] != "prog.c" {
+		t.Errorf("uri = %v", phys)
+	}
+	region := phys["region"].(map[string]any)
+	if region["startLine"].(float64) != 2 || region["startColumn"].(float64) != 7 {
+		t.Errorf("region = %v", region)
+	}
+	if first["partialFingerprints"] == nil {
+		t.Error("missing partialFingerprints")
+	}
+	// ruleIndex must point at the rule with the matching id.
+	idx := int(first["ruleIndex"].(float64))
+	if rules[idx].(map[string]any)["id"] != "memory-leak" {
+		t.Errorf("ruleIndex %d mismatched", idx)
+	}
+}
+
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty run must still carry a results array: %s", buf.String())
+	}
+}

@@ -1,0 +1,162 @@
+package diag
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SARIF 2.1.0 document model — only the slice of the spec vsfs emits.
+// Field names follow the OASIS schema exactly; omitted optionals are
+// dropped from the JSON so validators stay happy.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	DefaultConfig    *sarifConfig `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	RuleIndex           int               `json:"ruleIndex"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations,omitempty"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation *sarifPhysical `json:"physicalLocation,omitempty"`
+	LogicalLocations []sarifLogical `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifLogical struct {
+	Name string `json:"name,omitempty"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// ruleDescriptions gives each built-in kind its SARIF rule text.
+var ruleDescriptions = map[string]string{
+	"null-deref":      "Dereference of a pointer that may be null or uninitialised at this point.",
+	"dangling-return": "Function may return a pointer into its own stack frame.",
+	"stack-escape":    "Address of a local variable escapes into storage that outlives the frame.",
+	"use-after-free":  "Memory access may touch an object that was already freed.",
+	"double-free":     "Free of an object that may already have been freed.",
+	"memory-leak":     "Heap allocation is neither freed nor reachable when the program exits.",
+	"leak":            "Sensitive object may flow into a sink call.",
+}
+
+// WriteSARIF renders the findings as a SARIF 2.1.0 log. Rules are
+// emitted for exactly the kinds present (sorted, so output is
+// deterministic); each result carries the finding's severity as its
+// level, its source region when known, its enclosing function as a
+// logical location, and the stable fingerprint under
+// partialFingerprints["vsfsFingerprint/v1"].
+func WriteSARIF(w io.Writer, findings []Finding) error {
+	kindSet := map[string]bool{}
+	for _, f := range findings {
+		kindSet[f.Kind] = true
+	}
+	kinds := make([]string, 0, len(kindSet))
+	for k := range kindSet {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+
+	rules := make([]sarifRule, 0, len(kinds))
+	ruleIndex := make(map[string]int, len(kinds))
+	for i, k := range kinds {
+		desc := ruleDescriptions[k]
+		if desc == "" {
+			desc = "Finding of kind " + k + "."
+		}
+		rules = append(rules, sarifRule{
+			ID:               k,
+			ShortDescription: sarifMessage{Text: desc},
+			DefaultConfig:    &sarifConfig{Level: string(DefaultSeverity(k))},
+		})
+		ruleIndex[k] = i
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		res := sarifResult{
+			RuleID:    f.Kind,
+			RuleIndex: ruleIndex[f.Kind],
+			Level:     string(f.Severity),
+			Message:   sarifMessage{Text: f.Message},
+		}
+		if f.Fingerprint != "" {
+			res.PartialFingerprints = map[string]string{"vsfsFingerprint/v1": f.Fingerprint}
+		}
+		loc := sarifLocation{}
+		if f.Line > 0 && f.File != "" {
+			loc.PhysicalLocation = &sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}
+		}
+		if f.Func != "" {
+			loc.LogicalLocations = []sarifLogical{{Name: f.Func, Kind: "function"}}
+		}
+		if loc.PhysicalLocation != nil || loc.LogicalLocations != nil {
+			res.Locations = []sarifLocation{loc}
+		}
+		results = append(results, res)
+	}
+
+	doc := sarifLog{
+		Schema:  "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "vsfs", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

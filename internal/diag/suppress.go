@@ -1,0 +1,70 @@
+package diag
+
+import (
+	"regexp"
+	"strings"
+)
+
+// ignoreRe matches a suppression directive inside a line comment:
+// "// vsfs:ignore" silences every kind, "// vsfs:ignore(k1, k2)" only
+// the listed kinds.
+var ignoreRe = regexp.MustCompile(`//\s*vsfs:ignore(?:\(([^)]*)\))?`)
+
+// ignores maps a 1-based source line to the set of suppressed kinds;
+// the empty string key means "all kinds".
+type ignores map[int]map[string]bool
+
+// parseIgnores scans source text for suppression directives. A
+// directive sharing a line with code applies to that line; a directive
+// on a line that holds nothing but the comment applies to the next
+// line, the conventional "ignore the statement below" form.
+func parseIgnores(src string) ignores {
+	out := ignores{}
+	for i, line := range strings.Split(src, "\n") {
+		m := ignoreRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		target := i + 1 // 1-based line of the directive
+		if strings.HasPrefix(strings.TrimSpace(line), "//") {
+			target++ // standalone comment: covers the line below
+		}
+		set := out[target]
+		if set == nil {
+			set = map[string]bool{}
+			out[target] = set
+		}
+		if m[1] == "" {
+			set[""] = true
+			continue
+		}
+		for _, kind := range strings.Split(m[1], ",") {
+			if kind = strings.TrimSpace(kind); kind != "" {
+				set[kind] = true
+			}
+		}
+	}
+	return out
+}
+
+// Suppress drops findings silenced by "// vsfs:ignore" directives in
+// the source text, returning the surviving findings and the number
+// suppressed. Findings without a source position can never be
+// suppressed this way — there is no line to attach the directive to.
+func Suppress(src string, findings []Finding) ([]Finding, int) {
+	ign := parseIgnores(src)
+	if len(ign) == 0 {
+		return findings, 0
+	}
+	kept := findings[:0:0]
+	suppressed := 0
+	for _, f := range findings {
+		set := ign[f.Line]
+		if f.Line > 0 && set != nil && (set[""] || set[f.Kind]) {
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}

@@ -64,11 +64,33 @@ func (op Op) String() string {
 	return fmt.Sprintf("Op(%d)", uint8(op))
 }
 
+// Pos is a source position. The zero Pos means "unknown": programs
+// built from textual IR or synthesised by generators carry no
+// positions, and diagnostics fall back to instruction labels.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsKnown reports whether the position carries real source coordinates.
+func (p Pos) IsKnown() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsKnown() {
+		return "?"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Instr is a single instruction, identified program-wide by Label (the ℓ
 // of the paper) once Program.Finalize has run.
 type Instr struct {
 	Label uint32 // dense program-wide instruction label; assigned by Finalize
 	Op    Op
+
+	// Pos is the source position the instruction was lowered from, or the
+	// zero Pos when the program has no source-level provenance.
+	Pos Pos
 
 	// Def is the defined top-level pointer (Alloc, Copy, Phi, Field, Load,
 	// Call with a result) or None.

@@ -24,6 +24,18 @@ type Program struct {
 	// semantics beyond providing SVFG nodes for the allocations.
 	globalsFn *Function
 
+	// freedPtr/freedObj are the distinguished FREED token: a synthetic
+	// global pointer whose single pointee marks deallocated storage.
+	// free(p) lowers to `store p, __freed__`, writing the token into
+	// every pointee of p; "object o has been freed before ℓ" is then
+	// exactly "FREED ∈ IN[ℓ](o)". Created lazily on first use.
+	freedPtr ID
+	freedObj ID
+
+	// File is the name of the source file the program was compiled from,
+	// used by diagnostics; empty for synthesised or textual-IR programs.
+	File string
+
 	finalized bool
 }
 
@@ -196,6 +208,32 @@ func (p *Program) NewGlobal(name string, numFields int) (ptr, obj ID) {
 // nil if the program has no globals.
 func (p *Program) GlobalsFunc() *Function { return p.globalsFn }
 
+// FreedPtr returns the distinguished FREED-token pointer, creating it
+// (and its single pointee object) on first use. It must only be called
+// while the program is still under construction: the builder lowers
+// free(p) to `store p, FreedPtr()`, a strong update writing the token
+// into p's singleton pointees. Like any global it is defined by an
+// ALLOC in the synthetic __globals__ function.
+func (p *Program) FreedPtr() ID {
+	if p.freedPtr == None {
+		p.freedPtr, p.freedObj = p.NewGlobal("__freed__", 0)
+	}
+	return p.freedPtr
+}
+
+// FreedObj returns the FREED token object — the pointee every freed
+// location is made to hold — or None when the program contains no free.
+// Checkers test membership of this ID in flow-sensitive IN sets.
+func (p *Program) FreedObj() ID { return p.freedObj }
+
+// IsFreeStore reports whether in is the lowered form of free(q): a
+// store of the FREED-token pointer through q. Such stores deallocate
+// rather than use their pointees, so the use-after-free checker skips
+// them and the double-free checker keys on them.
+func (p *Program) IsFreeStore(in *Instr) bool {
+	return p.freedPtr != None && in.Op == Store && len(in.Uses) == 2 && in.Uses[1] == p.freedPtr
+}
+
 // Finalize closes out every function (installing FUNEXIT nodes), assigns
 // dense instruction labels, and validates the module. It must be called
 // exactly once, after which the instruction set is frozen except for
@@ -354,7 +392,9 @@ func (p *Program) String() string {
 	var b strings.Builder
 	if p.globalsFn != nil {
 		for _, in := range p.globalsFn.Entry.Instrs {
-			if in.Op != Alloc {
+			if in.Op != Alloc || in.Def == p.freedPtr {
+				// The FREED token global is implied by `free`
+				// instructions; the parser recreates it on demand.
 				continue
 			}
 			obj := p.Value(in.Obj)
@@ -396,6 +436,10 @@ func (p *Program) writeFunc(b *strings.Builder, f *Function) {
 					fmt.Fprintf(b, "  %s = alloc %s %d\n", p.NameOf(in.Def), obj.Name, obj.NumFields)
 				}
 			default:
+				if p.IsFreeStore(in) {
+					fmt.Fprintf(b, "  free %s\n", p.NameOf(in.Uses[0]))
+					continue
+				}
 				fmt.Fprintf(b, "  %s\n", in.format(p.NameOf))
 			}
 		}

@@ -13,6 +13,7 @@
 //	  d = field a, 1
 //	  e = load a
 //	  store a, b
+//	  free a
 //	  r = call callee(a, b)
 //	  r2 = calli fp(a)
 //	  br then, join
@@ -377,6 +378,13 @@ func (p *parser) parseInstr(f *ir.Function, scope *fnScope, b *ir.Block,
 			return false, errAt(line, "store wants: store <addr>, <val>")
 		}
 		f.EmitStore(b, scope.lookup(args[0]), scope.lookup(args[1]))
+		return false, nil
+	case "free":
+		// free p — sugar for a store of the FREED token through p.
+		if len(toks) != 2 {
+			return false, errAt(line, "free wants: free <ptr>")
+		}
+		f.EmitStore(b, scope.lookup(toks[1]), p.prog.FreedPtr())
 		return false, nil
 	case "call", "calli":
 		// result-less call

@@ -98,6 +98,7 @@ type StructDef struct {
 	Name   string
 	Fields []Field
 	Line   int
+	Col    int
 }
 
 // Field is one struct member.
@@ -129,6 +130,7 @@ type VarDecl struct {
 	Type *Type
 	Init Expr // optional initializer
 	Line int
+	Col  int
 }
 
 // FuncDecl declares a function with a body.
@@ -138,6 +140,7 @@ type FuncDecl struct {
 	Ret    *Type
 	Body   *BlockStmt
 	Line   int
+	Col    int
 }
 
 // Stmt is a statement node.
@@ -157,12 +160,14 @@ type DeclStmt struct {
 type ExprStmt struct {
 	X    Expr
 	Line int
+	Col  int
 }
 
 // AssignStmt is lhs = rhs.
 type AssignStmt struct {
 	LHS, RHS Expr
 	Line     int
+	Col      int
 }
 
 // IfStmt is if (cond) then [else els].
@@ -171,6 +176,7 @@ type IfStmt struct {
 	Then *BlockStmt
 	Else *BlockStmt // may be nil
 	Line int
+	Col  int
 }
 
 // WhileStmt is while (cond) body.
@@ -178,12 +184,14 @@ type WhileStmt struct {
 	Cond Expr
 	Body *BlockStmt
 	Line int
+	Col  int
 }
 
 // ReturnStmt is return [expr];.
 type ReturnStmt struct {
 	X    Expr // may be nil
 	Line int
+	Col  int
 }
 
 // ForStmt is for (init; cond; post) body; all three header parts are
@@ -194,6 +202,7 @@ type ForStmt struct {
 	Post Stmt // nil, *AssignStmt or *ExprStmt
 	Body *BlockStmt
 	Line int
+	Col  int
 }
 
 // DoWhileStmt is do body while (cond);.
@@ -201,13 +210,20 @@ type DoWhileStmt struct {
 	Body *BlockStmt
 	Cond Expr
 	Line int
+	Col  int
 }
 
 // BreakStmt exits the innermost loop.
-type BreakStmt struct{ Line int }
+type BreakStmt struct {
+	Line int
+	Col  int
+}
 
 // ContinueStmt jumps to the innermost loop's next iteration.
-type ContinueStmt struct{ Line int }
+type ContinueStmt struct {
+	Line int
+	Col  int
+}
 
 func (*BlockStmt) stmt()    {}
 func (*DeclStmt) stmt()     {}
@@ -226,6 +242,9 @@ type Expr interface {
 	expr()
 	TypeOf() *Type
 	setType(*Type)
+	// Pos returns the 1-based source line and column of the expression,
+	// threaded through lowering onto the IR instructions it produces.
+	Pos() (line, col int)
 }
 
 type exprBase struct{ typ *Type }
@@ -239,6 +258,7 @@ type Ident struct {
 	exprBase
 	Name string
 	Line int
+	Col  int
 
 	// Resolved by the checker: exactly one is set.
 	Var *VarDecl
@@ -250,12 +270,14 @@ type NumberLit struct {
 	exprBase
 	Value string
 	Line  int
+	Col   int
 }
 
 // NullLit is the null pointer constant.
 type NullLit struct {
 	exprBase
 	Line int
+	Col  int
 }
 
 // Unary is &x, *x, !x, -x.
@@ -264,6 +286,7 @@ type Unary struct {
 	Op   string
 	X    Expr
 	Line int
+	Col  int
 }
 
 // Binary is arithmetic/comparison; never pointer-producing except no-op.
@@ -272,6 +295,7 @@ type Binary struct {
 	Op   string
 	X, Y Expr
 	Line int
+	Col  int
 }
 
 // FieldAccess is x.f or x->f (Arrow selects).
@@ -281,6 +305,7 @@ type FieldAccess struct {
 	Name  string
 	Arrow bool
 	Line  int
+	Col   int
 
 	// Resolved by the checker.
 	Def   *StructDef
@@ -293,6 +318,7 @@ type CallExpr struct {
 	Fun  Expr
 	Args []Expr
 	Line int
+	Col  int
 }
 
 // IndexExpr is x[i]: array indexing (one summary location per array)
@@ -302,6 +328,7 @@ type IndexExpr struct {
 	X    Expr
 	Idx  Expr
 	Line int
+	Col  int
 }
 
 // MallocExpr is malloc(); its type comes from the assignment context or
@@ -310,4 +337,26 @@ type IndexExpr struct {
 type MallocExpr struct {
 	exprBase
 	Line int
+	Col  int
 }
+
+// FreeExpr is free(p): deallocation of every object p points to,
+// lowered to a store of the distinguished FREED token through p. It is
+// an int-typed expression (like C's void free) used for effect only.
+type FreeExpr struct {
+	exprBase
+	X    Expr
+	Line int
+	Col  int
+}
+
+func (x *Ident) Pos() (int, int)       { return x.Line, x.Col }
+func (x *NumberLit) Pos() (int, int)   { return x.Line, x.Col }
+func (x *NullLit) Pos() (int, int)     { return x.Line, x.Col }
+func (x *Unary) Pos() (int, int)       { return x.Line, x.Col }
+func (x *Binary) Pos() (int, int)      { return x.Line, x.Col }
+func (x *FieldAccess) Pos() (int, int) { return x.Line, x.Col }
+func (x *CallExpr) Pos() (int, int)    { return x.Line, x.Col }
+func (x *IndexExpr) Pos() (int, int)   { return x.Line, x.Col }
+func (x *MallocExpr) Pos() (int, int)  { return x.Line, x.Col }
+func (x *FreeExpr) Pos() (int, int)    { return x.Line, x.Col }

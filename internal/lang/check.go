@@ -283,6 +283,18 @@ func (c *checker) checkExpr(e Expr) (*Type, error) {
 	case *MallocExpr:
 		return nil, errAt(x.Line, "malloc() needs a pointer assignment context")
 
+	case *FreeExpr:
+		t, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsPointer() || t.Elem.Kind == FuncT {
+			return nil, errAt(x.Line, "free of non-pointer %s", t)
+		}
+		it := &Type{Kind: IntT}
+		x.setType(it)
+		return it, nil
+
 	case *Ident:
 		if d := c.lookupVar(x.Name); d != nil {
 			x.Var = d

@@ -6,10 +6,16 @@
 //
 // The subset covers what pointer analysis cares about: multi-level
 // pointers, address-of, dereference, structs with pointer fields, heap
-// allocation (malloc), function pointers and indirect calls, globals,
-// and arbitrary control flow (if/else, while). Integer arithmetic is
-// parsed and type-checked but lowers to nothing: points-to analysis
-// does not track scalar values.
+// allocation (malloc) and deallocation (free, lowered to a store of
+// the distinguished FREED token through the freed pointer), function
+// pointers and indirect calls, globals, and arbitrary control flow
+// (if/else, while). Integer arithmetic is parsed and type-checked but
+// lowers to nothing: points-to analysis does not track scalar values.
+//
+// Every token carries a line and column; the parser stamps them on AST
+// nodes and lowering threads them onto the IR instructions (ir.Pos), so
+// checker findings point at source positions rather than instruction
+// labels.
 //
 // Lowering follows the clang -O0 model: every local variable gets a
 // stack object (ALLOC) at function entry; reads and writes become LOAD
@@ -38,19 +44,20 @@ const (
 	tokGe      // >=
 	tokAnd     // &&
 	tokOr      // ||
-	tokKeyword // int, void, struct, if, else, while, return, malloc, null
+	tokKeyword // int, void, struct, if, else, while, return, malloc, free, null
 )
 
 var keywords = map[string]bool{
 	"int": true, "void": true, "struct": true, "if": true, "else": true,
 	"while": true, "for": true, "do": true, "break": true, "continue": true,
-	"return": true, "malloc": true, "null": true,
+	"return": true, "malloc": true, "free": true, "null": true,
 }
 
 type token struct {
 	kind tokKind
 	text string
 	line int
+	col  int // 1-based byte column of the token's first character
 }
 
 func (t token) String() string {
@@ -60,17 +67,20 @@ func (t token) String() string {
 	return fmt.Sprintf("%q", t.text)
 }
 
-// lex tokenizes src; errors carry line numbers.
+// lex tokenizes src; errors carry line numbers, tokens line and column.
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
+	lineStart := 0 // index of the first byte of the current line
 	i := 0
+	col := func(at int) int { return at - lineStart + 1 }
 	for i < len(src) {
 		c := src[i]
 		switch {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '/' && i+1 < len(src) && src[i+1] == '/':
@@ -82,6 +92,7 @@ func lex(src string) ([]token, error) {
 			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
 				if src[i] == '\n' {
 					line++
+					lineStart = i + 1
 				}
 				i++
 			}
@@ -99,14 +110,14 @@ func lex(src string) ([]token, error) {
 			if keywords[word] {
 				kind = tokKeyword
 			}
-			toks = append(toks, token{kind: kind, text: word, line: line})
+			toks = append(toks, token{kind: kind, text: word, line: line, col: col(i)})
 			i = j
 		case isDigit(c):
 			j := i
 			for j < len(src) && isDigit(src[j]) {
 				j++
 			}
-			toks = append(toks, token{kind: tokNumber, text: src[i:j], line: line})
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], line: line, col: col(i)})
 			i = j
 		default:
 			two := ""
@@ -115,44 +126,44 @@ func lex(src string) ([]token, error) {
 			}
 			switch two {
 			case "->":
-				toks = append(toks, token{kind: tokArrow, text: two, line: line})
+				toks = append(toks, token{kind: tokArrow, text: two, line: line, col: col(i)})
 				i += 2
 				continue
 			case "==":
-				toks = append(toks, token{kind: tokEq, text: two, line: line})
+				toks = append(toks, token{kind: tokEq, text: two, line: line, col: col(i)})
 				i += 2
 				continue
 			case "!=":
-				toks = append(toks, token{kind: tokNe, text: two, line: line})
+				toks = append(toks, token{kind: tokNe, text: two, line: line, col: col(i)})
 				i += 2
 				continue
 			case "<=":
-				toks = append(toks, token{kind: tokLe, text: two, line: line})
+				toks = append(toks, token{kind: tokLe, text: two, line: line, col: col(i)})
 				i += 2
 				continue
 			case ">=":
-				toks = append(toks, token{kind: tokGe, text: two, line: line})
+				toks = append(toks, token{kind: tokGe, text: two, line: line, col: col(i)})
 				i += 2
 				continue
 			case "&&":
-				toks = append(toks, token{kind: tokAnd, text: two, line: line})
+				toks = append(toks, token{kind: tokAnd, text: two, line: line, col: col(i)})
 				i += 2
 				continue
 			case "||":
-				toks = append(toks, token{kind: tokOr, text: two, line: line})
+				toks = append(toks, token{kind: tokOr, text: two, line: line, col: col(i)})
 				i += 2
 				continue
 			}
 			switch c {
 			case '(', ')', '{', '}', '[', ']', ';', ',', '&', '*', '=', '.', '<', '>', '!', '+', '-', '/', '%':
-				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line, col: col(i)})
 				i++
 			default:
 				return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
 			}
 		}
 	}
-	toks = append(toks, token{kind: tokEOF, line: line})
+	toks = append(toks, token{kind: tokEOF, line: line, col: col(i)})
 	return toks, nil
 }
 

@@ -37,6 +37,19 @@ func Lower(file *File) (*ir.Program, error) {
 	if err := lo.prog.Finalize(); err != nil {
 		return nil, fmt.Errorf("lang: lowering produced invalid IR: %w", err)
 	}
+	// The FunEntry/FunExit pseudo-instructions are synthesised during
+	// finalization; give them the declaring function's position so
+	// findings anchored at function boundaries (dangling returns, stack
+	// escapes) still point at source.
+	for fd, f := range lo.irFuncs {
+		pos := ir.Pos{Line: fd.Line, Col: fd.Col}
+		if f.EntryInstr != nil && !f.EntryInstr.Pos.IsKnown() {
+			f.EntryInstr.Pos = pos
+		}
+		if f.ExitInstr != nil && !f.ExitInstr.Pos.IsKnown() {
+			f.ExitInstr.Pos = pos
+		}
+	}
 	return lo.prog, nil
 }
 
@@ -53,6 +66,21 @@ type lowerer struct {
 	paramIdx map[*FuncDecl][]int
 
 	temps int
+}
+
+// at stamps in with the source position of e, so diagnostics built on
+// the IR can point at the mini-C source that produced each instruction.
+func at(in *ir.Instr, e Expr) *ir.Instr {
+	line, col := e.Pos()
+	in.Pos = ir.Pos{Line: line, Col: col}
+	return in
+}
+
+// atLC stamps in with an explicit line/column (declarations and
+// statements, which are not Exprs).
+func atLC(in *ir.Instr, line, col int) *ir.Instr {
+	in.Pos = ir.Pos{Line: line, Col: col}
+	return in
 }
 
 func (lo *lowerer) temp(prefix string) ir.ID {
@@ -121,7 +149,7 @@ func (lo *lowerer) run() error {
 			if g.Init == nil {
 				continue
 			}
-			if err := fl.assignTo(lo.varAddr[g], g.Type, g.Init); err != nil {
+			if err := fl.assignTo(lo.varAddr[g], g.Type, g.Init, g.Line, g.Col); err != nil {
 				return err
 			}
 		}
@@ -141,18 +169,18 @@ func (lo *lowerer) lowerFunc(fd *FuncDecl, cinit *ir.Function) error {
 	fl := &funcLowerer{lo: lo, f: f, cur: f.Entry}
 
 	if fd.Name == "main" && cinit != nil {
-		f.EmitCall(f.Entry, ir.None, cinit)
+		atLC(f.EmitCall(f.Entry, ir.None, cinit), fd.Line, fd.Col)
 	}
 
 	// Allocate storage for parameters and spill incoming values.
 	for i, prm := range fd.Params {
 		obj := lo.prog.NewObject(fd.Name+"."+prm.Name, ir.StackObj, objFields(prm.Type), f)
 		addr := lo.temp(prm.Name + ".addr")
-		f.EmitAlloc(f.Entry, addr, obj)
+		atLC(f.EmitAlloc(f.Entry, addr, obj), prm.Line, prm.Col)
 		lo.varAddr[prm] = addr
 		if prm.Type.IsPointer() {
 			irIdx := indexOf(lo.paramIdx[fd], i)
-			f.EmitStore(f.Entry, addr, f.Params[irIdx])
+			atLC(f.EmitStore(f.Entry, addr, f.Params[irIdx]), prm.Line, prm.Col)
 		}
 	}
 
@@ -162,7 +190,7 @@ func (lo *lowerer) lowerFunc(fd *FuncDecl, cinit *ir.Function) error {
 		obj := lo.prog.NewObject(fd.Name+"."+d.Name, ir.StackObj, objFields(d.Type), f)
 		lo.markIfArray(obj, d.Type)
 		addr := lo.temp(d.Name + ".addr")
-		f.EmitAlloc(f.Entry, addr, obj)
+		atLC(f.EmitAlloc(f.Entry, addr, obj), d.Line, d.Col)
 		lo.varAddr[d] = addr
 	})
 
@@ -261,7 +289,7 @@ func (fl *funcLowerer) finish(fd *FuncDecl) {
 		f.Ret = vals[0]
 	default:
 		ret := fl.lo.temp(fd.Name + ".ret")
-		f.EmitPhi(exit, ret, vals...)
+		atLC(f.EmitPhi(exit, ret, vals...), fd.Line, fd.Col)
 		f.Ret = ret
 	}
 }
@@ -282,7 +310,7 @@ func (fl *funcLowerer) stmt(st Stmt) error {
 
 	case *DeclStmt:
 		if s.Decl.Init != nil {
-			return fl.assignTo(fl.lo.varAddr[s.Decl], s.Decl.Type, s.Decl.Init)
+			return fl.assignTo(fl.lo.varAddr[s.Decl], s.Decl.Type, s.Decl.Init, s.Decl.Line, s.Decl.Col)
 		}
 		return nil
 
@@ -295,7 +323,19 @@ func (fl *funcLowerer) stmt(st Stmt) error {
 		if err != nil {
 			return err
 		}
-		return fl.assignTo(addr, s.LHS.TypeOf(), s.RHS)
+		if !s.LHS.TypeOf().IsPointer() {
+			// An integer write through memory (*p = n, q->f = n, a[i] = n)
+			// produces no tracked store, but the access itself must exist
+			// in the IR so memory-safety checkers see it: emit a "touch"
+			// load of the location. Its fresh def is never used, so it
+			// cannot perturb any points-to result. Plain variable writes
+			// (x = n) are direct frame accesses and are not touched.
+			if _, plain := s.LHS.(*Ident); !plain {
+				tmp := fl.lo.temp("w")
+				at(fl.f.EmitLoad(fl.cur, tmp, addr), s.LHS)
+			}
+		}
+		return fl.assignTo(addr, s.LHS.TypeOf(), s.RHS, s.Line, s.Col)
 
 	case *IfStmt:
 		if _, err := fl.value(s.Cond); err != nil {
@@ -439,9 +479,10 @@ func (fl *funcLowerer) stmt(st Stmt) error {
 	return fmt.Errorf("unhandled statement %T", st)
 }
 
-// assignTo stores the value of rhs into the location addr of type lt.
-// Integer assignments lower only the side effects of rhs.
-func (fl *funcLowerer) assignTo(addr ir.ID, lt *Type, rhs Expr) error {
+// assignTo stores the value of rhs into the location addr of type lt,
+// stamping the store with the assignment's source position. Integer
+// assignments lower only the side effects of rhs.
+func (fl *funcLowerer) assignTo(addr ir.ID, lt *Type, rhs Expr, line, col int) error {
 	val, err := fl.value(rhs)
 	if err != nil {
 		return err
@@ -455,7 +496,7 @@ func (fl *funcLowerer) assignTo(addr ir.ID, lt *Type, rhs Expr) error {
 		// update with it clears a singleton location.
 		val = fl.lo.temp("null")
 	}
-	fl.f.EmitStore(fl.cur, addr, val)
+	atLC(fl.f.EmitStore(fl.cur, addr, val), line, col)
 	return nil
 }
 
@@ -486,7 +527,7 @@ func (fl *funcLowerer) addr(e Expr) (ir.ID, error) {
 			return ir.None, err
 		}
 		t := fl.lo.temp("fld")
-		fl.f.EmitField(fl.cur, t, base, x.Index)
+		at(fl.f.EmitField(fl.cur, t, base, x.Index), x)
 		return t, nil
 
 	case *IndexExpr:
@@ -514,20 +555,34 @@ func (fl *funcLowerer) value(e Expr) (ir.ID, error) {
 		t := x.TypeOf()
 		obj := fl.lo.prog.NewObject(fmt.Sprintf("heap.%d", fl.lo.temps), ir.HeapObj, pointeeFields(t), nil)
 		tmp := fl.lo.temp("m")
-		fl.f.EmitAlloc(fl.cur, tmp, obj)
+		at(fl.f.EmitAlloc(fl.cur, tmp, obj), x)
 		return tmp, nil
+
+	case *FreeExpr:
+		v, err := fl.value(x.X)
+		if err != nil {
+			return ir.None, err
+		}
+		if v == ir.None {
+			return ir.None, nil // free(null): a no-op
+		}
+		// free(p) deallocates p's pointees: store the FREED token
+		// through p. On singleton pointees the strong update replaces
+		// the old contents, making the model flow-sensitively precise.
+		at(fl.f.EmitStore(fl.cur, v, fl.lo.prog.FreedPtr()), x)
+		return ir.None, nil
 
 	case *Ident:
 		if x.Fun != nil {
 			tmp := fl.lo.temp("fn")
-			fl.f.EmitAlloc(fl.cur, tmp, fl.lo.prog.FuncObj(fl.lo.irFuncs[x.Fun]))
+			at(fl.f.EmitAlloc(fl.cur, tmp, fl.lo.prog.FuncObj(fl.lo.irFuncs[x.Fun])), x)
 			return tmp, nil
 		}
 		if !x.TypeOf().IsPointer() {
 			return ir.None, nil
 		}
 		tmp := fl.lo.temp(x.Name)
-		fl.f.EmitLoad(fl.cur, tmp, fl.lo.varAddr[x.Var])
+		at(fl.f.EmitLoad(fl.cur, tmp, fl.lo.varAddr[x.Var]), x)
 		return tmp, nil
 
 	case *Unary:
@@ -535,7 +590,7 @@ func (fl *funcLowerer) value(e Expr) (ir.ID, error) {
 		case "&":
 			if id, ok := x.X.(*Ident); ok && id.Fun != nil {
 				tmp := fl.lo.temp("fn")
-				fl.f.EmitAlloc(fl.cur, tmp, fl.lo.prog.FuncObj(fl.lo.irFuncs[id.Fun]))
+				at(fl.f.EmitAlloc(fl.cur, tmp, fl.lo.prog.FuncObj(fl.lo.irFuncs[id.Fun])), x)
 				return tmp, nil
 			}
 			return fl.addr(x.X)
@@ -544,11 +599,11 @@ func (fl *funcLowerer) value(e Expr) (ir.ID, error) {
 			if err != nil {
 				return ir.None, err
 			}
-			if !x.TypeOf().IsPointer() {
-				return ir.None, nil // *intptr as an int value
-			}
 			tmp := fl.lo.temp("d")
-			fl.f.EmitLoad(fl.cur, tmp, a)
+			at(fl.f.EmitLoad(fl.cur, tmp, a), x)
+			if !x.TypeOf().IsPointer() {
+				return ir.None, nil // *intptr as an int value; load kept for checkers
+			}
 			return tmp, nil
 		default: // !, -
 			_, err := fl.value(x.X)
@@ -569,11 +624,11 @@ func (fl *funcLowerer) value(e Expr) (ir.ID, error) {
 		if err != nil {
 			return ir.None, err
 		}
-		if !x.TypeOf().IsPointer() {
-			return ir.None, nil
-		}
 		tmp := fl.lo.temp(x.Name)
-		fl.f.EmitLoad(fl.cur, tmp, a)
+		at(fl.f.EmitLoad(fl.cur, tmp, a), x)
+		if !x.TypeOf().IsPointer() {
+			return ir.None, nil // int field; load kept for checkers
+		}
 		return tmp, nil
 
 	case *IndexExpr:
@@ -581,11 +636,11 @@ func (fl *funcLowerer) value(e Expr) (ir.ID, error) {
 		if err != nil {
 			return ir.None, err
 		}
-		if !x.TypeOf().IsPointer() {
-			return ir.None, nil
-		}
 		tmp := fl.lo.temp("elt")
-		fl.f.EmitLoad(fl.cur, tmp, a)
+		at(fl.f.EmitLoad(fl.cur, tmp, a), x)
+		if !x.TypeOf().IsPointer() {
+			return ir.None, nil // int element; load kept for checkers
+		}
 		return tmp, nil
 
 	case *CallExpr:
@@ -618,7 +673,7 @@ func (fl *funcLowerer) call(x *CallExpr) (ir.ID, error) {
 	}
 
 	if id, ok := x.Fun.(*Ident); ok && id.Fun != nil {
-		fl.f.EmitCall(fl.cur, def, fl.lo.irFuncs[id.Fun], args...)
+		at(fl.f.EmitCall(fl.cur, def, fl.lo.irFuncs[id.Fun], args...), x)
 		return def, nil
 	}
 	fp, err := fl.value(x.Fun)
@@ -628,6 +683,6 @@ func (fl *funcLowerer) call(x *CallExpr) (ir.ID, error) {
 	if fp == ir.None {
 		return ir.None, errAt(x.Line, "indirect call through untracked value")
 	}
-	fl.f.EmitCallIndirect(fl.cur, def, fp, args...)
+	at(fl.f.EmitCallIndirect(fl.cur, def, fp, args...), x)
 	return def, nil
 }

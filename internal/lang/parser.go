@@ -60,13 +60,13 @@ func (p *cparser) expect(text string) error {
 	return nil
 }
 
-func (p *cparser) expectIdent() (string, int, error) {
+func (p *cparser) expectIdent() (string, int, int, error) {
 	t := p.cur()
 	if t.kind != tokIdent {
-		return "", t.line, p.errf("expected identifier, got %s", t)
+		return "", t.line, t.col, p.errf("expected identifier, got %s", t)
 	}
 	p.pos++
-	return t.text, t.line, nil
+	return t.text, t.line, t.col, nil
 }
 
 // atType reports whether the next tokens start a type.
@@ -94,14 +94,14 @@ func (p *cparser) file() (*File, error) {
 		if err != nil {
 			return nil, err
 		}
-		typ, name, line, err := p.declarator(base)
+		typ, name, line, col, err := p.declarator(base)
 		if err != nil {
 			return nil, err
 		}
 		if p.cur().text == "(" && typ.Kind != PointerT {
 			// Function definition: name(params) { ... } — the declarator
 			// gave us the return type directly.
-			fd, err := p.funcRest(typ, name, line)
+			fd, err := p.funcRest(typ, name, line, col)
 			if err != nil {
 				return nil, err
 			}
@@ -110,14 +110,14 @@ func (p *cparser) file() (*File, error) {
 		}
 		if p.cur().text == "(" {
 			// Pointer-returning function: T* name(params).
-			fd, err := p.funcRest(typ, name, line)
+			fd, err := p.funcRest(typ, name, line, col)
 			if err != nil {
 				return nil, err
 			}
 			f.Funcs = append(f.Funcs, fd)
 			continue
 		}
-		g := &VarDecl{Name: name, Type: typ, Line: line}
+		g := &VarDecl{Name: name, Type: typ, Line: line, Col: col}
 		if p.accept("=") {
 			g.Init, err = p.expr()
 			if err != nil {
@@ -133,16 +133,16 @@ func (p *cparser) file() (*File, error) {
 }
 
 func (p *cparser) structDef() (*StructDef, error) {
-	line := p.cur().line
+	line, col := p.cur().line, p.cur().col
 	p.next() // struct
-	name, _, err := p.expectIdent()
+	name, _, _, err := p.expectIdent()
 	if err != nil {
 		return nil, err
 	}
 	if _, dup := p.structs[name]; dup {
 		return nil, fmt.Errorf("line %d: duplicate struct %q", line, name)
 	}
-	sd := &StructDef{Name: name, Line: line}
+	sd := &StructDef{Name: name, Line: line, Col: col}
 	// Register before parsing fields so self-referential structs work.
 	p.structs[name] = sd
 	if err := p.expect("{"); err != nil {
@@ -153,7 +153,7 @@ func (p *cparser) structDef() (*StructDef, error) {
 		if err != nil {
 			return nil, err
 		}
-		typ, fname, _, err := p.declarator(base)
+		typ, fname, _, _, err := p.declarator(base)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +180,7 @@ func (p *cparser) baseType() (*Type, error) {
 	case "void":
 		return &Type{Kind: VoidT}, nil
 	case "struct":
-		name, _, err := p.expectIdent()
+		name, _, _, err := p.expectIdent()
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +195,7 @@ func (p *cparser) baseType() (*Type, error) {
 
 // declarator parses "*"* (name | (*name)(paramtypes)), returning the full
 // type and the declared name.
-func (p *cparser) declarator(base *Type) (*Type, string, int, error) {
+func (p *cparser) declarator(base *Type) (*Type, string, int, int, error) {
 	typ := base
 	for p.accept("*") {
 		typ = &Type{Kind: PointerT, Elem: typ}
@@ -204,26 +204,26 @@ func (p *cparser) declarator(base *Type) (*Type, string, int, error) {
 	if p.cur().text == "(" && p.peek(1).text == "*" {
 		p.next() // (
 		p.next() // *
-		name, line, err := p.expectIdent()
+		name, line, col, err := p.expectIdent()
 		if err != nil {
-			return nil, "", 0, err
+			return nil, "", 0, 0, err
 		}
 		if err := p.expect(")"); err != nil {
-			return nil, "", 0, err
+			return nil, "", 0, 0, err
 		}
 		if err := p.expect("("); err != nil {
-			return nil, "", 0, err
+			return nil, "", 0, 0, err
 		}
 		sig := &Signature{Ret: typ}
 		for !p.accept(")") {
 			if len(sig.Params) > 0 {
 				if err := p.expect(","); err != nil {
-					return nil, "", 0, err
+					return nil, "", 0, 0, err
 				}
 			}
 			pb, err := p.baseType()
 			if err != nil {
-				return nil, "", 0, err
+				return nil, "", 0, 0, err
 			}
 			pt := pb
 			for p.accept("*") {
@@ -232,33 +232,33 @@ func (p *cparser) declarator(base *Type) (*Type, string, int, error) {
 			sig.Params = append(sig.Params, pt)
 		}
 		fp := &Type{Kind: PointerT, Elem: &Type{Kind: FuncT, Sig: sig}}
-		return fp, name, line, nil
+		return fp, name, line, col, nil
 	}
-	name, line, err := p.expectIdent()
+	name, line, col, err := p.expectIdent()
 	if err != nil {
-		return nil, "", 0, err
+		return nil, "", 0, 0, err
 	}
 	// Array suffix: name[N].
 	if p.accept("[") {
 		n := p.cur()
 		if n.kind != tokNumber {
-			return nil, "", 0, p.errf("array size must be a number literal")
+			return nil, "", 0, 0, p.errf("array size must be a number literal")
 		}
 		p.pos++
 		size, _ := strconv.Atoi(n.text)
 		if size <= 0 {
-			return nil, "", 0, p.errf("array size must be positive")
+			return nil, "", 0, 0, p.errf("array size must be positive")
 		}
 		if err := p.expect("]"); err != nil {
-			return nil, "", 0, err
+			return nil, "", 0, 0, err
 		}
 		typ = &Type{Kind: ArrayT, Elem: typ, Len: size}
 	}
-	return typ, name, line, nil
+	return typ, name, line, col, nil
 }
 
-func (p *cparser) funcRest(ret *Type, name string, line int) (*FuncDecl, error) {
-	fd := &FuncDecl{Name: name, Ret: ret, Line: line}
+func (p *cparser) funcRest(ret *Type, name string, line, col int) (*FuncDecl, error) {
+	fd := &FuncDecl{Name: name, Ret: ret, Line: line, Col: col}
 	if err := p.expect("("); err != nil {
 		return nil, err
 	}
@@ -276,11 +276,11 @@ func (p *cparser) funcRest(ret *Type, name string, line int) (*FuncDecl, error) 
 		if err != nil {
 			return nil, err
 		}
-		typ, pname, pline, err := p.declarator(base)
+		typ, pname, pline, pcol, err := p.declarator(base)
 		if err != nil {
 			return nil, err
 		}
-		fd.Params = append(fd.Params, &VarDecl{Name: pname, Type: typ, Line: pline})
+		fd.Params = append(fd.Params, &VarDecl{Name: pname, Type: typ, Line: pline, Col: pcol})
 	}
 	body, err := p.block()
 	if err != nil {
@@ -318,11 +318,11 @@ func (p *cparser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		typ, name, line, err := p.declarator(base)
+		typ, name, line, col, err := p.declarator(base)
 		if err != nil {
 			return nil, err
 		}
-		d := &VarDecl{Name: name, Type: typ, Line: line}
+		d := &VarDecl{Name: name, Type: typ, Line: line, Col: col}
 		if p.accept("=") {
 			d.Init, err = p.expr()
 			if err != nil {
@@ -349,7 +349,7 @@ func (p *cparser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := &IfStmt{Cond: cond, Then: then, Line: t.line}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.line, Col: t.col}
 		if p.accept("else") {
 			if p.cur().text == "if" {
 				inner, err := p.stmt()
@@ -381,13 +381,13 @@ func (p *cparser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line, Col: t.col}, nil
 	case t.text == "for":
 		p.next()
 		if err := p.expect("("); err != nil {
 			return nil, err
 		}
-		st := &ForStmt{Line: t.line}
+		st := &ForStmt{Line: t.line, Col: t.col}
 		if p.cur().text != ";" {
 			init, err := p.simpleStmt()
 			if err != nil {
@@ -446,22 +446,22 @@ func (p *cparser) stmt() (Stmt, error) {
 		if err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &DoWhileStmt{Body: body, Cond: cond, Line: t.line}, nil
+		return &DoWhileStmt{Body: body, Cond: cond, Line: t.line, Col: t.col}, nil
 	case t.text == "break":
 		p.next()
 		if err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &BreakStmt{Line: t.line}, nil
+		return &BreakStmt{Line: t.line, Col: t.col}, nil
 	case t.text == "continue":
 		p.next()
 		if err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &ContinueStmt{Line: t.line}, nil
+		return &ContinueStmt{Line: t.line, Col: t.col}, nil
 	case t.text == "return":
 		p.next()
-		st := &ReturnStmt{Line: t.line}
+		st := &ReturnStmt{Line: t.line, Col: t.col}
 		if p.cur().text != ";" {
 			var err error
 			st.X, err = p.expr()
@@ -488,7 +488,7 @@ func (p *cparser) stmt() (Stmt, error) {
 // simpleStmt parses an assignment or expression without the trailing
 // semicolon (also used by for headers).
 func (p *cparser) simpleStmt() (Stmt, error) {
-	line := p.cur().line
+	line, col := p.cur().line, p.cur().col
 	lhs, err := p.expr()
 	if err != nil {
 		return nil, err
@@ -498,9 +498,9 @@ func (p *cparser) simpleStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &AssignStmt{LHS: lhs, RHS: rhs, Line: line}, nil
+		return &AssignStmt{LHS: lhs, RHS: rhs, Line: line, Col: col}, nil
 	}
-	return &ExprStmt{X: lhs, Line: line}, nil
+	return &ExprStmt{X: lhs, Line: line, Col: col}, nil
 }
 
 // Expression precedence: || < && < == != < > <= >= < + - < * / % < unary.
@@ -516,13 +516,13 @@ func (p *cparser) binaryLevel(ops []string, sub func() (Expr, error)) (Expr, err
 		matched := false
 		for _, op := range ops {
 			if p.cur().text == op {
-				line := p.cur().line
+				line, col := p.cur().line, p.cur().col
 				p.next()
 				y, err := sub()
 				if err != nil {
 					return nil, err
 				}
-				x = &Binary{Op: op, X: x, Y: y, Line: line}
+				x = &Binary{Op: op, X: x, Y: y, Line: line, Col: col}
 				matched = true
 				break
 			}
@@ -562,7 +562,7 @@ func (p *cparser) unary() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Unary{Op: t.text, X: x, Line: t.line}, nil
+		return &Unary{Op: t.text, X: x, Line: t.line, Col: t.col}, nil
 	}
 	return p.postfix()
 }
@@ -577,18 +577,18 @@ func (p *cparser) postfix() (Expr, error) {
 		switch {
 		case t.kind == tokArrow:
 			p.next()
-			name, _, err := p.expectIdent()
+			name, _, _, err := p.expectIdent()
 			if err != nil {
 				return nil, err
 			}
-			x = &FieldAccess{X: x, Name: name, Arrow: true, Line: t.line}
+			x = &FieldAccess{X: x, Name: name, Arrow: true, Line: t.line, Col: t.col}
 		case t.text == ".":
 			p.next()
-			name, _, err := p.expectIdent()
+			name, _, _, err := p.expectIdent()
 			if err != nil {
 				return nil, err
 			}
-			x = &FieldAccess{X: x, Name: name, Arrow: false, Line: t.line}
+			x = &FieldAccess{X: x, Name: name, Arrow: false, Line: t.line, Col: t.col}
 		case t.text == "[":
 			p.next()
 			idx, err := p.expr()
@@ -598,10 +598,10 @@ func (p *cparser) postfix() (Expr, error) {
 			if err := p.expect("]"); err != nil {
 				return nil, err
 			}
-			x = &IndexExpr{X: x, Idx: idx, Line: t.line}
+			x = &IndexExpr{X: x, Idx: idx, Line: t.line, Col: t.col}
 		case t.text == "(":
 			p.next()
-			call := &CallExpr{Fun: x, Line: t.line}
+			call := &CallExpr{Fun: x, Line: t.line, Col: t.col}
 			for !p.accept(")") {
 				if len(call.Args) > 0 {
 					if err := p.expect(","); err != nil {
@@ -626,13 +626,13 @@ func (p *cparser) primary() (Expr, error) {
 	switch {
 	case t.kind == tokIdent:
 		p.next()
-		return &Ident{Name: t.text, Line: t.line}, nil
+		return &Ident{Name: t.text, Line: t.line, Col: t.col}, nil
 	case t.kind == tokNumber:
 		p.next()
-		return &NumberLit{Value: t.text, Line: t.line}, nil
+		return &NumberLit{Value: t.text, Line: t.line, Col: t.col}, nil
 	case t.text == "null":
 		p.next()
-		return &NullLit{Line: t.line}, nil
+		return &NullLit{Line: t.line, Col: t.col}, nil
 	case t.text == "malloc":
 		p.next()
 		if err := p.expect("("); err != nil {
@@ -647,7 +647,20 @@ func (p *cparser) primary() (Expr, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		return &MallocExpr{Line: t.line}, nil
+		return &MallocExpr{Line: t.line, Col: t.col}, nil
+	case t.text == "free":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &FreeExpr{X: arg, Line: t.line, Col: t.col}, nil
 	case t.text == "(":
 		p.next()
 		x, err := p.expr()

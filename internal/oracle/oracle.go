@@ -117,6 +117,7 @@ func Check(b *Bundle, opts Options) []Violation {
 	c.checkMemory()
 	c.checkCallGraph()
 	c.checkStorage()
+	c.checkCheckers()
 	c.checkWitnesses()
 	if !c.opts.SkipResolve {
 		c.checkResolve()

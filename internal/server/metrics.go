@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"vsfs"
+	"vsfs/internal/checker"
 	"vsfs/internal/guard"
 	"vsfs/internal/obs"
 )
@@ -22,6 +23,8 @@ type serverMetrics struct {
 	solvesStarted *obs.Series
 	solveOutcomes *obs.Family // counter by outcome (ok|error|cancelled)
 	shedRequests  *obs.Series
+
+	findingsTotal *obs.Family // counter by finding kind (POST /check)
 
 	guardPanics     *obs.Family // counter by phase (pipeline phases + "server")
 	degradedResults *obs.Series
@@ -61,6 +64,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Completed solves, by outcome."),
 		shedRequests: r.Counter("vsfs_shed_requests_total",
 			"Solves shed with 503 because the queue was full."),
+
+		findingsTotal: r.CounterVec("vsfs_findings_total",
+			"Checker findings reported by POST /check (after suppressions), by kind."),
 
 		guardPanics: r.CounterVec("vsfs_guard_panics_total",
 			"Pipeline panics isolated by the guard layer, by phase."),
@@ -111,8 +117,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 	// Materialise the label combinations /stats reads, so a fresh server
 	// exposes zeros rather than absent series.
-	for _, ep := range []string{"analyze", "query"} {
+	for _, ep := range []string{"analyze", "query", "check"} {
 		m.httpRequests.With("endpoint", ep)
+	}
+	for _, k := range checker.Kinds() {
+		m.findingsTotal.With("kind", string(k))
 	}
 	for _, res := range []string{"hit", "miss"} {
 		m.cacheReqs.With("result", res)

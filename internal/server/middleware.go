@@ -40,6 +40,8 @@ func endpointOf(path string) string {
 		return "analyze"
 	case path == "/query":
 		return "query"
+	case path == "/check":
+		return "check"
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "pprof"
 	default:

@@ -19,7 +19,8 @@
 //     instead of accumulating goroutines. Close drains in-flight work.
 //
 // Endpoints: GET /healthz, GET /stats, GET /metrics, POST /analyze,
-// POST /query, and (opt-in) GET /debug/pprof/*. All response bodies
+// POST /query, POST /check, and (opt-in) GET /debug/pprof/*. All
+// response bodies
 // are deterministic — sorted keys and slices everywhere — so a cache
 // hit is byte-identical to the cache miss that populated it; only the
 // X-Vsfs-Cache header differs.
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"vsfs"
+	"vsfs/internal/diag"
 	"vsfs/internal/guard"
 	"vsfs/internal/obs"
 )
@@ -180,6 +182,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /check", s.handleCheck)
 	if !cfg.DisableMetrics {
 		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	}
@@ -248,6 +251,33 @@ type AnalyzeResponse struct {
 	Mode   string      `json:"mode"`
 	Report vsfs.Report `json:"report"`
 	Dump   string      `json:"dump"`
+}
+
+// CheckRequest is the body of POST /check. The solve itself rides the
+// same cache/single-flight/pool/breaker path as /analyze; the checkers
+// and the diagnostics pipeline run per request on the solved facts.
+type CheckRequest struct {
+	AnalyzeRequest
+	// Filename is the display name stamped into finding locations and
+	// SARIF artifact URIs. Cosmetic only.
+	Filename string `json:"filename,omitempty"`
+	// Format selects the response body: "json" (default) or "sarif".
+	Format string `json:"format,omitempty"`
+	// Severities overrides per-kind severities (error|warning|note).
+	Severities map[string]string `json:"severities,omitempty"`
+	// Taint configuration; see vsfs.CheckConfig.
+	TaintSource     string   `json:"taintSource,omitempty"`
+	TaintSink       string   `json:"taintSink,omitempty"`
+	TaintSanitizers []string `json:"taintSanitizers,omitempty"`
+}
+
+// CheckResponse is the body of a successful POST /check in "json"
+// format.
+type CheckResponse struct {
+	Key        string         `json:"key"`
+	Mode       string         `json:"mode"`
+	Findings   []diag.Finding `json:"findings"`
+	Suppressed int            `json:"suppressed,omitempty"`
 }
 
 // QueryRequest is the body of POST /query.
@@ -463,6 +493,71 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Mode:   res.Stats().Mode,
 		Report: res.Report(),
 		Dump:   res.Dump(),
+	})
+}
+
+// handleCheck solves the program (cached), runs the full checker suite
+// over the solved facts, pushes the findings through the diagnostics
+// engine (severities, fingerprints, inline suppressions), counts them
+// into vsfs_findings_total by kind, and renders JSON or SARIF 2.1.0.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return
+	}
+	format := strings.ToLower(req.Format)
+	if format != "" && format != "json" && format != "sarif" {
+		s.writeError(w, r, http.StatusBadRequest, badRequestf("unknown format %q (want json or sarif)", req.Format))
+		return
+	}
+	severities := make(map[string]diag.Severity, len(req.Severities))
+	for kind, lvl := range req.Severities {
+		switch sv := diag.Severity(lvl); sv {
+		case diag.Error, diag.Warning, diag.Note:
+			severities[kind] = sv
+		default:
+			s.writeError(w, r, http.StatusBadRequest, badRequestf("bad severity %q for %q (want error, warning or note)", lvl, kind))
+			return
+		}
+	}
+	res, key, hit, err := s.resolve(r.Context(), req.AnalyzeRequest)
+	if err != nil {
+		setRetryHeaders(w, err)
+		s.writeError(w, r, statusFor(err), err)
+		return
+	}
+	raw := res.CheckWith(vsfs.CheckConfig{
+		TaintSource:     req.TaintSource,
+		TaintSink:       req.TaintSink,
+		TaintSanitizers: req.TaintSanitizers,
+	})
+	rawd := make([]diag.Raw, len(raw))
+	for i, f := range raw {
+		rawd[i] = diag.Raw{Kind: f.Kind, Func: f.Func, Label: f.Label, Line: f.Line, Col: f.Col, Message: f.Message}
+	}
+	findings := diag.New(req.Filename, rawd, severities)
+	findings, suppressed := diag.Suppress(req.Source, findings)
+	for _, f := range findings {
+		s.met.findingsTotal.With("kind", f.Kind).Inc()
+	}
+	setResultHeaders(w, key, hit, res)
+	if format == "sarif" {
+		w.Header().Set("Content-Type", "application/sarif+json")
+		w.WriteHeader(http.StatusOK)
+		if err := diag.WriteSARIF(w, findings); err != nil {
+			s.logger.Warn("sarif encoding failed", "id", obs.RequestID(r.Context()), "err", err)
+		}
+		return
+	}
+	if findings == nil {
+		findings = []diag.Finding{}
+	}
+	writeJSON(w, http.StatusOK, CheckResponse{
+		Key:        key,
+		Mode:       res.Stats().Mode,
+		Findings:   findings,
+		Suppressed: suppressed,
 	})
 }
 

@@ -508,3 +508,155 @@ func TestLRUEviction(t *testing.T) {
 		t.Fatalf("evicted entry came back as %q, want miss", hdr.Get("X-Vsfs-Cache"))
 	}
 }
+
+// uafC frees a heap cell and then stores through the stale pointer at
+// line 6 column 3.
+const uafC = `int main() {
+  int *p;
+  int x;
+  p = malloc();
+  free(p);
+  *p = 2;
+  return 0;
+}`
+
+func TestCheckEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	body := map[string]any{"source": uafC, "filename": "uaf.c"}
+	code, hdr, resp := post(t, s, "/check", body)
+	if code != http.StatusOK {
+		t.Fatalf("POST /check = %d: %s", code, resp)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(resp, &cr); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if cr.Mode != "vsfs" || cr.Key == "" {
+		t.Errorf("mode/key = %q/%q", cr.Mode, cr.Key)
+	}
+	var uaf int
+	for _, f := range cr.Findings {
+		if f.Kind == "use-after-free" {
+			uaf++
+			if f.File != "uaf.c" || f.Line != 6 || f.Col != 3 {
+				t.Errorf("position = %s:%d:%d, want uaf.c:6:3", f.File, f.Line, f.Col)
+			}
+			if f.Fingerprint == "" {
+				t.Error("missing fingerprint")
+			}
+		}
+	}
+	if uaf == 0 {
+		t.Fatalf("no use-after-free finding in %s", resp)
+	}
+
+	// The second identical request must be a cache hit for the solve —
+	// findings are recomputed but the result key is stable.
+	_, hdr2, resp2 := post(t, s, "/check", body)
+	if hdr.Get("X-VSFS-Cache") != "miss" || hdr2.Get("X-VSFS-Cache") != "hit" {
+		t.Errorf("cache headers = %q then %q", hdr.Get("X-VSFS-Cache"), hdr2.Get("X-VSFS-Cache"))
+	}
+	if !bytes.Equal(resp, resp2) {
+		t.Errorf("cached check differs:\n%s\nvs\n%s", resp, resp2)
+	}
+
+	// Findings metric materialised and counted (2 requests x findings).
+	mcode, mbody := get(t, s, "/metrics")
+	if mcode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", mcode)
+	}
+	if !strings.Contains(string(mbody), `vsfs_findings_total{kind="use-after-free"} `+fmt.Sprint(2*uaf)) {
+		t.Errorf("metrics missing findings counter:\n%s", mbody)
+	}
+}
+
+func TestCheckEndpointSARIF(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	code, hdr, resp := post(t, s, "/check",
+		map[string]any{"source": uafC, "filename": "uaf.c", "format": "sarif"})
+	if code != http.StatusOK {
+		t.Fatalf("POST /check = %d: %s", code, resp)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/sarif+json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(resp, &doc); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if doc["version"] != "2.1.0" {
+		t.Errorf("version = %v", doc["version"])
+	}
+	run := doc["runs"].([]any)[0].(map[string]any)
+	results := run["results"].([]any)
+	if len(results) == 0 {
+		t.Fatal("no SARIF results")
+	}
+	found := false
+	for _, r := range results {
+		if r.(map[string]any)["ruleId"] == "use-after-free" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no use-after-free result: %s", resp)
+	}
+}
+
+func TestCheckEndpointSuppression(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	suppressed := strings.Replace(uafC, "*p = 2;", "*p = 2; // vsfs:ignore(use-after-free)", 1)
+	code, _, resp := post(t, s, "/check", map[string]any{"source": suppressed})
+	if code != http.StatusOK {
+		t.Fatalf("POST /check = %d: %s", code, resp)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(resp, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Suppressed == 0 {
+		t.Errorf("suppressed = 0, want > 0: %s", resp)
+	}
+	for _, f := range cr.Findings {
+		if f.Kind == "use-after-free" && f.Line == 6 {
+			t.Errorf("suppressed finding still reported: %+v", f)
+		}
+	}
+}
+
+func TestCheckEndpointBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for name, body := range map[string]any{
+		"bad format":   map[string]any{"source": uafC, "format": "xml"},
+		"bad severity": map[string]any{"source": uafC, "severities": map[string]string{"null-deref": "fatal"}},
+		"empty source": map[string]any{"source": ""},
+	} {
+		code, _, resp := post(t, s, "/check", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: code = %d (%s), want 400", name, code, resp)
+		}
+	}
+}
+
+func TestCheckEndpointSeverityOverride(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, _, resp := post(t, s, "/check", map[string]any{
+		"source":     uafC,
+		"severities": map[string]string{"use-after-free": "note"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("POST /check = %d: %s", code, resp)
+	}
+	var cr CheckResponse
+	if err := json.Unmarshal(resp, &cr); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range cr.Findings {
+		if f.Kind == "use-after-free" && f.Severity != "note" {
+			t.Errorf("severity = %s, want note", f.Severity)
+		}
+	}
+}

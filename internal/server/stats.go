@@ -17,6 +17,9 @@ type StatsSnapshot struct {
 	Requests        int64 `json:"requests"`
 	AnalyzeRequests int64 `json:"analyzeRequests"`
 	QueryRequests   int64 `json:"queryRequests"`
+	CheckRequests   int64 `json:"checkRequests"`
+
+	FindingsReported int64 `json:"findingsReported"`
 
 	CacheHits    int64 `json:"cacheHits"`
 	CacheMisses  int64 `json:"cacheMisses"`
@@ -56,6 +59,9 @@ func (s *Server) snapshot() StatsSnapshot {
 		Requests:        int64(m.httpRequests.Total()),
 		AnalyzeRequests: int64(m.httpRequests.With("endpoint", "analyze").Value()),
 		QueryRequests:   int64(m.httpRequests.With("endpoint", "query").Value()),
+		CheckRequests:   int64(m.httpRequests.With("endpoint", "check").Value()),
+
+		FindingsReported: int64(m.findingsTotal.Total()),
 
 		CacheHits:    int64(m.cacheReqs.With("result", "hit").Value()),
 		CacheMisses:  int64(m.cacheReqs.With("result", "miss").Value()),

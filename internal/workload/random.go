@@ -52,6 +52,13 @@ type RandomConfig struct {
 	// smaller than the auxiliary one.
 	DispatchFrac float64
 
+	// FreeProb emits free(p) — a store of the FREED token through a
+	// dominated pointer — with this probability per straight-line slot.
+	// Zero (the default) keeps the generator's output and random stream
+	// bit-identical to pre-deallocation versions, so named profiles and
+	// golden tests are unaffected.
+	FreeProb float64
+
 	// CallLocality, when positive, restricts call targets to functions
 	// within this index distance — modular programs with narrow
 	// transitive mod/ref summaries. Zero means any function may call
@@ -273,6 +280,10 @@ func (g *rgen) emitStraight(st *fstate) {
 	}
 	if g.cfg.DispatchFrac > 0 && r.Float64() < g.cfg.DispatchFrac {
 		g.emitDispatch(st)
+		return
+	}
+	if g.cfg.FreeProb > 0 && r.Float64() < g.cfg.FreeProb {
+		st.f.EmitStore(st.cur, g.pickBiased(st), g.prog.FreedPtr())
 		return
 	}
 	switch r.Intn(10) {

@@ -22,11 +22,16 @@ type FuncReport struct {
 }
 
 // Finding is one checker-reported issue, mirroring
-// internal/checker.Finding at the facade boundary.
+// internal/checker.Finding at the facade boundary. File, Line and Col
+// are the source position when the program carries provenance
+// (mini-C input with Options.Filename set); zero otherwise.
 type Finding struct {
 	Kind    string `json:"kind"`
 	Func    string `json:"func"`
 	Label   uint32 `json:"label"`
+	File    string `json:"file,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
 	Message string `json:"message"`
 }
 
@@ -88,29 +93,70 @@ func (rep Report) MarshalIndent() ([]byte, error) {
 	return json.MarshalIndent(rep, "", "  ")
 }
 
-// resultFacts adapts Result to the checker interfaces, dispatching to
-// whichever analysis the run selected.
+// resultFacts adapts Result to the checker interfaces (including
+// checker.FlowFacts), dispatching to whichever analysis the run
+// selected.
 type resultFacts struct{ r *Result }
 
 func (a resultFacts) PointsTo(v ir.ID) *bitset.Sparse      { return a.r.pointsTo(v) }
 func (a resultFacts) ObjectSummary(o ir.ID) *bitset.Sparse { return a.r.objectSummary(o) }
+func (a resultFacts) ContentsBefore(label uint32, o ir.ID) *bitset.Sparse {
+	return a.r.contentsBefore(label, o)
+}
 
-// Check runs the bug-finding clients (null/uninitialised dereference,
-// dangling returns, stack escapes) over the solved facts of this run's
-// analysis mode. Findings come back in instruction order per client —
-// deterministic for a given program.
+// CheckConfig tunes Result.CheckWith. The zero value runs the
+// memory-safety checkers only; naming both a taint source and sink adds
+// the information-flow checker, optionally hardened with sanitizer
+// functions.
+type CheckConfig struct {
+	// TaintSource marks every object allocated in the named function
+	// sensitive; TaintSink reports sensitive objects reaching arguments
+	// of calls to the named function. Both must be set to enable the
+	// taint checker.
+	TaintSource string `json:"taintSource,omitempty"`
+	TaintSink   string `json:"taintSink,omitempty"`
+	// TaintSanitizers declassify everything reachable from arguments of
+	// calls to the named functions.
+	TaintSanitizers []string `json:"taintSanitizers,omitempty"`
+}
+
+// Check runs the memory-safety clients (null/uninitialised dereference,
+// dangling returns, stack escapes, use-after-free, double-free,
+// memory-leak) over the solved facts of this run's analysis mode.
+// Findings come back in instruction order per client — deterministic
+// for a given program.
 func (r *Result) Check() []Finding {
+	return r.CheckWith(CheckConfig{})
+}
+
+// CheckWith is Check plus optional taint checking; see CheckConfig.
+func (r *Result) CheckWith(cfg CheckConfig) []Finding {
 	facts := resultFacts{r}
 	var all []checker.Finding
 	all = append(all, checker.NullDerefs(r.prog, facts)...)
 	all = append(all, checker.DanglingReturns(r.prog, facts)...)
 	all = append(all, checker.StackEscapes(r.prog, facts)...)
+	all = append(all, checker.UseAfterFrees(r.prog, facts)...)
+	all = append(all, checker.DoubleFrees(r.prog, facts)...)
+	all = append(all, checker.MemoryLeaks(r.prog, facts)...)
+	if cfg.TaintSource != "" && cfg.TaintSink != "" {
+		sans := make([]checker.LeakSanitizer, 0, len(cfg.TaintSanitizers))
+		for _, s := range cfg.TaintSanitizers {
+			sans = append(sans, checker.LeakSanitizer{Func: s})
+		}
+		all = append(all, checker.Leaks(r.prog, facts, facts,
+			checker.LeakSource{Func: cfg.TaintSource},
+			checker.LeakSink{Func: cfg.TaintSink}, sans...)...)
+	}
 	out := make([]Finding, 0, len(all))
 	for _, f := range all {
 		out = append(out, Finding{
 			Kind:    string(f.Kind),
 			Func:    f.Func,
 			Label:   f.Label,
+			File:    r.prog.File,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Col,
 			Message: f.Message,
 		})
 	}

@@ -1,0 +1,10 @@
+// Pre-existing defect recorded in baseline.c.baseline: the use-after-
+// free is hidden by the baseline, the double-free is new and reported.
+int main() {
+  int *p;
+  p = malloc();
+  free(p);
+  *p = 2;
+  free(p);
+  return 0;
+}

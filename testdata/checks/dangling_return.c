@@ -1,0 +1,10 @@
+// bad() returns the address of its own stack slot.
+int *bad() {
+  int local;
+  return &local;
+}
+int main() {
+  int *p;
+  p = bad();
+  return 0;
+}

@@ -1,0 +1,8 @@
+// The second free on line 6 releases an already-freed allocation.
+int main() {
+  int *p;
+  p = malloc();
+  free(p);
+  free(p);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Three allocation fates: published to a global (reachable at exit),
+// freed before returning, and dropped on the floor in lose() — only
+// the last is a leak. Allocations held by main's own locals are live
+// at exit and never reported.
+int *keep;
+void lose() {
+  int *tmp;
+  tmp = malloc();
+}
+void tidy() {
+  int *t;
+  t = malloc();
+  free(t);
+}
+int main() {
+  int *a;
+  a = malloc();
+  keep = a;
+  lose();
+  tidy();
+  return 0;
+}

@@ -1,0 +1,8 @@
+// p is never initialised, so the load on line 5 dereferences a pointer
+// with an empty points-to set.
+int main() {
+  int *p;
+  int x;
+  x = *p;
+  return 0;
+}

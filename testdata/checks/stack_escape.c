@@ -1,0 +1,10 @@
+// stash() publishes the address of its dying local into a global.
+int *cell;
+void stash() {
+  int a;
+  cell = &a;
+}
+int main() {
+  stash();
+  return 0;
+}

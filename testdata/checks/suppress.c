@@ -1,0 +1,9 @@
+// Same defect as use_after_free.c, but the write is annotated with an
+// inline suppression, so -check reports nothing for it.
+int main() {
+  int *p;
+  p = malloc();
+  free(p);
+  *p = 2; // vsfs:ignore(use-after-free)
+  return 0;
+}

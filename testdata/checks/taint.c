@@ -1,0 +1,14 @@
+// Objects allocated in source() are sensitive; d reaches sink()
+// unsanitised. Replayed with -taint-source source -taint-sink sink.
+int *source() {
+  int *s;
+  s = malloc();
+  return s;
+}
+void sink(int *x) {}
+int main() {
+  int *d;
+  d = source();
+  sink(d);
+  return 0;
+}

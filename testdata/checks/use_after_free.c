@@ -1,0 +1,10 @@
+// Classic use-after-free: the write on line 7 dereferences a pointer
+// whose pointee was freed on line 6. The write on line 5 is clean.
+int main() {
+  int *p;
+  p = malloc();
+  *p = 1;
+  free(p);
+  *p = 2;
+  return 0;
+}

@@ -115,6 +115,10 @@ type Options struct {
 	// Input selects the source language for AnalyzeContext; AnalyzeC and
 	// AnalyzeIR override it.
 	Input Input
+	// Filename is the display name of the source, threaded onto the
+	// program (ir.Program.File) so checker diagnostics can point at
+	// file:line:col. Purely cosmetic; empty is fine.
+	Filename string
 }
 
 // Timings records per-phase wall-clock durations of one Analyze run.
@@ -256,6 +260,7 @@ func AnalyzeContext(ctx context.Context, src string, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	prog.File = opts.Filename
 	return analyzeProgram(ctx, prog, opts, hash)
 }
 
@@ -423,6 +428,21 @@ func (r *Result) objectSummary(o ir.ID) *bitset.Sparse {
 		return r.aux.PointsTo(o)
 	default:
 		return r.vsfsRes.ObjectSummary(o)
+	}
+}
+
+// contentsBefore returns what object o may hold immediately before the
+// instruction labelled label, under the selected analysis: the IN set
+// for SFS, the consume-version points-to set for VSFS, and the
+// flow-insensitive object summary for Andersen.
+func (r *Result) contentsBefore(label uint32, o ir.ID) *bitset.Sparse {
+	switch r.mode {
+	case SFS:
+		return r.sfsRes.InSet(label, o)
+	case FlowInsensitive:
+		return r.aux.PointsTo(o)
+	default:
+		return r.vsfsRes.ConsumedSet(label, o)
 	}
 }
 
