@@ -3,7 +3,8 @@
 //
 //	vsfs-bench -table 2            Table II (benchmark characteristics)
 //	vsfs-bench -table 3            Table III (time and memory)
-//	vsfs-bench -table all          both tables
+//	vsfs-bench -table backends     per-backend comparison (andersen/sfs/vsfs/cfgfree)
+//	vsfs-bench -table all          all of the above
 //	vsfs-bench -sweep              redundancy sweep (Section V shape claim)
 //	vsfs-bench -ablation           on-the-fly vs auxiliary call graph
 //	vsfs-bench -versions           versioning effectiveness (sharing factors)
@@ -32,7 +33,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vsfs-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	table := fs.String("table", "all", "which table to produce: 2, 3, or all")
+	table := fs.String("table", "all", "which table to produce: 2, 3, backends, or all")
 	runs := fs.Int("runs", 1, "timed repetitions per analysis")
 	memLimit := fs.Int64("memlimit", 0, "modelled-memory OOM threshold in MB (0 = off)")
 	benches := fs.String("bench", "", "comma-separated benchmark names (default: all 15)")
@@ -107,10 +108,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, bench.FormatTable2(rows))
 	case "3":
 		fmt.Fprint(stdout, bench.FormatTable3(rows))
+	case "backends":
+		fmt.Fprint(stdout, bench.FormatBackends(rows))
 	case "all":
 		fmt.Fprint(stdout, bench.FormatTable2(rows))
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, bench.FormatTable3(rows))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, bench.FormatBackends(rows))
 	default:
 		fmt.Fprintf(stderr, "unknown -table %q\n", *table)
 		return 2

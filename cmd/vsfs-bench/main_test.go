@@ -56,9 +56,36 @@ func TestJSONOutput(t *testing.T) {
 	if r.SFSMs <= 0 || r.VSFSMs <= 0 || r.Speedup <= 0 || r.MemRatio <= 0 {
 		t.Errorf("Table III fields empty: %+v", r)
 	}
+	if r.CfgfreeMs <= 0 || r.CfgfreeMemMB <= 0 {
+		t.Errorf("cfgfree fields empty: %+v", r)
+	}
+	if len(rep.Backends) != 4 {
+		t.Fatalf("backends = %+v, want 4 rows for du", rep.Backends)
+	}
+	seen := map[string]bool{}
+	for _, br := range rep.Backends {
+		seen[br.Backend] = true
+	}
+	for _, b := range []string{"andersen", "sfs", "vsfs", "cfgfree"} {
+		if !seen[b] {
+			t.Errorf("backend rows missing %q: %+v", b, rep.Backends)
+		}
+	}
 	// The geo mean is computed as exp(mean(log x)) and can be off by an
 	// ulp even for a single row, so compare with a relative tolerance.
 	if diff := math.Abs(rep.GeoMeanSpeedup - r.Speedup); diff > 1e-9*r.Speedup {
 		t.Errorf("geo mean %v != single-row speedup %v", rep.GeoMeanSpeedup, r.Speedup)
+	}
+}
+
+func TestBackendsTable(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-bench", "du", "-table", "backends"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"Backend comparison", "du", "cfree t"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("backends table missing %q:\n%s", want, out.String())
+		}
 	}
 }

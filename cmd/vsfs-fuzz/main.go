@@ -1,6 +1,8 @@
 // Command vsfs-fuzz drives the differential-testing oracle over random
 // workload programs and the named benchmark profiles, looking for any
-// divergence between Andersen, SFS, and VSFS:
+// divergence between the backends — Andersen, SFS, VSFS, and the
+// CFG-free flow-sensitive solver, whose results must bracket as
+// sfs ⊆ cfgfree ⊆ andersen pointwise:
 //
 //	vsfs-fuzz -seeds 500                 check 500 random programs
 //	vsfs-fuzz -start 1000 -seeds 500     a different window of seeds
@@ -17,8 +19,10 @@
 // governance battery (internal/oracle CheckDegradation, CheckFaults):
 // deterministic panics in every pipeline phase and seeded budget
 // blowouts, asserting the process never dies, panics surface as typed
-// phase errors, and an over-budget run degrades to exactly the
-// standalone Andersen result — never an unsound partial one.
+// phase errors, and an over-budget run degrades down the ladder to
+// exactly the standalone CFG-free result (or, if that rung also
+// breaches, the standalone Andersen result) — never an unsound
+// partial one.
 //
 // Every failing program is reported with its violations; with -minimize
 // it is also delta-debugged to a minimal reproducer and written to the

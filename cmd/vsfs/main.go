@@ -4,6 +4,7 @@
 //
 //	vsfs -mode vsfs prog.c         analyse with VSFS (default)
 //	vsfs -mode sfs prog.vir        analyse with the SFS baseline
+//	vsfs -mode cfgfree prog.c      CFG-free flow-sensitive backend
 //	vsfs -mode andersen prog.c     flow-insensitive only
 //	vsfs -compare prog.c           run SFS and VSFS, verify equal results
 //	vsfs -dump-ir prog.c           print the lowered IR and exit
@@ -14,8 +15,8 @@
 //	vsfs -why p prog.c             explain why p points to what it does
 //	vsfs -json prog.c              print the full result as canonical JSON
 //	vsfs -timeout 5s prog.c        abort cleanly if analysis exceeds 5s
-//	vsfs -max-steps 1e6 prog.c     degrade to Andersen past a step budget
-//	vsfs -max-mem 64e6 prog.c      degrade to Andersen past a memory budget
+//	vsfs -max-steps 1e6 prog.c     degrade down the ladder past a step budget
+//	vsfs -max-mem 64e6 prog.c      degrade down the ladder past a memory budget
 //	vsfs -trace out.json prog.c    write a Chrome trace of the pipeline phases
 //	vsfs -v prog.c                 log analysis progress to stderr
 //
@@ -29,9 +30,9 @@
 // -write-baseline; -severity overrides per-kind severities.
 //
 // Exit codes: 0 success; 1 analysis error; 2 usage error; 3 success
-// with a degraded (flow-insensitive) result after exceeding
-// -max-steps/-max-mem; 4 timed out (-timeout); 5 findings reported by
-// -check (takes precedence over 3).
+// with a degraded result (the CFG-free rung or the flow-insensitive
+// floor) after exceeding -max-steps/-max-mem; 4 timed out (-timeout);
+// 5 findings reported by -check (takes precedence over 3).
 package main
 
 import (
@@ -63,7 +64,7 @@ const (
 	exitOK       = 0 // full-precision success
 	exitError    = 1 // analysis error
 	exitUsage    = 2 // bad flags or arguments
-	exitDegraded = 3 // success, but degraded to the flow-insensitive result
+	exitDegraded = 3 // success, but degraded down the backend ladder
 	exitTimeout  = 4 // -timeout elapsed before the analysis finished
 	exitFindings = 5 // -check reported at least one finding
 )
@@ -78,7 +79,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vsfs", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	mode := fs.String("mode", "vsfs", "analysis: vsfs, sfs, or andersen")
+	mode := fs.String("mode", "vsfs", "analysis: vsfs, sfs, cfgfree, or andersen")
 	compare := fs.Bool("compare", false, "run SFS and VSFS and verify identical results")
 	dumpIR := fs.Bool("dump-ir", false, "print the lowered IR and exit")
 	dot := fs.Bool("dot", false, "print the SVFG in Graphviz dot format and exit")

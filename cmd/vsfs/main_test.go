@@ -74,13 +74,41 @@ func TestRunBasicC(t *testing.T) {
 
 func TestRunModesAndStats(t *testing.T) {
 	path := writeTemp(t, "p.c", okC)
-	for _, mode := range []string{"vsfs", "sfs", "andersen"} {
+	for _, mode := range []string{"vsfs", "sfs", "cfgfree", "andersen"} {
 		code, out, _ := runCLI(t, "-mode", mode, "-stats", path)
 		if code != 0 {
 			t.Fatalf("mode %s exit = %d", mode, code)
 		}
 		if !strings.Contains(out, "stats: mode="+mode) {
 			t.Errorf("mode %s missing stats header:\n%s", mode, out)
+		}
+	}
+}
+
+// TestRunModeMatrixJSON pins the full backend matrix through the CLI:
+// every selectable mode (and the cfgfree spelling aliases) parses,
+// solves the same file with exit 0, and stamps its name into the
+// machine-readable report.
+func TestRunModeMatrixJSON(t *testing.T) {
+	path := writeTemp(t, "p.c", okC)
+	for spelling, canonical := range map[string]string{
+		"vsfs":     "vsfs",
+		"sfs":      "sfs",
+		"cfgfree":  "cfgfree",
+		"cfg-free": "cfgfree",
+		"cf":       "cfgfree",
+		"andersen": "andersen",
+		"ander":    "andersen",
+	} {
+		code, out, errb := runCLI(t, "-mode", spelling, "-json", path)
+		if code != exitOK {
+			t.Fatalf("-mode %s exit = %d (stderr %q)", spelling, code, errb)
+		}
+		if !strings.Contains(out, `"mode": "`+canonical+`"`) {
+			t.Errorf("-mode %s report missing mode %q:\n%s", spelling, canonical, out[:min(len(out), 400)])
+		}
+		if strings.Contains(out, `"degraded": true`) {
+			t.Errorf("-mode %s unexpectedly degraded", spelling)
 		}
 	}
 }
@@ -247,6 +275,9 @@ func TestRunBudgetDegrades(t *testing.T) {
 
 	// Steps: at exactly Andersen's usage the auxiliary phase completes
 	// (breach is strict >) and the first flow-sensitive checkpoint trips.
+	// The ladder retries with the CFG-free backend under a fresh budget
+	// of the same size, which suffices here — the run degrades to the
+	// middle rung, not the flow-insensitive floor.
 	code, out, errb := runCLI(t, "-json", "-max-steps", strconv.FormatInt(aSteps, 10), path)
 	if code != exitDegraded {
 		t.Fatalf("-max-steps %d exit = %d, want %d (stderr %q)", aSteps, code, exitDegraded, errb)
@@ -254,7 +285,7 @@ func TestRunBudgetDegrades(t *testing.T) {
 	if !strings.Contains(errb, "degraded") || !strings.Contains(errb, "steps budget exceeded") {
 		t.Fatalf("stderr missing degradation notice: %q", errb)
 	}
-	for _, want := range []string{`"degraded": true`, `"mode": "andersen"`} {
+	for _, want := range []string{`"degraded": true`, `"mode": "cfgfree"`} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-json degraded output missing %s", want)
 		}

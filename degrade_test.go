@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"vsfs/internal/guard"
@@ -24,6 +25,8 @@ func TestDegradeOnSolveBudget(t *testing.T) {
 	// A slowdown fault in the solve phase charges a huge step count, so
 	// the budget is guaranteed to survive every earlier phase and blow
 	// in solve — deterministically, whatever the program's real cost.
+	// The VSFS run then lands on the first ladder rung: the CFG-free
+	// flow-sensitive backend, re-solved under a fresh budget.
 	plan := guard.NewFaultPlan(guard.Fault{Phase: "solve", Step: 0, Kind: guard.FaultSlow})
 	res, err := analyzeWith(t, VSFS, plan, guard.NewBudget(1<<30, 0, 0))
 	if err != nil {
@@ -32,52 +35,86 @@ func TestDegradeOnSolveBudget(t *testing.T) {
 	if !res.Degraded() {
 		t.Fatal("result not degraded")
 	}
-	if res.Mode() != FlowInsensitive || res.RequestedMode() != VSFS {
-		t.Fatalf("Mode = %v, RequestedMode = %v", res.Mode(), res.RequestedMode())
+	if res.Mode() != CFGFree || res.RequestedMode() != VSFS {
+		t.Fatalf("Mode = %v, RequestedMode = %v, want cfgfree/vsfs", res.Mode(), res.RequestedMode())
 	}
 	phase, resource := res.DegradedCause()
 	if phase != "solve" || resource != "steps" {
 		t.Fatalf("DegradedCause = %q/%q", phase, resource)
 	}
-	if res.Degradation() == "" {
-		t.Fatal("no degradation reason")
+	if !strings.Contains(res.Degradation(), "CFG-free") {
+		t.Fatalf("Degradation = %q, want mention of the CFG-free rung", res.Degradation())
 	}
 }
 
-func TestDegradedEqualsStandaloneAndersen(t *testing.T) {
+// TestLadderBottomsOutOnAndersen drives the run off BOTH rungs: the
+// original breach in a pipeline phase plus a second fault targeting the
+// cfgfree rung itself. Provenance must keep naming the original breach.
+func TestLadderBottomsOutOnAndersen(t *testing.T) {
+	plan := guard.NewFaultPlan(
+		guard.Fault{Phase: "solve", Step: 0, Kind: guard.FaultSlow},
+		guard.Fault{Phase: "cfgfree", Step: 0, Kind: guard.FaultSlow},
+	)
+	res, err := analyzeWith(t, VSFS, plan, guard.NewBudget(1<<30, 0, 0))
+	if err != nil {
+		t.Fatalf("AnalyzeContext: %v", err)
+	}
+	if !res.Degraded() || res.Mode() != FlowInsensitive {
+		t.Fatalf("degraded=%v Mode=%v, want degraded andersen", res.Degraded(), res.Mode())
+	}
+	phase, resource := res.DegradedCause()
+	if phase != "solve" || resource != "steps" {
+		t.Fatalf("DegradedCause = %q/%q, want original breach solve/steps", phase, resource)
+	}
+	if !strings.Contains(res.Degradation(), "Andersen") {
+		t.Fatalf("Degradation = %q, want mention of the Andersen fallback", res.Degradation())
+	}
+	plain, err := AnalyzeC(demoC, Options{Mode: FlowInsensitive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dump() != plain.Dump() {
+		t.Errorf("ladder-bottom Dump differs from standalone Andersen:\n%s\nvs\n%s",
+			res.Dump(), plain.Dump())
+	}
+}
+
+// TestDegradedEqualsStandaloneCFGFree pins the single-breach contract:
+// whatever pipeline phase breaches, the answers must be exactly what a
+// standalone -mode cfgfree run of the same source produces.
+func TestDegradedEqualsStandaloneCFGFree(t *testing.T) {
 	for _, phase := range []string{"memssa", "svfg", "solve"} {
 		plan := guard.NewFaultPlan(guard.Fault{Phase: phase, Step: 0, Kind: guard.FaultSlow})
 		deg, err := analyzeWith(t, VSFS, plan, guard.NewBudget(1<<30, 0, 0))
 		if err != nil {
 			t.Fatalf("%s: degraded run: %v", phase, err)
 		}
-		if !deg.Degraded() {
-			t.Fatalf("%s: run not degraded", phase)
+		if !deg.Degraded() || deg.Mode() != CFGFree {
+			t.Fatalf("%s: degraded=%v Mode=%v, want degraded cfgfree", phase, deg.Degraded(), deg.Mode())
 		}
-		plain, err := AnalyzeC(demoC, Options{Mode: FlowInsensitive})
+		plain, err := AnalyzeC(demoC, Options{Mode: CFGFree})
 		if err != nil {
 			t.Fatalf("%s: standalone run: %v", phase, err)
 		}
 		if deg.Dump() != plain.Dump() {
-			t.Errorf("%s: degraded Dump differs from standalone Andersen:\n%s\nvs\n%s",
+			t.Errorf("%s: degraded Dump differs from standalone cfgfree:\n%s\nvs\n%s",
 				phase, deg.Dump(), plain.Dump())
 		}
 		dr, pr := deg.Report(), plain.Report()
-		if phase != "solve" {
-			// A run degraded before the SVFG exists reports findings at
-			// pre-memssa instruction labels (memssa inserts nodes and
-			// renumbers); the facts themselves must still agree.
-			for i := range dr.Findings {
-				dr.Findings[i].Label = 0
-			}
-			for i := range pr.Findings {
-				pr.Findings[i].Label = 0
-			}
+		// The degraded program has been through (part of) the memory-SSA
+		// rewrite, so instruction labels differ from the standalone run's
+		// raw program even though the facts are identical; compare with
+		// labels zeroed.
+		for i := range dr.Findings {
+			dr.Findings[i].Label = 0
+		}
+		for i := range pr.Findings {
+			pr.Findings[i].Label = 0
 		}
 		db, _ := Report{Functions: dr.Functions, Findings: dr.Findings}.MarshalIndent()
 		pb, _ := Report{Functions: pr.Functions, Findings: pr.Findings}.MarshalIndent()
 		if !bytes.Equal(db, pb) {
-			t.Errorf("%s: degraded facts differ from standalone Andersen:\n%s\nvs\n%s", phase, db, pb)
+			t.Errorf("%s: degraded facts differ from standalone cfgfree:\n%s\nvs\n%s", phase, db, pb)
 		}
 		if !dr.Degraded || dr.Degradation == "" {
 			t.Errorf("%s: report degradation fields = %v %q", phase, dr.Degraded, dr.Degradation)
@@ -85,8 +122,9 @@ func TestDegradedEqualsStandaloneAndersen(t *testing.T) {
 		if pr.Degraded || pr.Degradation != "" {
 			t.Errorf("%s: standalone run reports degradation", phase)
 		}
-		// Stats must be readable even when the SVFG was never built.
-		if s := deg.Stats(); s.Mode != "andersen" {
+		// Stats must be readable even when the SVFG was never built, and
+		// must name the rung that actually answered.
+		if s := deg.Stats(); s.Mode != "cfgfree" {
 			t.Errorf("%s: degraded Stats mode = %q", phase, s.Mode)
 		}
 	}
@@ -101,6 +139,24 @@ func TestMemBudgetDegrades(t *testing.T) {
 	phase, resource := res.DegradedCause()
 	if !res.Degraded() || phase != "svfg" || resource != "mem" {
 		t.Fatalf("degraded=%v cause=%q/%q", res.Degraded(), phase, resource)
+	}
+	// The alloc-spike charge lives in the original budget; the rung's
+	// fresh budget re-bases, so the CFG-free retry must succeed.
+	if res.Mode() != CFGFree {
+		t.Fatalf("Mode = %v, want cfgfree rung", res.Mode())
+	}
+}
+
+// TestRequestedCFGFreeDegradesStraightToAndersen: the ladder has no
+// rung between cfgfree and the auxiliary result.
+func TestRequestedCFGFreeDegradesStraightToAndersen(t *testing.T) {
+	plan := guard.NewFaultPlan(guard.Fault{Phase: "solve", Step: 0, Kind: guard.FaultSlow})
+	res, err := analyzeWith(t, CFGFree, plan, guard.NewBudget(1<<30, 0, 0))
+	if err != nil {
+		t.Fatalf("AnalyzeContext: %v", err)
+	}
+	if !res.Degraded() || res.Mode() != FlowInsensitive || res.RequestedMode() != CFGFree {
+		t.Fatalf("degraded=%v Mode=%v RequestedMode=%v", res.Degraded(), res.Mode(), res.RequestedMode())
 	}
 }
 
@@ -121,6 +177,24 @@ func TestPanicIsolatedInEveryPhase(t *testing.T) {
 		if res != nil {
 			t.Fatalf("%s: panic run returned a result", phase)
 		}
+	}
+}
+
+// TestPanicInLadderRungPropagates: a panic inside the cfgfree rung is a
+// correctness failure, not a resource problem — it must surface as a
+// *guard.PhaseError, never silently bottom out on Andersen.
+func TestPanicInLadderRungPropagates(t *testing.T) {
+	plan := guard.NewFaultPlan(
+		guard.Fault{Phase: "solve", Step: 0, Kind: guard.FaultSlow},
+		guard.Fault{Phase: "cfgfree", Step: 0, Kind: guard.FaultPanic},
+	)
+	res, err := analyzeWith(t, VSFS, plan, guard.NewBudget(1<<30, 0, 0))
+	var pe *guard.PhaseError
+	if !errors.As(err, &pe) || res != nil {
+		t.Fatalf("res=%v err=%v, want *guard.PhaseError", res, err)
+	}
+	if pe.Phase != "cfgfree" {
+		t.Fatalf("PhaseError.Phase = %q, want cfgfree", pe.Phase)
 	}
 }
 

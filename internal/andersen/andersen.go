@@ -42,6 +42,9 @@ type Result struct {
 	// the memory-SSA pass renumbers labels afterwards.
 	callTargets map[*ir.Instr][]*ir.Function
 
+	// single backs Singletons (see singleton.go).
+	single singletons
+
 	Stats Stats
 }
 

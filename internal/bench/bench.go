@@ -1,7 +1,8 @@
 // Package bench reproduces the paper's evaluation: it runs Andersen's
-// analysis, SFS and VSFS over the 15 synthetic benchmark profiles and
-// renders Table II (benchmark characteristics) and Table III (time and
-// memory), plus the redundancy sweep backing the Section V shape claims.
+// analysis, SFS, VSFS and the CFG-free backend over the 15 synthetic
+// benchmark profiles and renders Table II (benchmark characteristics)
+// and Table III (time and memory), plus a per-backend comparison and
+// the redundancy sweep backing the Section V shape claims.
 //
 // Timing follows the paper: the auxiliary analysis, memory-SSA and SVFG
 // construction are excluded; the main solving phase is timed, and VSFS's
@@ -20,6 +21,7 @@ import (
 
 	"vsfs/internal/andersen"
 	"vsfs/internal/bitset"
+	"vsfs/internal/cfgfree"
 	"vsfs/internal/checker"
 	"vsfs/internal/core"
 	"vsfs/internal/ir"
@@ -54,6 +56,7 @@ type Row struct {
 
 	// Table III.
 	AndersenTime time.Duration
+	AndersenMem  int64
 	SFSTime      time.Duration
 	SFSMem       int64
 	SFSOOM       bool
@@ -63,8 +66,15 @@ type Row struct {
 	Speedup      float64 // SFSTime / VSFSTime (main phases)
 	MemRatio     float64 // SFSMem / VSFSMem
 
-	SFSStats  sfs.Stats
-	VSFSStats core.Stats
+	// CFG-free backend (the Andersen-style flow-sensitive solver):
+	// solving time over the program plus the auxiliary result, and the
+	// modelled memory of its global sets and strong-update windows.
+	CfgfreeTime time.Duration
+	CfgfreeMem  int64
+
+	SFSStats     sfs.Stats
+	VSFSStats    core.Stats
+	CfgfreeStats cfgfree.Stats
 
 	// Checker overhead: wall time of the full memory-safety checker
 	// suite over the solved VSFS facts, and how many findings it
@@ -91,6 +101,31 @@ func VSFSMemBytes(st core.Stats) int64 {
 		int64(st.Versioning.ConsumeEntries+st.Versioning.YieldEntries)*slotOverhead
 }
 
+// CfgfreeMemBytes models the CFG-free backend's storage: the global
+// per-variable and per-object sets plus one slot per store value held
+// in a strong-update window.
+func CfgfreeMemBytes(st cfgfree.Stats) int64 {
+	return int64(st.PtsWords)*8 + int64(st.PtsSets)*setOverhead +
+		int64(st.WindowStores)*slotOverhead
+}
+
+// AndersenMemBytes models the auxiliary analysis's storage. Cycle
+// collapsing shares one set across a merged equivalence class, so
+// distinct sets are counted once.
+func AndersenMemBytes(prog *ir.Program, aux *andersen.Result) int64 {
+	seen := make(map[*bitset.Sparse]bool)
+	var bytes int64
+	for v := ir.ID(1); int(v) < prog.NumValues(); v++ {
+		s := aux.PointsTo(v)
+		if s.IsEmpty() || seen[s] {
+			continue
+		}
+		seen[s] = true
+		bytes += int64(s.Words())*8 + setOverhead
+	}
+	return bytes
+}
+
 // RunProfile builds one profile's program and measures all three
 // analyses.
 func RunProfile(p workload.Profile, opts Options) Row {
@@ -105,6 +140,7 @@ func RunProfile(p workload.Profile, opts Options) Row {
 	start := time.Now()
 	aux := andersen.Analyze(prog)
 	row.AndersenTime = time.Since(start)
+	row.AndersenMem = AndersenMemBytes(prog, aux)
 
 	mssa := memssa.Build(prog, aux)
 	g := svfg.Build(prog, aux, mssa)
@@ -115,7 +151,7 @@ func RunProfile(p workload.Profile, opts Options) Row {
 	row.TopLevel = g.NumTopLevel
 	row.AddressTaken = g.NumAddressTaken
 
-	var sfsTotal, vsfsTotal, verTotal time.Duration
+	var sfsTotal, vsfsTotal, verTotal, cfTotal time.Duration
 	var lastVR *core.Result
 	for i := 0; i < opts.Runs; i++ {
 		gs := g.Clone()
@@ -130,6 +166,11 @@ func RunProfile(p workload.Profile, opts Options) Row {
 		verTotal += vr.Stats.Versioning.Duration
 		row.VSFSStats = vr.Stats
 		lastVR = vr
+
+		start = time.Now()
+		cr := cfgfree.Solve(prog, aux)
+		cfTotal += time.Since(start)
+		row.CfgfreeStats = cr.Stats
 	}
 	start = time.Now()
 	row.CheckFindings = runCheckers(prog, lastVR)
@@ -137,9 +178,11 @@ func RunProfile(p workload.Profile, opts Options) Row {
 	row.SFSTime = sfsTotal / time.Duration(opts.Runs)
 	row.VSFSTime = vsfsTotal / time.Duration(opts.Runs)
 	row.VersionTime = verTotal / time.Duration(opts.Runs)
+	row.CfgfreeTime = cfTotal / time.Duration(opts.Runs)
 
 	row.SFSMem = SFSMemBytes(row.SFSStats)
 	row.VSFSMem = VSFSMemBytes(row.VSFSStats)
+	row.CfgfreeMem = CfgfreeMemBytes(row.CfgfreeStats)
 	if opts.MemLimit > 0 && row.SFSMem > opts.MemLimit {
 		row.SFSOOM = true
 	}
@@ -222,6 +265,31 @@ func FormatTable3(rows []Row) string {
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 func mb(bytes int64) float64     { return float64(bytes) / (1 << 20) }
+
+// FormatBackends renders the per-backend comparison: solving time and
+// modelled memory for every selectable backend, one line per benchmark.
+// VSFS's time includes its versioning phase, since backend selection
+// pays for both. Precision rises left to right except for the last
+// column: sfs ≡ vsfs ⊆ cfgfree ⊆ andersen.
+func FormatBackends(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Backend comparison: solving time (ms) and modelled memory (MB)\n\n")
+	fmt.Fprintf(&b, "%-14s | %9s %9s | %9s %9s | %9s %9s | %9s %9s\n",
+		"Bench.", "ander t", "ander MB", "sfs t", "sfs MB",
+		"vsfs t", "vsfs MB", "cfree t", "cfree MB")
+	for _, r := range rows {
+		sfsT := fmt.Sprintf("%9.1f", ms(r.SFSTime))
+		if r.SFSOOM {
+			sfsT = "      OOM"
+		}
+		fmt.Fprintf(&b, "%-14s | %9.1f %9.2f | %s %9.2f | %9.1f %9.2f | %9.1f %9.2f\n",
+			r.Profile.Name, ms(r.AndersenTime), mb(r.AndersenMem),
+			sfsT, mb(r.SFSMem),
+			ms(r.VSFSTime+r.VersionTime), mb(r.VSFSMem),
+			ms(r.CfgfreeTime), mb(r.CfgfreeMem))
+	}
+	return b.String()
+}
 
 // SweepPoint is one measurement of the redundancy sweep.
 type SweepPoint struct {

@@ -35,6 +35,43 @@ func TestRunProfilePopulatesRow(t *testing.T) {
 	}
 }
 
+// TestBackendRows pins the per-backend quantities: every backend's
+// time and modelled memory must be measured, and the JSON artifact
+// must carry one BackendRow per (bench, backend) pair.
+func TestBackendRows(t *testing.T) {
+	row := RunProfile(tinyProfile(), Options{Runs: 1})
+	if row.CfgfreeTime <= 0 || row.CfgfreeMem <= 0 {
+		t.Errorf("cfgfree not measured: t=%v mem=%d", row.CfgfreeTime, row.CfgfreeMem)
+	}
+	if row.AndersenMem <= 0 {
+		t.Errorf("AndersenMem = %d, want > 0", row.AndersenMem)
+	}
+	if row.CfgfreeStats.PtsSets == 0 {
+		t.Errorf("cfgfree stats empty: %+v", row.CfgfreeStats)
+	}
+
+	rep := JSONReportOf([]Row{row})
+	if len(rep.Backends) != 4 {
+		t.Fatalf("backends = %d rows, want 4: %+v", len(rep.Backends), rep.Backends)
+	}
+	want := []string{"andersen", "sfs", "vsfs", "cfgfree"}
+	for i, br := range rep.Backends {
+		if br.Bench != row.Profile.Name || br.Backend != want[i] {
+			t.Errorf("backend row %d = %+v, want backend %q", i, br, want[i])
+		}
+		if br.Ms <= 0 || br.MemMB <= 0 {
+			t.Errorf("backend row %q not measured: %+v", br.Backend, br)
+		}
+	}
+
+	got := FormatBackends([]Row{row})
+	for _, w := range []string{"tiny", "cfree t", "ander MB"} {
+		if !strings.Contains(got, w) {
+			t.Errorf("backend table missing %q:\n%s", w, got)
+		}
+	}
+}
+
 func TestMemLimitMarksOOM(t *testing.T) {
 	row := RunProfile(tinyProfile(), Options{Runs: 1, MemLimit: 1})
 	if !row.SFSOOM {

@@ -20,27 +20,43 @@ type JSONRow struct {
 	AddressTaken  int `json:"addressTaken"`
 
 	// Table III: time and modelled memory.
-	AndersenMs float64 `json:"andersenMs"`
-	SFSMs      float64 `json:"sfsMs"`
-	SFSMemMB   float64 `json:"sfsMemMB"`
-	SFSOOM     bool    `json:"sfsOOM,omitempty"`
-	VersionMs  float64 `json:"versionMs"`
-	VSFSMs     float64 `json:"vsfsMs"`
-	VSFSMemMB  float64 `json:"vsfsMemMB"`
-	Speedup    float64 `json:"speedup"`
-	MemRatio   float64 `json:"memRatio"`
+	AndersenMs    float64 `json:"andersenMs"`
+	AndersenMemMB float64 `json:"andersenMemMB"`
+	SFSMs         float64 `json:"sfsMs"`
+	SFSMemMB      float64 `json:"sfsMemMB"`
+	SFSOOM        bool    `json:"sfsOOM,omitempty"`
+	VersionMs     float64 `json:"versionMs"`
+	VSFSMs        float64 `json:"vsfsMs"`
+	VSFSMemMB     float64 `json:"vsfsMemMB"`
+	CfgfreeMs     float64 `json:"cfgfreeMs"`
+	CfgfreeMemMB  float64 `json:"cfgfreeMemMB"`
+	Speedup       float64 `json:"speedup"`
+	MemRatio      float64 `json:"memRatio"`
 
 	// Checker suite overhead on the solved VSFS facts.
 	CheckMs       float64 `json:"checkMs"`
 	CheckFindings int     `json:"checkFindings"`
 }
 
-// JSONReport is the body of a BENCH_*.json artifact: every row plus the
-// geometric means reported in Table III's Average line.
+// BackendRow is one (benchmark, backend) measurement: the flat shape
+// downstream dashboards consume to track each backend's time and
+// memory independently. VSFS's time includes its versioning phase.
+type BackendRow struct {
+	Bench   string  `json:"bench"`
+	Backend string  `json:"backend"` // andersen | sfs | vsfs | cfgfree
+	Ms      float64 `json:"ms"`
+	MemMB   float64 `json:"memMB"`
+	OOM     bool    `json:"oom,omitempty"`
+}
+
+// JSONReport is the body of a BENCH_*.json artifact: every row, the
+// per-backend rows, and the geometric means reported in Table III's
+// Average line.
 type JSONReport struct {
-	Rows            []JSONRow `json:"rows"`
-	GeoMeanSpeedup  float64   `json:"geoMeanSpeedup"`
-	GeoMeanMemRatio float64   `json:"geoMeanMemRatio"`
+	Rows            []JSONRow    `json:"rows"`
+	Backends        []BackendRow `json:"backends"`
+	GeoMeanSpeedup  float64      `json:"geoMeanSpeedup"`
+	GeoMeanMemRatio float64      `json:"geoMeanMemRatio"`
 }
 
 // JSONReportOf converts measured rows into the artifact shape. OOM rows
@@ -58,17 +74,26 @@ func JSONReportOf(rows []Row) JSONReport {
 			TopLevel:      r.TopLevel,
 			AddressTaken:  r.AddressTaken,
 			AndersenMs:    ms(r.AndersenTime),
+			AndersenMemMB: mb(r.AndersenMem),
 			SFSMs:         ms(r.SFSTime),
 			SFSMemMB:      mb(r.SFSMem),
 			SFSOOM:        r.SFSOOM,
 			VersionMs:     ms(r.VersionTime),
 			VSFSMs:        ms(r.VSFSTime),
 			VSFSMemMB:     mb(r.VSFSMem),
+			CfgfreeMs:     ms(r.CfgfreeTime),
+			CfgfreeMemMB:  mb(r.CfgfreeMem),
 			Speedup:       r.Speedup,
 			MemRatio:      r.MemRatio,
 			CheckMs:       ms(r.CheckTime),
 			CheckFindings: r.CheckFindings,
 		})
+		rep.Backends = append(rep.Backends,
+			BackendRow{Bench: r.Profile.Name, Backend: "andersen", Ms: ms(r.AndersenTime), MemMB: mb(r.AndersenMem)},
+			BackendRow{Bench: r.Profile.Name, Backend: "sfs", Ms: ms(r.SFSTime), MemMB: mb(r.SFSMem), OOM: r.SFSOOM},
+			BackendRow{Bench: r.Profile.Name, Backend: "vsfs", Ms: ms(r.VSFSTime + r.VersionTime), MemMB: mb(r.VSFSMem)},
+			BackendRow{Bench: r.Profile.Name, Backend: "cfgfree", Ms: ms(r.CfgfreeTime), MemMB: mb(r.CfgfreeMem)},
+		)
 		if !r.SFSOOM {
 			speedups = append(speedups, r.Speedup)
 		}

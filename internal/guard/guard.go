@@ -96,6 +96,16 @@ func NewBudget(maxSteps, maxBytes int64, maxWall time.Duration) *Budget {
 	}
 }
 
+// Limits returns the configured ceilings (zero = unbounded, matching
+// NewBudget's convention). A degradation rung uses it to re-arm a
+// fresh budget with the same envelope after the original is exhausted.
+func (b *Budget) Limits() (maxSteps, maxBytes int64, maxWall time.Duration) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	return b.maxSteps, b.maxBytes, b.maxWall
+}
+
 // StepsUsed returns the worklist/build steps charged so far.
 func (b *Budget) StepsUsed() int64 {
 	if b == nil {

@@ -12,8 +12,10 @@ import (
 
 // degradablePhases are the pipeline phases whose budget breach has a
 // sound fallback: by the time any of them runs, the auxiliary Andersen
-// result exists and over-approximates whatever the flow-sensitive
-// phases would have computed (DESIGN.md §9).
+// result exists, so the ladder can retry on the CFG-free backend (which
+// needs only the program and that result) and, failing that, answer
+// from the auxiliary result itself — each rung over-approximating
+// whatever the staged phases would have computed (DESIGN.md §9, §11).
 var degradablePhases = []string{"memssa", "svfg", "solve"}
 
 // violations accumulates breaches up to the configured cap, mirroring
@@ -64,10 +66,13 @@ func factsJSON(r *vsfs.Result, zeroLabels bool) []byte {
 }
 
 // CheckDegradation forces a budget blowout in each post-auxiliary phase
-// of the facade pipeline and asserts the graceful-degradation contract:
-// the run still succeeds, is marked degraded with a cause, and its
-// facts are exactly the standalone flow-insensitive (Andersen) run's —
-// never a partial flow-sensitive result.
+// of the facade pipeline and asserts the degradation-ladder contract.
+// A single breach lands the run on the intermediate rung: the result is
+// marked degraded with the original cause, answers in CFG-free mode,
+// and its facts are exactly a standalone -mode cfgfree run's — never a
+// partial staged result. A second fault targeting the rung itself
+// ("cfgfree" phase) drives the run to the bottom of the ladder, where
+// the facts must be exactly the standalone Andersen run's.
 //
 // src is textual IR, the oracle's native format.
 func CheckDegradation(src string, opts Options) []Violation {
@@ -78,6 +83,10 @@ func CheckDegradation(src string, opts Options) []Violation {
 	if err != nil {
 		return []Violation{{Invariant: "degrade-baseline", Detail: err.Error()}}
 	}
+	cfree, err := analyzeIR(src, vsfs.CFGFree, nil, nil)
+	if err != nil {
+		return []Violation{{Invariant: "degrade-baseline", Detail: err.Error()}}
+	}
 
 	for _, phase := range degradablePhases {
 		if v.full() {
@@ -85,7 +94,8 @@ func CheckDegradation(src string, opts Options) []Violation {
 		}
 		// A slowdown fault at the phase's first checkpoint charges a
 		// huge step count, so the budget deterministically survives
-		// every earlier phase and blows exactly here.
+		// every earlier phase and blows exactly here. The rung's fresh
+		// budget then carries the run to the CFG-free result.
 		plan := guard.NewFaultPlan(guard.Fault{Phase: phase, Step: 0, Kind: guard.FaultSlow})
 		deg, err := analyzeIR(src, vsfs.VSFS, plan, guard.NewBudget(1<<30, 0, 0))
 		if err != nil {
@@ -96,20 +106,54 @@ func CheckDegradation(src string, opts Options) []Violation {
 			v.failf("degrade-flag", "%s: over-budget run not marked degraded", phase)
 			continue
 		}
-		if deg.Mode() != vsfs.FlowInsensitive {
-			v.failf("degrade-mode", "%s: degraded mode = %v, want the flow-insensitive fallback", phase, deg.Mode())
+		if deg.Mode() != vsfs.CFGFree {
+			v.failf("degrade-mode", "%s: degraded mode = %v, want the CFG-free rung", phase, deg.Mode())
 			continue
 		}
 		causePhase, _ := deg.DegradedCause()
-		if !bytes.Equal(factsJSON(deg, causePhase != "solve"), factsJSON(plain, causePhase != "solve")) {
-			v.failf("degrade-eq-aux", "%s: degraded facts differ from standalone Andersen", phase)
+		if causePhase != phase {
+			v.failf("degrade-cause", "%s: degradation attributed to %q", phase, causePhase)
 		}
-		if causePhase == "solve" && deg.Dump() != plain.Dump() {
-			v.failf("degrade-eq-aux", "%s: degraded Dump differs from standalone Andersen", phase)
+		// The degraded program went through (part of) the memory-SSA
+		// rewrite, so labels differ from the standalone run's raw
+		// program even though the facts agree; compare label-free.
+		if !bytes.Equal(factsJSON(deg, true), factsJSON(cfree, true)) {
+			v.failf("degrade-eq-cfgfree", "%s: degraded facts differ from standalone cfgfree", phase)
+		}
+		if deg.Dump() != cfree.Dump() {
+			v.failf("degrade-eq-cfgfree", "%s: degraded Dump differs from standalone cfgfree", phase)
 		}
 		rep := deg.Report()
 		if !rep.Degraded || rep.Degradation == "" {
 			v.failf("degrade-report", "%s: report does not carry the degradation marker", phase)
+		}
+
+		// Ladder bottom: breach the rung too. Provenance must keep
+		// naming the original breach and the facts must be Andersen's.
+		if v.full() {
+			break
+		}
+		plan = guard.NewFaultPlan(
+			guard.Fault{Phase: phase, Step: 0, Kind: guard.FaultSlow},
+			guard.Fault{Phase: "cfgfree", Step: 0, Kind: guard.FaultSlow},
+		)
+		bot, err := analyzeIR(src, vsfs.VSFS, plan, guard.NewBudget(1<<30, 0, 0))
+		if err != nil {
+			v.failf("degrade-run", "%s+cfgfree: double blowout became an error: %v", phase, err)
+			continue
+		}
+		if !bot.Degraded() || bot.Mode() != vsfs.FlowInsensitive {
+			v.failf("degrade-mode", "%s+cfgfree: mode = %v, want the flow-insensitive bottom", phase, bot.Mode())
+			continue
+		}
+		if causePhase, _ := bot.DegradedCause(); causePhase != phase {
+			v.failf("degrade-cause", "%s+cfgfree: degradation attributed to %q, want the original breach", phase, causePhase)
+		}
+		if !bytes.Equal(factsJSON(bot, true), factsJSON(plain, true)) {
+			v.failf("degrade-eq-aux", "%s+cfgfree: ladder-bottom facts differ from standalone Andersen", phase)
+		}
+		if bot.Dump() != plain.Dump() {
+			v.failf("degrade-eq-aux", "%s+cfgfree: ladder-bottom Dump differs from standalone Andersen", phase)
 		}
 	}
 	return v.out
@@ -178,14 +222,29 @@ func CheckFaults(src string, seed int64, opts Options) []Violation {
 			v.failf("fault-untyped-error", "seed %d: ungoverned error: %v", seed, err)
 		}
 	case res.Degraded():
-		plain, perr := analyzeIR(src, vsfs.FlowInsensitive, nil, nil)
-		if perr != nil {
-			v.failf("fault-baseline", "seed %d: standalone Andersen failed: %v", seed, perr)
-			break
-		}
-		causePhase, _ := res.DegradedCause()
-		if !bytes.Equal(factsJSON(res, causePhase != "solve"), factsJSON(plain, causePhase != "solve")) {
-			v.failf("degrade-eq-aux", "seed %d: degraded facts differ from standalone Andersen", seed)
+		// The ladder has two rungs; compare against the standalone run
+		// of whichever backend actually answered.
+		switch res.Mode() {
+		case vsfs.CFGFree:
+			cfree, perr := analyzeIR(src, vsfs.CFGFree, nil, nil)
+			if perr != nil {
+				v.failf("fault-baseline", "seed %d: standalone cfgfree failed: %v", seed, perr)
+				break
+			}
+			if !bytes.Equal(factsJSON(res, true), factsJSON(cfree, true)) {
+				v.failf("degrade-eq-cfgfree", "seed %d: degraded facts differ from standalone cfgfree", seed)
+			}
+		case vsfs.FlowInsensitive:
+			plain, perr := analyzeIR(src, vsfs.FlowInsensitive, nil, nil)
+			if perr != nil {
+				v.failf("fault-baseline", "seed %d: standalone Andersen failed: %v", seed, perr)
+				break
+			}
+			if !bytes.Equal(factsJSON(res, true), factsJSON(plain, true)) {
+				v.failf("degrade-eq-aux", "seed %d: degraded facts differ from standalone Andersen", seed)
+			}
+		default:
+			v.failf("degrade-mode", "seed %d: degraded run answers in mode %v", seed, res.Mode())
 		}
 	default:
 		// The fault did not bite (e.g. its step index was past the

@@ -1,10 +1,12 @@
 // Package oracle is the differential-testing backbone of this
-// repository: it solves one program with Andersen's analysis, SFS, and
-// VSFS, and cross-checks the battery of invariants the paper's
-// correctness argument rests on — most importantly that VSFS is
-// bit-for-bit as precise as SFS (the versioning theorem of Section
-// IV-E), that both flow-sensitive analyses refine the auxiliary one,
-// and that solving is deterministic. Every future optimisation PR
+// repository: it solves one program with Andersen's analysis, SFS,
+// VSFS, and the CFG-free backend, and cross-checks the battery of
+// invariants the paper's correctness argument rests on — most
+// importantly that VSFS is bit-for-bit as precise as SFS (the
+// versioning theorem of Section IV-E), that every flow-sensitive
+// backend refines the auxiliary one and sits where the precision chain
+// fsicfg ⊆ sfs ≡ vsfs ⊆ cfgfree ⊆ andersen puts it, and that solving
+// is deterministic. Every future optimisation PR
 // regresses against this oracle: cmd/vsfs-fuzz drives it over random
 // workload programs, and testdata/regressions/ replays every minimized
 // divergence ever found.
@@ -15,6 +17,7 @@ import (
 
 	"vsfs/internal/andersen"
 	"vsfs/internal/bitset"
+	"vsfs/internal/cfgfree"
 	"vsfs/internal/core"
 	"vsfs/internal/ir"
 	"vsfs/internal/irparse"
@@ -66,8 +69,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Bundle holds one program solved by all three analyses over clones of
-// the same SVFG, the shape every cross-analysis invariant needs.
+// Bundle holds one program solved by every backend — the staged
+// flow-sensitive pair over clones of the same SVFG, plus the CFG-free
+// solver over the raw IR — the shape every cross-analysis invariant
+// needs.
 type Bundle struct {
 	Prog *ir.Program
 	Aux  *andersen.Result
@@ -75,20 +80,25 @@ type Bundle struct {
 	Graph *svfg.Graph
 	SFS   *sfs.Result
 	VSFS  *core.Result
+	// CFGFree is solved on the post-memssa program, so its labels line
+	// up with the SFS IN/OUT queries.
+	CFGFree *cfgfree.Result
 }
 
-// SolveBundle runs the full staged pipeline once and both flow-sensitive
-// main phases over independent clones of the resulting SVFG.
+// SolveBundle runs the full staged pipeline once, both flow-sensitive
+// main phases over independent clones of the resulting SVFG, and the
+// CFG-free backend over the (memssa-rewritten) program.
 func SolveBundle(prog *ir.Program) *Bundle {
 	aux := andersen.Analyze(prog)
 	mssa := memssa.Build(prog, aux)
 	g := svfg.Build(prog, aux, mssa)
 	return &Bundle{
-		Prog:  prog,
-		Aux:   aux,
-		Graph: g,
-		SFS:   sfs.Solve(g.Clone()),
-		VSFS:  core.Solve(g.Clone()),
+		Prog:    prog,
+		Aux:     aux,
+		Graph:   g,
+		SFS:     sfs.Solve(g.Clone()),
+		VSFS:    core.Solve(g.Clone()),
+		CFGFree: cfgfree.Solve(prog, aux),
 	}
 }
 
@@ -119,13 +129,14 @@ func Check(b *Bundle, opts Options) []Violation {
 	c.checkStorage()
 	c.checkCheckers()
 	c.checkWitnesses()
+	c.checkCfgfree()
 	if !c.opts.SkipResolve {
 		c.checkResolve()
 	}
 	return c.out
 }
 
-// CheckProgram solves prog with all three analyses and checks the
+// CheckProgram solves prog with every backend and checks the
 // battery. The program must be finalized and never previously analysed.
 func CheckProgram(prog *ir.Program, opts Options) []Violation {
 	return Check(SolveBundle(prog), opts)
@@ -353,6 +364,102 @@ func (c *checker) checkWitnesses() {
 	}
 }
 
+// checkCfgfree asserts the CFG-free backend's position in the precision
+// chain, pointwise: fsicfg ⊆ sfs ≡ vsfs ⊆ cfgfree ⊆ andersen.
+//
+//	cfgfree-subset-aux:  pts_cf(x) ⊆ pts_aux(x) for every value —
+//	                     soundness of the strong-update windows against
+//	                     the analysis cfgfree refines
+//	sfs-subset-cfgfree:  pts_SFS(v) ⊆ pts_cf(v) for top-level pointers,
+//	                     IN_SFS[ℓ](o) ⊆ Consumed_cf(ℓ, o) and
+//	                     OUT_SFS[ℓ](o) ⊆ Yielded_cf(ℓ, o) at every
+//	                     μ/χ-referenced access — every staged
+//	                     flow-sensitive fact (each of which the witness
+//	                     battery justifies against the SVFG) survives in
+//	                     the CFG-free answer, anchoring its soundness
+//	                     from below
+//	cfgfree-cg-bracket:  callees_SFS ⊆ callees_cf ⊆ callees_aux as sets
+//	cfgfree-replay:      the solved result replays exactly on the
+//	                     independent reference evaluator
+func (c *checker) checkCfgfree() {
+	b := c.b
+	cf := b.CFGFree
+	for id := ir.ID(1); int(id) < b.Prog.NumValues(); id++ {
+		if c.full {
+			return
+		}
+		cp := cf.PointsTo(id)
+		if !cp.SubsetOf(b.Aux.PointsTo(id)) {
+			c.failf("cfgfree-subset-aux", "pts(%s): cfgfree %v ⊄ Andersen %v",
+				b.Prog.NameOf(id), cp, b.Aux.PointsTo(id))
+		}
+		if b.Prog.IsPointer(id) && !b.SFS.PointsTo(id).SubsetOf(cp) {
+			c.failf("sfs-subset-cfgfree", "pts(%s): SFS %v ⊄ cfgfree %v",
+				b.Prog.NameOf(id), b.SFS.PointsTo(id), cp)
+		}
+	}
+	mssa := b.Graph.MSSA
+	for _, f := range b.Prog.Funcs {
+		if c.full {
+			return
+		}
+		f.ForEachInstr(func(in *ir.Instr) {
+			if c.full {
+				return
+			}
+			switch in.Op {
+			case ir.Load:
+				mssa.MuOf(in.Label).ForEach(func(o32 uint32) {
+					o := ir.ID(o32)
+					ss, cs := b.SFS.InSet(in.Label, o), cf.ConsumedSet(in.Label, o)
+					if !ss.SubsetOf(cs) {
+						c.failf("sfs-subset-cfgfree", "load ℓ%d, %s: SFS IN %v ⊄ cfgfree consumed %v",
+							in.Label, b.Prog.NameOf(o), ss, cs)
+					}
+				})
+			case ir.Store:
+				mssa.ChiOf(in.Label).ForEach(func(o32 uint32) {
+					o := ir.ID(o32)
+					ss, cs := b.SFS.InSet(in.Label, o), cf.ConsumedSet(in.Label, o)
+					if !ss.SubsetOf(cs) {
+						c.failf("sfs-subset-cfgfree", "store ℓ%d, %s: SFS IN %v ⊄ cfgfree consumed %v",
+							in.Label, b.Prog.NameOf(o), ss, cs)
+					}
+					so, co := b.SFS.OutSet(in.Label, o), cf.YieldedSet(in.Label, o)
+					if !so.SubsetOf(co) {
+						c.failf("sfs-subset-cfgfree", "store ℓ%d, %s: SFS OUT %v ⊄ cfgfree yielded %v",
+							in.Label, b.Prog.NameOf(o), so, co)
+					}
+				})
+			case ir.Call:
+				cset := map[*ir.Function]bool{}
+				for _, g := range cf.CalleesOf(in) {
+					cset[g] = true
+				}
+				for _, g := range b.SFS.CalleesOf(in) {
+					if !cset[g] {
+						c.failf("cfgfree-cg-bracket", "call ℓ%d: SFS resolves %s, cfgfree does not",
+							in.Label, g.Name)
+					}
+				}
+				aset := map[*ir.Function]bool{}
+				for _, g := range b.Aux.CalleesOf(in) {
+					aset[g] = true
+				}
+				for _, g := range cf.CalleesOf(in) {
+					if !aset[g] {
+						c.failf("cfgfree-cg-bracket", "call ℓ%d: cfgfree resolves %s, Andersen does not",
+							in.Label, g.Name)
+					}
+				}
+			}
+		})
+	}
+	if err := cfgfree.Verify(b.Prog, b.Aux, cf); err != nil {
+		c.failf("cfgfree-replay", "%v", err)
+	}
+}
+
 // checkResolve solves both flow-sensitive analyses a second time over
 // fresh clones and asserts the results are identical (solve-determinism):
 // worklist scheduling and map iteration order must not leak into the
@@ -361,9 +468,15 @@ func (c *checker) checkResolve() {
 	b := c.b
 	sfs2 := sfs.Solve(b.Graph.Clone())
 	vsfs2 := core.Solve(b.Graph.Clone())
+	cf2 := cfgfree.Solve(b.Prog, b.Aux)
 	for id := ir.ID(1); int(id) < b.Prog.NumValues(); id++ {
 		if c.full {
 			return
+		}
+		// The cfgfree comparison covers objects too: its global contents
+		// sets are part of the fixpoint.
+		if !b.CFGFree.PointsTo(id).Equal(cf2.PointsTo(id)) {
+			c.failf("cfgfree-determinism", "cfgfree re-solve differs at pts(%s)", b.Prog.NameOf(id))
 		}
 		if !b.Prog.IsPointer(id) {
 			continue
@@ -392,6 +505,18 @@ func (c *checker) checkResolve() {
 				if v1[i] != v2[i] {
 					c.failf("solve-determinism", "VSFS re-solve callee order differs at ℓ%d: %v vs %v",
 						in.Label, v1, v2)
+					return
+				}
+			}
+			c1, c2 := b.CFGFree.CalleesOf(in), cf2.CalleesOf(in)
+			if len(c1) != len(c2) {
+				c.failf("cfgfree-determinism", "cfgfree re-solve call graph differs at ℓ%d", in.Label)
+				return
+			}
+			for i := range c1 {
+				if c1[i] != c2[i] {
+					c.failf("cfgfree-determinism", "cfgfree re-solve callee order differs at ℓ%d: %v vs %v",
+						in.Label, c1, c2)
 					return
 				}
 			}

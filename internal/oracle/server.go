@@ -16,23 +16,29 @@ import (
 // CheckServerIdentity exercises the daemon's cache and single-flight
 // layers against the cold-solve result for prog:
 //
-//	server-cache-identity:  a cache hit's body is byte-identical to the
-//	                        miss that populated it, and marked as a hit.
-//	server-flight-identity: N concurrent identical requests against a
-//	                        cold server all return bodies byte-identical
-//	                        to each other and to the cold solve.
+//	server-cache-identity:        per mode (vsfs and cfgfree), a cache
+//	                              hit's body is byte-identical to the
+//	                              miss that populated it, and marked as
+//	                              a hit.
+//	server-mode-cache-separation: the two modes' responses differ (the
+//	                              mode field at minimum), so a shared
+//	                              cache entry would be a cache-key bug.
+//	server-flight-identity:       N concurrent identical requests
+//	                              against a cold server all return
+//	                              bodies byte-identical to each other
+//	                              and to the cold solve.
 //
 // Responses are deterministic by design (sorted keys everywhere), so
 // byte equality is the correct notion of "same result".
 func CheckServerIdentity(prog *ir.Program) []Violation {
 	src := prog.String()
-	body := fmt.Sprintf(`{"source": %q, "lang": "ir", "mode": "vsfs"}`, src)
 	var out []Violation
 	failf := func(invariant, format string, args ...any) {
 		out = append(out, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
 	}
 
-	post := func(ts *httptest.Server) (int, string, []byte, error) {
+	post := func(ts *httptest.Server, mode string) (int, string, []byte, error) {
+		body := fmt.Sprintf(`{"source": %q, "lang": "ir", "mode": %q}`, src, mode)
 		resp, err := http.Post(ts.URL+"/analyze", "application/json", bytes.NewReader([]byte(body)))
 		if err != nil {
 			return 0, "", nil, err
@@ -52,34 +58,44 @@ func CheckServerIdentity(prog *ir.Program) []Violation {
 		srv.Close(ctx)
 	}
 
-	// Cold solve, then a cache hit on the same server.
+	// Per-mode cold solve, then a cache hit — both modes on ONE server,
+	// so a cache key that ignored the mode would cross-contaminate.
 	srv := server.New(server.Config{Workers: 2})
 	ts := httptest.NewServer(srv)
-	coldStatus, coldCache, coldBody, err := post(ts)
-	if err != nil {
-		closeAll(srv, ts)
-		failf("server-cache-identity", "cold request failed: %v", err)
-		return out
+	coldByMode := map[string][]byte{}
+	for _, mode := range []string{"vsfs", "cfgfree"} {
+		coldStatus, coldCache, coldBody, err := post(ts, mode)
+		if err != nil {
+			closeAll(srv, ts)
+			failf("server-cache-identity", "%s: cold request failed: %v", mode, err)
+			return out
+		}
+		if coldStatus != http.StatusOK {
+			closeAll(srv, ts)
+			failf("server-cache-identity", "%s: cold solve returned %d: %s", mode, coldStatus, coldBody)
+			return out
+		}
+		if coldCache != "miss" {
+			failf("server-cache-identity", "%s: cold solve marked %q, want miss", mode, coldCache)
+		}
+		coldByMode[mode] = coldBody
+		warmStatus, warmCache, warmBody, err := post(ts, mode)
+		if err != nil || warmStatus != http.StatusOK {
+			closeAll(srv, ts)
+			failf("server-cache-identity", "%s: warm request failed: status %d, err %v", mode, warmStatus, err)
+			return out
+		}
+		if warmCache != "hit" {
+			failf("server-cache-identity", "%s: repeat request marked %q, want hit", mode, warmCache)
+		}
+		if !bytes.Equal(coldBody, warmBody) {
+			failf("server-cache-identity", "%s: cache hit body differs from the miss that populated it", mode)
+		}
 	}
-	if coldStatus != http.StatusOK {
-		closeAll(srv, ts)
-		failf("server-cache-identity", "cold solve returned %d: %s", coldStatus, coldBody)
-		return out
-	}
-	if coldCache != "miss" {
-		failf("server-cache-identity", "cold solve marked %q, want miss", coldCache)
-	}
-	warmStatus, warmCache, warmBody, err := post(ts)
 	closeAll(srv, ts)
-	if err != nil || warmStatus != http.StatusOK {
-		failf("server-cache-identity", "warm request failed: status %d, err %v", warmStatus, err)
-		return out
-	}
-	if warmCache != "hit" {
-		failf("server-cache-identity", "repeat request marked %q, want hit", warmCache)
-	}
-	if !bytes.Equal(coldBody, warmBody) {
-		failf("server-cache-identity", "cache hit body differs from the miss that populated it")
+	if bytes.Equal(coldByMode["vsfs"], coldByMode["cfgfree"]) {
+		failf("server-mode-cache-separation",
+			"vsfs and cfgfree responses are byte-identical; the mode is not reaching the solve or the cache key")
 	}
 
 	// Concurrent identical requests against a fresh (cold) server: the
@@ -96,7 +112,7 @@ func CheckServerIdentity(prog *ir.Program) []Violation {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			statuses[i], _, bodies[i], errs[i] = post(ts2)
+			statuses[i], _, bodies[i], errs[i] = post(ts2, "vsfs")
 		}(i)
 	}
 	wg.Wait()
@@ -107,7 +123,7 @@ func CheckServerIdentity(prog *ir.Program) []Violation {
 				i, statuses[i], errs[i])
 			return out
 		}
-		if !bytes.Equal(bodies[i], coldBody) {
+		if !bytes.Equal(bodies[i], coldByMode["vsfs"]) {
 			failf("server-flight-identity", "concurrent request %d body differs from cold solve", i)
 			return out
 		}

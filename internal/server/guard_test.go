@@ -72,8 +72,9 @@ func TestFaultedPhasesServerSurvives(t *testing.T) {
 }
 
 // TestDegradedThroughServer drives a budget blowout in the solve phase
-// end-to-end: the response must be a 200 carrying the flow-insensitive
-// result, marked degraded in both body and header, cached, and counted.
+// end-to-end: the response must be a 200 carrying the degradation
+// ladder's CFG-free rung, marked degraded in both body and header,
+// cached, and counted.
 func TestDegradedThroughServer(t *testing.T) {
 	plan := guard.NewFaultPlan(guard.Fault{Phase: "solve", Step: 0, Kind: guard.FaultSlow})
 	s := newTestServer(t, Config{Workers: 1, StepBudget: 1 << 30, Faults: plan})
@@ -92,8 +93,8 @@ func TestDegradedThroughServer(t *testing.T) {
 	if !resp.Report.Degraded || resp.Report.Degradation == "" {
 		t.Fatalf("report not marked degraded: %+v", resp.Report)
 	}
-	if resp.Mode != "andersen" || resp.Report.Mode != "andersen" {
-		t.Fatalf("degraded mode = %q/%q, want andersen", resp.Mode, resp.Report.Mode)
+	if resp.Mode != "cfgfree" || resp.Report.Mode != "cfgfree" {
+		t.Fatalf("degraded mode = %q/%q, want the cfgfree rung", resp.Mode, resp.Report.Mode)
 	}
 
 	// Repeat must be a cache hit with a byte-identical body — the

@@ -9,6 +9,15 @@ import (
 	"vsfs/internal/obs"
 )
 
+// analysisModes are the selectable backend modes, in the facade's Mode
+// order; the per-mode request counter materialises one series for each.
+var analysisModes = []string{
+	vsfs.VSFS.String(),
+	vsfs.SFS.String(),
+	vsfs.FlowInsensitive.String(),
+	vsfs.CFGFree.String(),
+}
+
 // serverMetrics wires every service counter, gauge, and histogram into
 // one obs.Registry. GET /metrics renders the registry in Prometheus
 // text format and GET /stats reads the same series back, so the two
@@ -16,9 +25,10 @@ import (
 type serverMetrics struct {
 	reg *obs.Registry
 
-	httpRequests *obs.Family // counter by endpoint
-	cacheReqs    *obs.Family // counter by result (hit|miss)
-	flightShared *obs.Series
+	httpRequests   *obs.Family // counter by endpoint
+	requestsByMode *obs.Family // counter by analysis mode (vsfs|sfs|cfgfree|andersen)
+	cacheReqs      *obs.Family // counter by result (hit|miss)
+	flightShared   *obs.Series
 
 	solvesStarted *obs.Series
 	solveOutcomes *obs.Family // counter by outcome (ok|error|cancelled)
@@ -53,6 +63,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 		httpRequests: r.CounterVec("vsfs_http_requests_total",
 			"HTTP requests received, by endpoint."),
+		requestsByMode: r.CounterVec("vsfs_requests_total",
+			"Analysis requests accepted, by requested backend mode."),
 		cacheReqs: r.CounterVec("vsfs_cache_requests_total",
 			"Result-cache lookups, by result."),
 		flightShared: r.Counter("vsfs_singleflight_shared_total",
@@ -71,7 +83,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		guardPanics: r.CounterVec("vsfs_guard_panics_total",
 			"Pipeline panics isolated by the guard layer, by phase."),
 		degradedResults: r.Counter("vsfs_degraded_results_total",
-			"Solves that exhausted their budget and fell back to the flow-insensitive result."),
+			"Solves that exhausted their budget and fell down the backend ladder."),
 		budgetExceeded: r.CounterVec("vsfs_budget_exceeded_total",
 			"Budget breaches, by pipeline phase and exhausted resource."),
 		breakerOpens: r.Counter("vsfs_breaker_opens_total",
@@ -125,6 +137,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 	}
 	for _, res := range []string{"hit", "miss"} {
 		m.cacheReqs.With("result", res)
+	}
+	for _, mode := range analysisModes {
+		m.requestsByMode.With("mode", mode)
 	}
 	for _, out := range []string{"ok", "error", "cancelled"} {
 		m.solveOutcomes.With("outcome", out)

@@ -72,6 +72,9 @@ func TestMetricsEndpointPrometheusFormat(t *testing.T) {
 	if code, _, body := post(t, s, "/analyze", AnalyzeRequest{Source: smallC}); code != http.StatusOK {
 		t.Fatalf("repeat POST /analyze = %d: %s", code, body)
 	}
+	if code, _, body := post(t, s, "/analyze", AnalyzeRequest{Source: smallC, Mode: "cfgfree"}); code != http.StatusOK {
+		t.Fatalf("cfgfree POST /analyze = %d: %s", code, body)
+	}
 
 	req := httptest.NewRequest("GET", "/metrics", nil)
 	rec := httptest.NewRecorder()
@@ -84,20 +87,42 @@ func TestMetricsEndpointPrometheusFormat(t *testing.T) {
 	}
 	samples := parsePrometheus(t, rec.Body.String())
 
-	if got := samples[`vsfs_cache_requests_total{result="miss"}`]; got != 1 {
-		t.Errorf("cache misses = %v, want 1", got)
+	if got := samples[`vsfs_cache_requests_total{result="miss"}`]; got != 2 {
+		t.Errorf("cache misses = %v, want 2 (vsfs and cfgfree solve separately)", got)
 	}
 	if got := samples[`vsfs_cache_requests_total{result="hit"}`]; got != 1 {
 		t.Errorf("cache hits = %v, want 1", got)
 	}
-	if got := samples[`vsfs_solve_seconds_count`]; got != 1 {
-		t.Errorf("solve count = %v, want 1", got)
+	if got := samples[`vsfs_requests_total{mode="vsfs"}`]; got != 2 {
+		t.Errorf("vsfs requests = %v, want 2", got)
 	}
-	for _, ph := range []string{"andersen", "memssa", "svfg", "solve"} {
+	if got := samples[`vsfs_requests_total{mode="cfgfree"}`]; got != 1 {
+		t.Errorf("cfgfree requests = %v, want 1", got)
+	}
+	if got := samples[`vsfs_requests_total{mode="sfs"}`]; got != 0 {
+		t.Errorf("sfs requests = %v, want materialised 0", got)
+	}
+	if got := samples[`vsfs_solve_seconds_count`]; got != 2 {
+		t.Errorf("solve count = %v, want 2", got)
+	}
+	for _, ph := range []string{"andersen", "solve"} {
 		key := `vsfs_solve_phase_seconds_count{phase="` + ph + `"}`
-		if got := samples[key]; got != 1 {
-			t.Errorf("%s = %v, want 1", key, got)
+		if got := samples[key]; got != 2 {
+			t.Errorf("%s = %v, want 2", key, got)
 		}
+	}
+	// The cfgfree solve skips memssa/svfg but still observes zeros.
+	for _, ph := range []string{"memssa", "svfg"} {
+		key := `vsfs_solve_phase_seconds_count{phase="` + ph + `"}`
+		if got := samples[key]; got != 2 {
+			t.Errorf("%s = %v, want 2", key, got)
+		}
+	}
+
+	// The same counter feeds /stats.
+	st := s.Stats()
+	if st.RequestsByMode["vsfs"] != 2 || st.RequestsByMode["cfgfree"] != 1 || st.RequestsByMode["sfs"] != 0 {
+		t.Errorf("Stats RequestsByMode = %v", st.RequestsByMode)
 	}
 	if _, ok := samples[`vsfs_uptime_seconds`]; !ok {
 		t.Error("vsfs_uptime_seconds missing")

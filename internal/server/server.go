@@ -1,7 +1,7 @@
 // Package server turns the vsfs library into analysis-as-a-service: a
 // long-running HTTP/JSON daemon that accepts mini-C or textual-IR
-// programs, solves them with the chosen analysis (vsfs, sfs, or
-// andersen), and answers points-to, alias, call-graph, witness, and
+// programs, solves them with the chosen analysis (vsfs, sfs, cfgfree,
+// or andersen), and answers points-to, alias, call-graph, witness, and
 // checker queries.
 //
 // Three pieces of plumbing make it a service rather than a CGI wrapper:
@@ -241,7 +241,7 @@ func (s *Server) Stats() StatsSnapshot { return s.snapshot() }
 type AnalyzeRequest struct {
 	Source    string `json:"source"`
 	Lang      string `json:"lang,omitempty"` // "c" (default) or "ir"
-	Mode      string `json:"mode,omitempty"` // "vsfs" (default), "sfs", "andersen"
+	Mode      string `json:"mode,omitempty"` // "vsfs" (default), "sfs", "cfgfree", "andersen"
 	TimeoutMs int    `json:"timeoutMs,omitempty"`
 }
 
@@ -330,6 +330,7 @@ func (s *Server) resolve(ctx context.Context, req AnalyzeRequest) (res *vsfs.Res
 	if strings.TrimSpace(req.Source) == "" {
 		return nil, "", false, badRequestf("empty source")
 	}
+	s.met.requestsByMode.With("mode", mode.String()).Inc()
 	key = cacheKey(mode, input, req.Source)
 	if r, ok := s.cache.get(key); ok {
 		s.met.cacheReqs.With("result", "hit").Inc()

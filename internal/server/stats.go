@@ -19,6 +19,10 @@ type StatsSnapshot struct {
 	QueryRequests   int64 `json:"queryRequests"`
 	CheckRequests   int64 `json:"checkRequests"`
 
+	// RequestsByMode counts accepted analysis requests by requested
+	// backend (vsfs, sfs, cfgfree, andersen).
+	RequestsByMode map[string]int64 `json:"requestsByMode"`
+
 	FindingsReported int64 `json:"findingsReported"`
 
 	CacheHits    int64 `json:"cacheHits"`
@@ -94,6 +98,10 @@ func (s *Server) snapshot() StatsSnapshot {
 			SVFG:     phaseSum("svfg"),
 			Solve:    phaseSum("solve"),
 		},
+	}
+	snap.RequestsByMode = make(map[string]int64, len(analysisModes))
+	for _, mode := range analysisModes {
+		snap.RequestsByMode[mode] = int64(m.requestsByMode.With("mode", mode).Value())
 	}
 	if n := m.solveSeconds.Count(); n > 0 {
 		snap.AvgSolveMs = m.solveSeconds.Sum() * 1e3 / float64(n)

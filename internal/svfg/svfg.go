@@ -13,7 +13,6 @@ import (
 
 	"vsfs/internal/andersen"
 	"vsfs/internal/bitset"
-	"vsfs/internal/graph"
 	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 	"vsfs/internal/memssa"
@@ -284,53 +283,11 @@ func (g *Graph) markDelta() {
 // excluded.
 func (g *Graph) IsSingleton(o ir.ID) bool { return g.singleton.Has(uint32(o)) }
 
+// computeSingletons adopts the auxiliary analysis's shared singleton
+// classification (andersen.Result.Singletons), so the SVFG pipeline and
+// the CFG-free backend apply an identical strong-update predicate.
 func (g *Graph) computeSingletons() {
-	prog := g.Prog
-	// Recursive functions via the auxiliary call graph.
-	idx := make(map[*ir.Function]uint32, len(prog.Funcs))
-	for i, f := range prog.Funcs {
-		idx[f] = uint32(i)
-	}
-	cg := graph.New(len(prog.Funcs))
-	selfLoop := make([]bool, len(prog.Funcs))
-	for _, f := range prog.Funcs {
-		f.ForEachInstr(func(in *ir.Instr) {
-			if in.Op != ir.Call {
-				return
-			}
-			for _, callee := range g.Aux.CalleesOf(in) {
-				cg.AddEdge(idx[f], idx[callee])
-				if callee == f {
-					selfLoop[idx[f]] = true
-				}
-			}
-		})
-	}
-	comp, k := cg.SCCs()
-	sccSize := make([]int, k)
-	for _, c := range comp {
-		sccSize[c]++
-	}
-	recursive := func(f *ir.Function) bool {
-		i := idx[f]
-		return selfLoop[i] || sccSize[comp[i]] > 1
-	}
-
-	g.singleton = bitset.New()
-	for id := ir.ID(1); int(id) < prog.NumValues(); id++ {
-		v := prog.Value(id)
-		if v.Kind != ir.Object || v.Collapsed {
-			continue
-		}
-		switch v.ObjKind {
-		case ir.GlobalObj:
-			g.singleton.Set(uint32(id))
-		case ir.StackObj:
-			if v.DefFunc != nil && !recursive(v.DefFunc) {
-				g.singleton.Set(uint32(id))
-			}
-		}
-	}
+	g.singleton = g.Aux.Singletons()
 }
 
 func (g *Graph) countStats() {

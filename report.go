@@ -46,9 +46,9 @@ type Report struct {
 	Stats     Summary      `json:"stats"`
 
 	// Degraded marks a run that exhausted its resource budget and fell
-	// back to the flow-insensitive (Andersen) result; Degradation is
-	// the human-readable reason. Mode reflects the analysis that
-	// actually produced the facts ("andersen" on degraded runs).
+	// down the backend ladder; Degradation is the human-readable
+	// reason. Mode reflects the analysis that actually produced the
+	// facts ("cfgfree" or "andersen" on degraded runs).
 	Degraded    bool   `json:"degraded,omitempty"`
 	Degradation string `json:"degradation,omitempty"`
 }

@@ -16,6 +16,15 @@
 // the same points-to results as SFS while storing one global points-to
 // set per (object, version) instead of per-node IN/OUT maps.
 //
+// A third backend, internal/cfgfree, branches off after the auxiliary
+// phase: an Andersen-style flow-sensitive solver that consumes the
+// partial-SSA IR directly, with no memory SSA or SVFG construction. It
+// is less precise than SFS/VSFS but strictly more precise than
+// Andersen (sfs ⊆ cfgfree ⊆ andersen pointwise), which also makes it
+// the intermediate rung of the degradation ladder: a VSFS/SFS run that
+// exhausts its budget retries on the CFG-free backend before giving up
+// flow-sensitivity entirely.
+//
 // This façade exposes string-keyed queries so quick clients need no
 // knowledge of the IR. Heavier clients inside this module import the
 // internal packages directly (see examples/ and cmd/).
@@ -31,6 +40,7 @@ import (
 
 	"vsfs/internal/andersen"
 	"vsfs/internal/bitset"
+	"vsfs/internal/cfgfree"
 	"vsfs/internal/core"
 	"vsfs/internal/guard"
 	"vsfs/internal/ir"
@@ -53,6 +63,10 @@ const (
 	SFS
 	// FlowInsensitive answers queries from Andersen's analysis alone.
 	FlowInsensitive
+	// CFGFree is the CFG-free Andersen-style flow-sensitive backend
+	// (internal/cfgfree): flow-sensitive precision on straight-line
+	// store/load sequences with no memory-SSA or SVFG construction.
+	CFGFree
 )
 
 func (m Mode) String() string {
@@ -63,6 +77,8 @@ func (m Mode) String() string {
 		return "sfs"
 	case FlowInsensitive:
 		return "andersen"
+	case CFGFree:
+		return "cfgfree"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -77,8 +93,10 @@ func ParseMode(s string) (Mode, error) {
 		return SFS, nil
 	case "andersen", "ander", "fi":
 		return FlowInsensitive, nil
+	case "cfgfree", "cfg-free", "cf":
+		return CFGFree, nil
 	}
-	return 0, fmt.Errorf("unknown analysis mode %q (want vsfs, sfs, or andersen)", s)
+	return 0, fmt.Errorf("unknown analysis mode %q (want vsfs, sfs, cfgfree, or andersen)", s)
 }
 
 // Input selects the source language accepted by AnalyzeContext.
@@ -142,14 +160,18 @@ type Result struct {
 
 	sfsRes  *sfs.Result
 	vsfsRes *core.Result
+	cfRes   *cfgfree.Result
 
 	timings Timings
 
 	// Degradation state: when a resource budget is exhausted after the
-	// auxiliary phase has completed, the run falls back to the
-	// flow-insensitive Andersen result (sound, less precise) instead of
-	// failing. mode is rewritten to FlowInsensitive so every query
-	// dispatches exactly as a standalone Andersen run would.
+	// auxiliary phase has completed, the run walks down a ladder instead
+	// of failing: a VSFS/SFS run first retries on the CFG-free backend
+	// (flow-sensitive, much cheaper) under a fresh budget, and only if
+	// that breaches too falls back to the flow-insensitive Andersen
+	// result. mode is rewritten to the rung that answered, so every
+	// query dispatches exactly as a standalone run of that backend
+	// would.
 	requested        Mode
 	degraded         bool
 	degradation      string
@@ -161,7 +183,8 @@ type Result struct {
 func (r *Result) Timings() Timings { return r.timings }
 
 // Mode returns the analysis mode that produced the answers: the
-// requested mode, or FlowInsensitive after degradation.
+// requested mode, or the degradation-ladder rung that answered
+// (CFGFree or FlowInsensitive) after a budget breach.
 func (r *Result) Mode() Mode { return r.mode }
 
 // RequestedMode returns the mode the caller asked for, which differs
@@ -169,7 +192,8 @@ func (r *Result) Mode() Mode { return r.mode }
 func (r *Result) RequestedMode() Mode { return r.requested }
 
 // Degraded reports whether the run exhausted a resource budget after
-// the auxiliary phase and fell back to the flow-insensitive result.
+// the auxiliary phase and fell back down the ladder (to the CFG-free
+// or flow-insensitive result; Mode tells which).
 func (r *Result) Degraded() bool { return r.degraded }
 
 // Degradation returns the human-readable reason for the fallback, or
@@ -196,6 +220,67 @@ func (r *Result) degrade(be *guard.ErrBudgetExceeded) {
 		be.Resource, be.Phase, be.Limit)
 	r.sfsRes = nil
 	r.vsfsRes = nil
+	r.cfRes = nil
+}
+
+// degradeVia is the degradation ladder. A requested VSFS/SFS run that
+// breached its budget retries on the CFG-free backend — still
+// flow-sensitive, but with none of the memory-SSA/SVFG construction
+// cost — under a fresh budget with the original envelope (the original
+// is spent, and re-arming re-bases the memory baseline). Only if the
+// rung itself breaches does the run bottom out on the auxiliary
+// Andersen result. A requested CFGFree or FlowInsensitive run has no
+// rung above Andersen and degrades directly. Degradation provenance
+// (phase, resource, Degradation text) always names the ORIGINAL
+// breach, never the rung's. A panic or cancellation inside the rung
+// propagates as an error — those must not silently lose precision.
+func (r *Result) degradeVia(ctx context.Context, hash string, be *guard.ErrBudgetExceeded) error {
+	if r.requested != VSFS && r.requested != SFS {
+		r.degrade(be)
+		return nil
+	}
+	rungCtx := ctx
+	if b := guard.BudgetFrom(ctx); b != nil {
+		rungCtx = guard.WithBudget(ctx, guard.NewBudget(b.Limits()))
+	}
+	// The breach may have interrupted the memory-SSA pass mid-rewrite,
+	// leaving instruction labels stale; renumbering is idempotent and
+	// restores the label table. The CFG-free facts themselves are
+	// invariant under memssa's rewrites (entry pre-blocks, CallRet
+	// markers, MEMPHIs) — only labels shift.
+	r.prog.Renumber()
+	t := time.Now()
+	sp := obs.StartSpan(ctx, "cfgfree").Arg("after", be.Phase)
+	var cf *cfgfree.Result
+	// The rung runs under its own phase name: re-entering the breached
+	// phase would replay that phase's injected faults into the fresh
+	// budget, and "cfgfree" gives the fault plan a way to target the
+	// rung itself.
+	err := guard.Recover(rungCtx, "cfgfree", hash, func() error {
+		var cerr error
+		cf, cerr = cfgfree.SolveContext(rungCtx, r.prog, r.aux)
+		return cerr
+	})
+	sp.End()
+	r.timings.Solve += time.Since(t)
+	if err != nil {
+		if _, ok := budgetBreach(err); ok {
+			r.degrade(be)
+			return nil
+		}
+		return err
+	}
+	r.mode = CFGFree
+	r.degraded = true
+	r.degradedPhase = be.Phase
+	r.degradedResource = string(be.Resource)
+	r.degradation = fmt.Sprintf(
+		"%s budget exceeded in %s phase (limit %d); fell back to CFG-free flow-sensitive result",
+		be.Resource, be.Phase, be.Limit)
+	r.sfsRes = nil
+	r.vsfsRes = nil
+	r.cfRes = cf
+	return nil
 }
 
 // pointsTo dispatches to the selected analysis.
@@ -205,6 +290,8 @@ func (r *Result) pointsTo(v ir.ID) *bitset.Sparse {
 		return r.sfsRes.PointsTo(v)
 	case FlowInsensitive:
 		return r.aux.PointsTo(v)
+	case CFGFree:
+		return r.cfRes.PointsTo(v)
 	default:
 		return r.vsfsRes.PointsTo(v)
 	}
@@ -216,6 +303,8 @@ func (r *Result) calleesOf(call *ir.Instr) []*ir.Function {
 		return r.sfsRes.CalleesOf(call)
 	case FlowInsensitive:
 		return r.aux.CalleesOf(call)
+	case CFGFree:
+		return r.cfRes.CalleesOf(call)
 	default:
 		return r.vsfsRes.CalleesOf(call)
 	}
@@ -310,6 +399,30 @@ func analyzeProgram(ctx context.Context, prog *ir.Program, opts Options, hash st
 		return r, nil
 	}
 
+	if opts.Mode == CFGFree {
+		// The CFG-free backend consumes the partial-SSA program
+		// directly: no memory SSA, no SVFG. Its worklist ticks under
+		// the phase name "cfgfree", but for budget/fault attribution
+		// the phase wrapper is "solve" like every other main phase.
+		t := time.Now()
+		sp = obs.StartSpan(ctx, "solve").Arg("mode", opts.Mode.String())
+		err = guard.Recover(ctx, "solve", hash, func() error {
+			var cerr error
+			r.cfRes, cerr = cfgfree.SolveContext(ctx, prog, r.aux)
+			return cerr
+		})
+		sp.End()
+		r.timings.Solve = time.Since(t)
+		if err != nil {
+			if be, ok := budgetBreach(err); ok {
+				r.degrade(be)
+				return finish()
+			}
+			return nil, err
+		}
+		return finish()
+	}
+
 	var mssa *memssa.Result
 	t := time.Now()
 	sp = obs.StartSpan(ctx, "memssa")
@@ -322,7 +435,9 @@ func analyzeProgram(ctx context.Context, prog *ir.Program, opts Options, hash st
 	r.timings.MemSSA = time.Since(t)
 	if err != nil {
 		if be, ok := budgetBreach(err); ok {
-			r.degrade(be)
+			if lerr := r.degradeVia(ctx, hash, be); lerr != nil {
+				return nil, lerr
+			}
 			return finish()
 		}
 		return nil, err
@@ -340,7 +455,9 @@ func analyzeProgram(ctx context.Context, prog *ir.Program, opts Options, hash st
 		sp.End()
 		r.g = nil
 		if be, ok := budgetBreach(err); ok {
-			r.degrade(be)
+			if lerr := r.degradeVia(ctx, hash, be); lerr != nil {
+				return nil, lerr
+			}
 			return finish()
 		}
 		return nil, err
@@ -368,7 +485,9 @@ func analyzeProgram(ctx context.Context, prog *ir.Program, opts Options, hash st
 	r.timings.Solve = time.Since(t)
 	if err != nil {
 		if be, ok := budgetBreach(err); ok {
-			r.degrade(be)
+			if lerr := r.degradeVia(ctx, hash, be); lerr != nil {
+				return nil, lerr
+			}
 			return finish()
 		}
 		return nil, err
@@ -426,6 +545,8 @@ func (r *Result) objectSummary(o ir.ID) *bitset.Sparse {
 		return r.sfsRes.ObjectSummary(o)
 	case FlowInsensitive:
 		return r.aux.PointsTo(o)
+	case CFGFree:
+		return r.cfRes.ObjectSummary(o)
 	default:
 		return r.vsfsRes.ObjectSummary(o)
 	}
@@ -433,14 +554,17 @@ func (r *Result) objectSummary(o ir.ID) *bitset.Sparse {
 
 // contentsBefore returns what object o may hold immediately before the
 // instruction labelled label, under the selected analysis: the IN set
-// for SFS, the consume-version points-to set for VSFS, and the
-// flow-insensitive object summary for Andersen.
+// for SFS, the consume-version points-to set for VSFS, the
+// strong-update-window contents for CFGFree, and the flow-insensitive
+// object summary for Andersen.
 func (r *Result) contentsBefore(label uint32, o ir.ID) *bitset.Sparse {
 	switch r.mode {
 	case SFS:
 		return r.sfsRes.InSet(label, o)
 	case FlowInsensitive:
 		return r.aux.PointsTo(o)
+	case CFGFree:
+		return r.cfRes.ConsumedSet(label, o)
 	default:
 		return r.vsfsRes.ConsumedSet(label, o)
 	}
@@ -583,6 +707,12 @@ func (r *Result) Stats() Summary {
 		s.Changed = r.sfsRes.Stats.Changed
 		s.PtsSets = r.sfsRes.Stats.PtsSets
 		s.WorklistHighWater = r.sfsRes.Stats.WorklistHW
+	case CFGFree:
+		s.NodesProcessed = r.cfRes.Stats.NodesProcessed
+		s.Propagations = r.cfRes.Stats.Propagations
+		s.Changed = r.cfRes.Stats.Changed
+		s.PtsSets = r.cfRes.Stats.PtsSets
+		s.WorklistHighWater = r.cfRes.Stats.WorklistHW
 	case VSFS:
 		s.NodesProcessed = r.vsfsRes.Stats.NodesProcessed
 		s.Propagations = r.vsfsRes.Stats.Propagations
@@ -599,10 +729,11 @@ func (r *Result) Stats() Summary {
 
 // Explain returns human-readable value-flow witnesses for every object
 // the named variable may point to — the "why" behind each points-to
-// fact. Only available for VSFS and SFS runs (the witnesses are pruned
-// by flow-sensitive facts); empty otherwise.
+// fact. Only available for VSFS and SFS runs (the witnesses are SVFG
+// paths, which the CFG-free and flow-insensitive backends never
+// build); empty otherwise.
 func (r *Result) Explain(fn, name string) []string {
-	if r.mode == FlowInsensitive {
+	if r.mode == FlowInsensitive || r.mode == CFGFree || r.g == nil {
 		return nil
 	}
 	holds := func(x, o ir.ID) bool {
