@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check bench serve fuzz fuzz-native faults check golden
+.PHONY: build test race vet lint fmt-check bench bench-baseline bench-gate serve fuzz fuzz-native faults check golden
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,16 @@ fmt-check:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/server/
+
+# Regenerate the committed bench baseline after a deliberate perf change
+# (all 15 profiles; takes a few minutes).
+bench-baseline:
+	$(GO) run ./cmd/vsfs-bench -json > BENCH_BASELINE.json
+
+# The CI regression gate, locally: exits 1 past the thresholds.
+bench-gate:
+	$(GO) run ./cmd/vsfs-bench -bench du,nano -json \
+		-compare BENCH_BASELINE.json -threshold 200 -mem-threshold 25 > /dev/null
 
 serve:
 	$(GO) run ./cmd/vsfs-serve -addr :8080

@@ -13,9 +13,18 @@
 //	vsfs-bench -memlimit 8192      MB cap for the SFS OOM marker
 //	vsfs-bench -sanity             verify SFS ≡ VSFS on every profile
 //	vsfs-bench -json               emit the table rows as JSON (BENCH artifacts)
+//	vsfs-bench -compare base.json  gate against a committed baseline (exit 1 on regression)
+//
+// -compare reads a previously committed vsfs-bench -json artifact and
+// fails (exit 1) when any (bench, backend) pair regresses beyond
+// -threshold percent in time or -mem-threshold percent in modelled
+// memory, or newly OOMs. It composes with -json: the current report
+// still goes to stdout (so CI can archive it) while regressions go to
+// stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +51,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	versions := fs.Bool("versions", false, "report versioning effectiveness (sharing factors)")
 	sanity := fs.Bool("sanity", false, "check SFS ≡ VSFS on each profile before timing")
 	jsonOut := fs.Bool("json", false, "emit the table rows as machine-readable JSON instead of formatted tables")
+	comparePath := fs.String("compare", "", "baseline vsfs-bench -json artifact to gate against (exit 1 on regression)")
+	threshold := fs.Float64("threshold", 50, "with -compare: max tolerated time regression in percent (<=0 disables)")
+	memThreshold := fs.Float64("mem-threshold", 25, "with -compare: max tolerated modelled-memory regression in percent (<=0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -95,12 +107,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := bench.Options{Runs: *runs, MemLimit: *memLimit << 20}
 	rows := bench.Run(profiles, opts, stderr)
 
-	if *jsonOut {
-		if err := bench.WriteJSON(stdout, rows); err != nil {
+	// gate compares current rows against the committed baseline; it runs
+	// after the report is printed so CI archives the artifact either way.
+	gate := func() int {
+		if *comparePath == "" {
+			return 0
+		}
+		f, err := os.Open(*comparePath)
+		if err != nil {
 			fmt.Fprintln(stderr, "vsfs-bench:", err)
 			return 1
 		}
-		return 0
+		baseline, err := bench.ReadJSONReport(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "vsfs-bench:", err)
+			return 1
+		}
+		regs := bench.Compare(baseline, bench.JSONReportOf(rows), *threshold, *memThreshold)
+		if len(regs) == 0 {
+			fmt.Fprintf(stderr, "vsfs-bench: no regressions vs %s (time>+%.0f%%, mem>+%.0f%%)\n",
+				*comparePath, *threshold, *memThreshold)
+			return 0
+		}
+		fmt.Fprint(stderr, bench.FormatRegressions(regs))
+		fmt.Fprintf(stderr, "vsfs-bench: %d regression(s) vs %s\n", len(regs), *comparePath)
+		return 1
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(bench.JSONReportOf(rows), "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "vsfs-bench:", err)
+			return 1
+		}
+		stdout.Write(append(data, '\n'))
+		return gate()
 	}
 
 	switch *table {
@@ -120,5 +162,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "unknown -table %q\n", *table)
 		return 2
 	}
-	return 0
+	return gate()
 }

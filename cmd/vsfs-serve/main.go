@@ -68,6 +68,10 @@ func run(args []string, ctx context.Context, ready chan<- string, stdout, stderr
 	maxMem := fs.Int64("max-mem", 0, "server-wide points-to storage budget in bytes, split across workers (0 = no limit)")
 	breakerThreshold := fs.Int("breaker-threshold", server.DefaultBreakerThreshold, "consecutive hard failures per program before its circuit opens (<0 disables)")
 	breakerOpen := fs.Duration("breaker-open", server.DefaultBreakerOpenFor, "how long an opened per-program circuit rejects before a half-open probe")
+	ledgerPath := fs.String("ledger", "", "append a run record per solve to this JSONL ledger, served at GET /runs")
+	ledgerMax := fs.Int64("ledger-max-bytes", obs.DefaultLedgerMaxBytes, "rotate the ledger past this many bytes (one .1 generation kept)")
+	traceDir := fs.String("trace-dir", "", "write one Chrome trace_event file per solve into this directory, tagged with the request ID")
+	attr := fs.Bool("attr", false, "attribute solver cost to abstract objects on every solve (hot-object tables in reports, vsfs_attr_* metrics)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,6 +84,22 @@ func run(args []string, ctx context.Context, ready chan<- string, stdout, stderr
 	if err != nil {
 		fmt.Fprintln(stderr, "vsfs-serve:", err)
 		return 2
+	}
+
+	var ledger *obs.Ledger
+	if *ledgerPath != "" {
+		ledger, err = obs.OpenLedger(*ledgerPath, *ledgerMax)
+		if err != nil {
+			fmt.Fprintln(stderr, "vsfs-serve:", err)
+			return 1
+		}
+		defer ledger.Close()
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "vsfs-serve:", err)
+			return 1
+		}
 	}
 
 	solveTimeout := *timeout
@@ -98,6 +118,9 @@ func run(args []string, ctx context.Context, ready chan<- string, stdout, stderr
 		Logger:           logger,
 		EnablePprof:      *pprofOn,
 		DisableMetrics:   !*metricsOn,
+		Ledger:           ledger,
+		TraceDir:         *traceDir,
+		Attribution:      *attr,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -113,6 +136,7 @@ func run(args []string, ctx context.Context, ready chan<- string, stdout, stderr
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
+	fmt.Fprintf(stdout, "vsfs-serve: vsfs %s %s\n", obs.Version, obs.GoVersion())
 	fmt.Fprintf(stdout, "vsfs-serve: listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()

@@ -18,6 +18,9 @@
 //	vsfs -max-steps 1e6 prog.c     degrade down the ladder past a step budget
 //	vsfs -max-mem 64e6 prog.c      degrade down the ladder past a memory budget
 //	vsfs -trace out.json prog.c    write a Chrome trace of the pipeline phases
+//	vsfs -attr prog.c              attribute solver cost to abstract objects
+//	vsfs -ledger runs.jsonl prog.c append a run record to a persistent ledger
+//	vsfs -version                  print version and exit
 //	vsfs -v prog.c                 log analysis progress to stderr
 //
 // The checker suite (-check) runs null-deref, dangling-return,
@@ -45,6 +48,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"vsfs"
 	"vsfs/internal/andersen"
@@ -99,9 +103,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxSteps := fs.Int64("max-steps", 0, "worklist-step budget; past it the run degrades to the flow-insensitive result and exits 3 (0 = no limit)")
 	maxMem := fs.Int64("max-mem", 0, "points-to storage budget in bytes; past it the run degrades and exits 3 (0 = no limit)")
 	traceOut := fs.String("trace", "", "write the pipeline phases as Chrome trace_event JSON to this file (open in Perfetto)")
+	attr := fs.Bool("attr", false, "attribute solver cost (pops, propagations, sets, melds) to abstract objects and print the hot-object table")
+	attrTop := fs.Int("attr-top", 10, "with -attr: number of hot objects to print")
+	ledgerPath := fs.String("ledger", "", "append a run record (shape, backend, timings, budget spend, findings) to this JSONL ledger")
+	version := fs.Bool("version", false, "print version and exit")
 	verbose := fs.Bool("v", false, "log analysis progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+
+	if *version {
+		fmt.Fprintf(stdout, "vsfs %s %s\n", obs.Version, obs.GoVersion())
+		return exitOK
 	}
 
 	logger := obs.Discard()
@@ -150,6 +163,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stderr, "vsfs:", err)
 		return exitError
+	}
+	// appendLedger records the run in the persistent ledger; a ledger
+	// failure is reported but never changes the exit code — telemetry
+	// must not break the analysis contract.
+	appendLedger := func(r *vsfs.Result, findings int) {
+		if *ledgerPath == "" {
+			return
+		}
+		led, lerr := obs.OpenLedger(*ledgerPath, 0)
+		if lerr != nil {
+			fmt.Fprintln(stderr, "vsfs: ledger:", lerr)
+			return
+		}
+		defer led.Close()
+		if lerr := led.Append(r.RunRecord(time.Now(), findings)); lerr != nil {
+			fmt.Fprintln(stderr, "vsfs: ledger:", lerr)
+		}
 	}
 	// exit folds degradation into a success path's code and tells the
 	// user on stderr (stdout stays the machine-readable result).
@@ -221,7 +251,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			input = vsfs.InputIR
 		}
 		logger.Info("analyzing", "file", path, "mode", m.String(), "bytes", len(src))
-		r, err := vsfs.AnalyzeContext(ctx, string(src), vsfs.Options{Mode: m, Input: input, Filename: path})
+		r, err := vsfs.AnalyzeContext(ctx, string(src), vsfs.Options{Mode: m, Input: input, Filename: path, Attr: *attr})
 		if err == nil {
 			t := r.Timings()
 			logger.Info("analysis complete", "total", t.Total,
@@ -339,12 +369,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *taintSanitizers != "" {
 			cfg.TaintSanitizers = strings.Split(*taintSanitizers, ",")
 		}
+		raw := r.CheckWith(cfg)
+		appendLedger(r, len(raw))
 		return runCheck(r, string(src), path, checkOpts{
 			sarif:         *sarif,
 			baseline:      *baselinePath,
 			writeBaseline: *writeBaseline,
 			severities:    severities,
 			cfg:           cfg,
+			raw:           raw,
 		}, stdout, stderr)
 	}
 
@@ -354,14 +387,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonOut {
-		data, merr := r.Report().MarshalIndent()
+		rep := r.Report()
+		if *attr {
+			// The CLI honors -attr-top in JSON too; the embedded table
+			// defaults to the report's own top-K.
+			rep.HotObjects = r.HotObjects(*attrTop)
+		}
+		data, merr := rep.MarshalIndent()
 		if merr != nil {
 			return fail(merr)
 		}
 		stdout.Write(append(data, '\n'))
+		appendLedger(r, len(rep.Findings))
 		return exit(r)
 	}
 	fmt.Fprint(stdout, r.Dump())
+	if *attr {
+		fmt.Fprintln(stdout, "\nhot objects (by attributed solver cost):")
+		fmt.Fprintf(stdout, "  %-24s %12s %10s %8s %8s\n", "object", "props", "pops", "sets", "melds")
+		for _, h := range r.HotObjects(*attrTop) {
+			fmt.Fprintf(stdout, "  %-24s %12d %10d %8d %8d\n", h.Object, h.Propagations, h.Pops, h.Sets, h.Melds)
+		}
+	}
+	if *ledgerPath != "" {
+		appendLedger(r, len(r.Check()))
+	}
 
 	if *callgraph {
 		cg := r.CallGraph()
@@ -397,6 +447,10 @@ type checkOpts struct {
 	writeBaseline string
 	severities    map[string]diag.Severity
 	cfg           vsfs.CheckConfig
+	// raw is the precomputed checker output; runCheck computes it from
+	// cfg when nil (the ledger path needs the count, so the caller may
+	// have it already).
+	raw []vsfs.Finding
 }
 
 // parseSeverities parses "kind=level,kind=level" severity overrides.
@@ -425,7 +479,10 @@ func parseSeverities(s string) (map[string]diag.Severity, error) {
 // apply inline suppressions and the baseline, then render text or
 // SARIF. Findings exit 5; a degraded run without findings exits 3.
 func runCheck(r *vsfs.Result, src, path string, o checkOpts, stdout, stderr io.Writer) int {
-	raw := r.CheckWith(o.cfg)
+	raw := o.raw
+	if raw == nil {
+		raw = r.CheckWith(o.cfg)
+	}
 	rawd := make([]diag.Raw, len(raw))
 	for i, f := range raw {
 		rawd[i] = diag.Raw{Kind: f.Kind, Func: f.Func, Label: f.Label, Line: f.Line, Col: f.Col, Message: f.Message}

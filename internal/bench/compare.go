@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Regression is one baseline-vs-current metric that moved past its
+// threshold. Metric is "time", "mem", or "oom" (an OOM transition is
+// always a regression regardless of thresholds).
+type Regression struct {
+	Bench    string  `json:"bench"`
+	Backend  string  `json:"backend"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Pct      float64 `json:"pct"` // percent increase over baseline
+}
+
+// ReadJSONReport decodes a vsfs-bench -json artifact.
+func ReadJSONReport(r io.Reader) (JSONReport, error) {
+	var rep JSONReport
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return JSONReport{}, fmt.Errorf("decoding bench report: %w", err)
+	}
+	return rep, nil
+}
+
+// Compare gates current against baseline per (bench, backend) pair:
+// time regressions beyond timePct percent and memory regressions beyond
+// memPct percent are reported, as is any pair that newly OOMs. Pairs
+// present only in one report are skipped — adding or removing a profile
+// must not trip the gate. A nonpositive threshold disables that metric.
+// Output order is deterministic (bench, then backend, then metric).
+func Compare(baseline, current JSONReport, timePct, memPct float64) []Regression {
+	base := make(map[string]BackendRow, len(baseline.Backends))
+	for _, row := range baseline.Backends {
+		base[row.Bench+"\x00"+row.Backend] = row
+	}
+	var regs []Regression
+	for _, cur := range current.Backends {
+		b, ok := base[cur.Bench+"\x00"+cur.Backend]
+		if !ok {
+			continue
+		}
+		if cur.OOM != b.OOM {
+			if cur.OOM {
+				regs = append(regs, Regression{
+					Bench: cur.Bench, Backend: cur.Backend, Metric: "oom",
+					Baseline: 0, Current: 1, Pct: 0,
+				})
+			}
+			// A pair that stopped OOMing is an improvement; either way
+			// its time/mem numbers are not comparable.
+			continue
+		}
+		if cur.OOM {
+			continue
+		}
+		if timePct > 0 && b.Ms > 0 {
+			if pct := (cur.Ms - b.Ms) / b.Ms * 100; pct > timePct {
+				regs = append(regs, Regression{
+					Bench: cur.Bench, Backend: cur.Backend, Metric: "time",
+					Baseline: b.Ms, Current: cur.Ms, Pct: pct,
+				})
+			}
+		}
+		if memPct > 0 && b.MemMB > 0 {
+			if pct := (cur.MemMB - b.MemMB) / b.MemMB * 100; pct > memPct {
+				regs = append(regs, Regression{
+					Bench: cur.Bench, Backend: cur.Backend, Metric: "mem",
+					Baseline: b.MemMB, Current: cur.MemMB, Pct: pct,
+				})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		a, b := regs[i], regs[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Backend != b.Backend {
+			return a.Backend < b.Backend
+		}
+		return a.Metric < b.Metric
+	})
+	return regs
+}
+
+// FormatRegressions renders regressions for CI logs, one per line.
+func FormatRegressions(regs []Regression) string {
+	var sb strings.Builder
+	for _, r := range regs {
+		switch r.Metric {
+		case "oom":
+			fmt.Fprintf(&sb, "REGRESSION %s/%s: newly OOM\n", r.Bench, r.Backend)
+		case "time":
+			fmt.Fprintf(&sb, "REGRESSION %s/%s: time %.1fms -> %.1fms (+%.1f%%)\n",
+				r.Bench, r.Backend, r.Baseline, r.Current, r.Pct)
+		case "mem":
+			fmt.Fprintf(&sb, "REGRESSION %s/%s: mem %.2fMB -> %.2fMB (+%.1f%%)\n",
+				r.Bench, r.Backend, r.Baseline, r.Current, r.Pct)
+		}
+	}
+	return sb.String()
+}

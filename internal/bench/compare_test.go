@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(rows ...BackendRow) JSONReport { return JSONReport{Backends: rows} }
+
+func TestCompareClean(t *testing.T) {
+	base := rep(BackendRow{Bench: "du", Backend: "vsfs", Ms: 100, MemMB: 10})
+	cur := rep(BackendRow{Bench: "du", Backend: "vsfs", Ms: 105, MemMB: 10.5})
+	if regs := Compare(base, cur, 50, 25); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+}
+
+func TestCompareTimeRegression(t *testing.T) {
+	base := rep(BackendRow{Bench: "du", Backend: "vsfs", Ms: 100, MemMB: 10})
+	cur := rep(BackendRow{Bench: "du", Backend: "vsfs", Ms: 200, MemMB: 10})
+	regs := Compare(base, cur, 50, 25)
+	if len(regs) != 1 || regs[0].Metric != "time" {
+		t.Fatalf("want one time regression, got %+v", regs)
+	}
+	if regs[0].Pct != 100 {
+		t.Errorf("Pct = %v, want 100", regs[0].Pct)
+	}
+}
+
+func TestCompareMemRegression(t *testing.T) {
+	base := rep(BackendRow{Bench: "du", Backend: "sfs", Ms: 100, MemMB: 10})
+	cur := rep(BackendRow{Bench: "du", Backend: "sfs", Ms: 100, MemMB: 20})
+	regs := Compare(base, cur, 50, 25)
+	if len(regs) != 1 || regs[0].Metric != "mem" {
+		t.Fatalf("want one mem regression, got %+v", regs)
+	}
+}
+
+func TestCompareThresholdDisabled(t *testing.T) {
+	base := rep(BackendRow{Bench: "du", Backend: "vsfs", Ms: 100, MemMB: 10})
+	cur := rep(BackendRow{Bench: "du", Backend: "vsfs", Ms: 1000, MemMB: 100})
+	if regs := Compare(base, cur, 0, 0); len(regs) != 0 {
+		t.Fatalf("disabled thresholds still fired: %+v", regs)
+	}
+}
+
+func TestCompareOOMTransition(t *testing.T) {
+	base := rep(BackendRow{Bench: "du", Backend: "sfs", Ms: 100, MemMB: 10})
+	cur := rep(BackendRow{Bench: "du", Backend: "sfs", OOM: true})
+	regs := Compare(base, cur, 50, 25)
+	if len(regs) != 1 || regs[0].Metric != "oom" {
+		t.Fatalf("want one oom regression, got %+v", regs)
+	}
+	// Recovery from OOM is not a regression even though Ms goes 0 -> n.
+	if regs := Compare(cur, base, 50, 25); len(regs) != 0 {
+		t.Fatalf("OOM recovery flagged: %+v", regs)
+	}
+}
+
+func TestCompareSkipsUnknownBenches(t *testing.T) {
+	base := rep(BackendRow{Bench: "du", Backend: "vsfs", Ms: 100, MemMB: 10})
+	cur := rep(
+		BackendRow{Bench: "du", Backend: "vsfs", Ms: 100, MemMB: 10},
+		BackendRow{Bench: "brand-new", Backend: "vsfs", Ms: 9999, MemMB: 999},
+	)
+	if regs := Compare(base, cur, 50, 25); len(regs) != 0 {
+		t.Fatalf("new bench tripped the gate: %+v", regs)
+	}
+}
+
+func TestCompareDeterministicOrder(t *testing.T) {
+	base := rep(
+		BackendRow{Bench: "b", Backend: "vsfs", Ms: 10, MemMB: 1},
+		BackendRow{Bench: "a", Backend: "sfs", Ms: 10, MemMB: 1},
+		BackendRow{Bench: "a", Backend: "vsfs", Ms: 10, MemMB: 1},
+	)
+	cur := rep(
+		BackendRow{Bench: "b", Backend: "vsfs", Ms: 100, MemMB: 10},
+		BackendRow{Bench: "a", Backend: "sfs", Ms: 100, MemMB: 10},
+		BackendRow{Bench: "a", Backend: "vsfs", Ms: 100, MemMB: 10},
+	)
+	regs := Compare(base, cur, 50, 25)
+	if len(regs) != 6 {
+		t.Fatalf("want 6 regressions, got %d", len(regs))
+	}
+	for i := 1; i < len(regs); i++ {
+		a, b := regs[i-1], regs[i]
+		if a.Bench > b.Bench || (a.Bench == b.Bench && a.Backend > b.Backend) {
+			t.Fatalf("not sorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadJSONReport(t *testing.T) {
+	src := `{"rows":[],"backends":[{"bench":"du","backend":"vsfs","ms":1.5,"memMB":0.5}],"geoMeanSpeedup":1,"geoMeanMemRatio":1}`
+	rep, err := ReadJSONReport(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Backends) != 1 || rep.Backends[0].Bench != "du" {
+		t.Fatalf("bad decode: %+v", rep)
+	}
+	if _, err := ReadJSONReport(strings.NewReader("{nope")); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+}
+
+func TestFormatRegressions(t *testing.T) {
+	out := FormatRegressions([]Regression{
+		{Bench: "du", Backend: "vsfs", Metric: "time", Baseline: 10, Current: 20, Pct: 100},
+		{Bench: "du", Backend: "sfs", Metric: "oom"},
+		{Bench: "du", Backend: "sfs", Metric: "mem", Baseline: 1, Current: 2, Pct: 100},
+	})
+	for _, want := range []string{"REGRESSION du/vsfs: time", "newly OOM", "mem 1.00MB -> 2.00MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"vsfs/internal/bitset"
 	"vsfs/internal/guard"
 	"vsfs/internal/ir"
+	"vsfs/internal/obs"
 )
 
 // cancelCheckInterval is how many worklist iterations pass between
@@ -172,6 +173,7 @@ func SolveContext(ctx context.Context, prog *ir.Program, aux *andersen.Result) (
 		prog:        prog,
 		aux:         aux,
 		ctx:         ctx,
+		attr:        obs.AttrFrom(ctx),
 		windows:     computeWindows(prog, aux),
 		resolved:    make(map[callTarget]bool),
 		callTargets: make(map[*ir.Instr][]*ir.Function),
@@ -292,6 +294,21 @@ type solver struct {
 
 	work  worklist
 	stats Stats
+
+	// attr charges solver work to owning objects (nil = off, no-op
+	// receiver). This backend's nodes are values and objects in one ID
+	// space, so the owner of a pop or union is the node itself when it
+	// is an object, the unattributed bucket 0 otherwise; per-object
+	// sums stay conserved against the stats gauges.
+	attr *obs.ObjectAttr
+}
+
+// owner maps a constraint node to the object charged for its work.
+func (s *solver) owner(n uint32) uint32 {
+	if int(n) < s.prog.NumValues() && s.prog.IsObject(ir.ID(n)) {
+		return n
+	}
+	return 0
 }
 
 func (s *solver) ensure(id uint32) {
@@ -334,6 +351,7 @@ func (s *solver) addCopy(dst, src ir.ID) {
 	}
 	if s.pts[c] != nil && !s.pts[c].IsEmpty() {
 		s.stats.Propagations++
+		s.attr.Prop(s.owner(d))
 		if s.ptsOf(d).UnionWith(s.pts[c]) {
 			s.stats.Changed++
 			s.work.push(d)
@@ -441,6 +459,7 @@ func (s *solver) solve() error {
 		}
 		s.processed[n].UnionWith(delta)
 		s.stats.NodesProcessed++
+		s.attr.Pop(s.owner(n))
 
 		s.applyComplex(n, delta)
 
@@ -450,6 +469,7 @@ func (s *solver) solve() error {
 					return
 				}
 				s.stats.Propagations++
+				s.attr.Prop(s.owner(d))
 				if s.ptsOf(d).UnionWith(delta) {
 					s.stats.Changed++
 					s.work.push(d)
@@ -518,10 +538,11 @@ func funcLess(a, b *ir.Function) bool {
 
 func (s *solver) finish() *Result {
 	s.stats.WorklistHW = s.work.hw
-	for _, set := range s.pts {
+	for n, set := range s.pts {
 		if set != nil && !set.IsEmpty() {
 			s.stats.PtsSets++
 			s.stats.PtsWords += set.Words()
+			s.attr.Set(s.owner(uint32(n)))
 		}
 	}
 	// Materialise the window contents so ConsumedSet is an O(1) lookup

@@ -19,6 +19,7 @@ import (
 	"vsfs/internal/guard"
 	"vsfs/internal/ir"
 	"vsfs/internal/meld"
+	"vsfs/internal/obs"
 	"vsfs/internal/svfg"
 )
 
@@ -83,6 +84,7 @@ func (v *versioning) setYield(l uint32, o ir.ID, ver meld.Version) {
 // pre-analysis too, not just the main phase.
 func runVersioning(ctx context.Context, g *svfg.Graph) (*versioning, error) {
 	start := time.Now()
+	attr := obs.AttrFrom(ctx)
 	n := len(g.Prog.Instrs)
 	v := &versioning{
 		tab:     meld.NewTable(),
@@ -152,6 +154,7 @@ func runVersioning(ctx context.Context, g *svfg.Graph) (*versioning, error) {
 				if melded != old {
 					v.setConsume(succ, o, melded)
 					v.stats.MeldOps++
+					attr.Meld(uint32(o))
 					work.push(succ, o)
 				}
 			}

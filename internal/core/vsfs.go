@@ -142,6 +142,7 @@ func Solve(g *svfg.Graph) *Result {
 // context is done. A cancelled solve returns no Result; the mutated
 // graph must be discarded.
 func SolveContext(ctx context.Context, g *svfg.Graph) (*Result, error) {
+	attr := obs.AttrFrom(ctx)
 	sp := obs.StartSpan(ctx, "meld")
 	ver, err := runVersioning(ctx, g)
 	if err != nil {
@@ -161,6 +162,7 @@ func SolveContext(ctx context.Context, g *svfg.Graph) (*Result, error) {
 			callees: make(map[*ir.Instr]map[*ir.Function]bool),
 		},
 		ctx:          ctx,
+		attr:         attr,
 		verReliance:  make(map[verKey][]meld.Version),
 		stmtReliance: make(map[verKey][]uint32),
 		fsCallers:    make(map[*ir.Function][]uint32),
@@ -191,6 +193,13 @@ type state struct {
 	*Result
 
 	ctx context.Context
+
+	// attr charges solver work to owning objects; nil (a no-op
+	// receiver) when attribution is off, so the hot path pays one
+	// predicted branch per event. Charging follows the conservation
+	// rule: every Stats increment pairs with exactly one attr charge,
+	// with object 0 as the bucket for top-level (objectless) work.
+	attr *obs.ObjectAttr
 
 	// verReliance[(o, κ)] lists versions κ' with pt_κ(o) ⊆ pt_κ'(o),
 	// derived from indirect edges whose endpoints carry different
@@ -286,6 +295,7 @@ func (s *state) ptvSet(o ir.ID, v meld.Version) *bitset.Sparse {
 // addPt unions src into pt(v), rescheduling users on change.
 func (s *state) addPt(v ir.ID, src *bitset.Sparse) {
 	s.Stats.Propagations++
+	s.attr.Prop(0)
 	if s.ptOf(v).UnionWith(src) {
 		s.Stats.Changed++
 		for _, u := range s.Graph.UsersOf(v) {
@@ -304,6 +314,7 @@ func (s *state) growVersion(o ir.ID, v meld.Version, src *bitset.Sparse) {
 		ver meld.Version
 	}
 	s.Stats.Propagations++
+	s.attr.Prop(uint32(o))
 	if !s.ptvSet(o, v).UnionWith(src) {
 		return
 	}
@@ -320,6 +331,7 @@ func (s *state) growVersion(o ir.ID, v meld.Version, src *bitset.Sparse) {
 		for _, to := range s.verReliance[key] {
 			s.Stats.Propagations++
 			s.Stats.VersionProps++
+			s.attr.Prop(uint32(o))
 			if s.ptvSet(o, to).UnionWith(cur) {
 				s.Stats.Changed++
 				queue = append(queue, item{ver: to})
@@ -344,8 +356,29 @@ func (s *state) run() error {
 			return nil
 		}
 		s.Stats.NodesProcessed++
-		s.process(prog.Instrs[l])
+		in := prog.Instrs[l]
+		s.attr.Pop(popOwner(s.Graph, in))
+		s.process(in)
 	}
+}
+
+// popOwner charges a worklist pop to the object whose memory state the
+// node manipulates: the smallest χ'd object for stores, the smallest
+// μ'd object for loads, the unattributed bucket for pure top-level
+// nodes. Shared rule with internal/sfs so per-backend attribution is
+// comparable.
+func popOwner(g *svfg.Graph, in *ir.Instr) uint32 {
+	switch in.Op {
+	case ir.Store:
+		if chi := g.MSSA.ChiOf(in.Label); !chi.IsEmpty() {
+			return chi.Min()
+		}
+	case ir.Load:
+		if mu := g.MSSA.MuOf(in.Label); !mu.IsEmpty() {
+			return mu.Min()
+		}
+	}
+	return 0
 }
 
 // process applies the rules of Figure 10. Identity nodes (MEMPHI,
@@ -356,6 +389,7 @@ func (s *state) process(in *ir.Instr) {
 	switch in.Op {
 	case ir.Alloc:
 		s.Stats.Propagations++
+		s.attr.Prop(0)
 		if s.ptOf(in.Def).Set(uint32(in.Obj)) {
 			s.Stats.Changed++
 			for _, u := range g.UsersOf(in.Def) {
@@ -520,9 +554,10 @@ func (s *state) collectStats() {
 	for _, targets := range s.verReliance {
 		s.Stats.VersionConstraints += len(targets)
 	}
-	for _, set := range s.ptv {
+	for key, set := range s.ptv {
 		s.Stats.PtsSets++
 		s.Stats.PtsWords += set.Words()
+		s.attr.Set(uint32(key.obj))
 	}
 	for _, set := range s.pt {
 		if set != nil {

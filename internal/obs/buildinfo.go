@@ -1,0 +1,21 @@
+package obs
+
+import "runtime"
+
+// Version identifies this build of the analysis toolchain. It is
+// surfaced by `vsfs -version`, `GET /healthz`, and the
+// vsfs_build_info{version,go} gauge on /metrics, so a deployment is
+// identifiable from a scrape alone. Bumped whenever the report schema,
+// ledger schema, or bench baseline changes shape.
+const Version = "0.7.0"
+
+// GoVersion reports the Go toolchain the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// RegisterBuildInfo materialises the conventional build-info gauge
+// (value fixed at 1; the information rides in the labels) on r.
+func RegisterBuildInfo(r *Registry) {
+	r.GaugeVec("vsfs_build_info",
+		"Build identity; the value is always 1, the labels carry the facts.").
+		With("version", Version, "go", GoVersion()).Set(1)
+}

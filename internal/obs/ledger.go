@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Ledger is an append-only, size-rotated JSONL run log: one JSON object
+// per line, whole lines only. When appending a record would push the
+// current file past its size cap, the file is first renamed to
+// <path>.1 (replacing any previous rotation) and a fresh file is
+// opened — rotation therefore only ever happens at a line boundary, so
+// neither file can hold a torn line. Append and Tail share one mutex,
+// making concurrent writers and readers safe within a process.
+type Ledger struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+}
+
+// DefaultLedgerMaxBytes caps one ledger file before rotation; with the
+// rotated predecessor retained, on-disk usage stays under twice this.
+const DefaultLedgerMaxBytes = 8 << 20
+
+// OpenLedger opens (creating if needed) the ledger at path, appending
+// to any existing content. maxBytes <= 0 selects
+// DefaultLedgerMaxBytes.
+func OpenLedger(path string, maxBytes int64) (*Ledger, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultLedgerMaxBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Ledger{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Path returns the ledger's current file path.
+func (l *Ledger) Path() string { return l.path }
+
+// Append marshals v as one JSON line and appends it, rotating first if
+// the line would overflow the size cap. An over-cap record on an empty
+// file is still written whole — records are never split.
+func (l *Ledger) Append(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.size > 0 && l.size+int64(len(data)) > l.maxBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := l.f.Write(data)
+	l.size += int64(n)
+	return err
+}
+
+func (l *Ledger) rotateLocked() error {
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(l.path, l.path+".1"); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.size = 0
+	return nil
+}
+
+// Tail returns the last n records, oldest first, reading the rotated
+// predecessor when the current file holds fewer than n lines. Lines
+// that fail to parse as JSON are reported as an error rather than
+// skipped: the whole-line append discipline means a malformed line is
+// corruption, not an expected state.
+func (l *Ledger) Tail(n int) ([]json.RawMessage, error) {
+	if n <= 0 {
+		return []json.RawMessage{}, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []json.RawMessage
+	for _, p := range []string{l.path + ".1", l.path} {
+		recs, err := readLines(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	if len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out, nil
+}
+
+// Close flushes and closes the current file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+func readLines(path string) ([]json.RawMessage, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []json.RawMessage
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			return nil, fmt.Errorf("ledger %s: line %d is not valid JSON", path, lineNo)
+		}
+		rec := make(json.RawMessage, len(line))
+		copy(rec, line)
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ledger %s: %w", path, err)
+	}
+	return out, nil
+}

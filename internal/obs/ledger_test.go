@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type testRec struct {
+	N   int    `json:"n"`
+	Pad string `json:"pad,omitempty"`
+}
+
+func TestLedgerAppendTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	l, err := OpenLedger(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := l.Append(testRec{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := l.Tail(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("Tail(3) returned %d records", len(recs))
+	}
+	// Oldest first: 2, 3, 4.
+	for i, want := range []int{2, 3, 4} {
+		var r testRec
+		if err := json.Unmarshal(recs[i], &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.N != want {
+			t.Errorf("record %d has n=%d, want %d", i, r.N, want)
+		}
+	}
+	if recs, err := l.Tail(100); err != nil || len(recs) != 5 {
+		t.Fatalf("Tail(100) = %d records, err %v; want all 5", len(recs), err)
+	}
+	if recs, err := l.Tail(0); err != nil || len(recs) != 0 {
+		t.Fatalf("Tail(0) = %d records, err %v; want none", len(recs), err)
+	}
+}
+
+func TestLedgerReopenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	l, err := OpenLedger(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRec{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l, err = OpenLedger(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(testRec{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.Tail(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("reopened ledger lost records: got %d, want 2", len(recs))
+	}
+}
+
+func TestLedgerRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	// Records are ~40 bytes; a 100-byte cap forces rotation every few
+	// appends.
+	l, err := OpenLedger(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 20; i++ {
+		if err := l.Append(testRec{N: i, Pad: "xxxxxxxxxxxxxxxxxxxx"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("no rotated file after 20 over-cap appends: %v", err)
+	}
+	// The newest records must survive rotation, oldest first.
+	recs, err := l.Tail(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("Tail(2) = %d records", len(recs))
+	}
+	var last testRec
+	if err := json.Unmarshal(recs[1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.N != 19 {
+		t.Errorf("newest record n=%d, want 19", last.N)
+	}
+}
+
+// TestLedgerRotationNeverTearsALine hammers a tiny ledger from many
+// goroutines while a reader tails it, then verifies every surviving
+// line in both generations parses as a whole JSON record — the
+// rotate-at-line-boundary guarantee.
+func TestLedgerRotationNeverTearsALine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	l, err := OpenLedger(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const writers, appends = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < appends; i++ {
+				rec := testRec{N: w*appends + i, Pad: "concurrent-writer-payload"}
+				if err := l.Append(rec); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent tailer: Tail errors on any invalid JSON line, so a torn
+	// read mid-rotation would fail here.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if _, err := l.Tail(10); err != nil {
+				t.Errorf("tail during writes: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Post-hoc audit of both generations, byte-level: every line must be
+	// valid JSON (readLines errors otherwise).
+	total := 0
+	for _, p := range []string{path + ".1", path} {
+		recs, err := readLines(p)
+		if err != nil {
+			t.Fatalf("torn line detected: %v", err)
+		}
+		total += len(recs)
+		for _, raw := range recs {
+			var r testRec
+			if err := json.Unmarshal(raw, &r); err != nil {
+				t.Fatalf("unparseable record %q: %v", raw, err)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no records survived")
+	}
+	// Rotation drops whole old generations, never individual lines, so
+	// the current file plus one predecessor is all we can assert on.
+	t.Logf("audited %d surviving records across generations", total)
+}
+
+func TestLedgerOverCapRecordStillWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	l, err := OpenLedger(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	big := testRec{N: 1, Pad: "this-record-alone-exceeds-the-cap"}
+	if err := l.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.Tail(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatal("over-cap record on empty file was not written")
+	}
+}
+
+func TestLedgerTailRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := os.WriteFile(path, []byte("{\"n\":1}\n{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLedger(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Tail(5); err == nil {
+		t.Fatal("Tail accepted a corrupt line")
+	} else if want := "not valid JSON"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "vsfs_build_info") {
+		t.Fatalf("no vsfs_build_info in exposition:\n%s", text)
+	}
+	if !strings.Contains(text, `version="`+Version+`"`) {
+		t.Fatalf("build info missing version label:\n%s", text)
+	}
+}

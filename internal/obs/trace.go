@@ -16,6 +16,7 @@ type Trace struct {
 	mu     sync.Mutex
 	start  time.Time
 	events []Event
+	tags   map[string]any
 }
 
 // Event is one complete ("ph":"X") trace event. Timestamps and
@@ -51,6 +52,22 @@ type Span struct {
 	args  map[string]any
 }
 
+// Tag stamps key=value onto the args of every span completed from now
+// on (explicit Span.Arg values win on collision). The daemon uses it to
+// carry the request ID into per-solve traces, so a trace file can be
+// correlated with the access-log line for the same request.
+func (t *Trace) Tag(key string, value any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.tags == nil {
+		t.tags = make(map[string]any)
+	}
+	t.tags[key] = value
+	t.mu.Unlock()
+}
+
 // Start opens a span. Close it with End.
 func (t *Trace) Start(name string) *Span {
 	if t == nil {
@@ -79,6 +96,16 @@ func (s *Span) End() {
 	}
 	end := time.Now()
 	s.tr.mu.Lock()
+	if len(s.tr.tags) > 0 {
+		if s.args == nil {
+			s.args = make(map[string]any, len(s.tr.tags))
+		}
+		for k, v := range s.tr.tags {
+			if _, ok := s.args[k]; !ok {
+				s.args[k] = v
+			}
+		}
+	}
 	s.tr.events = append(s.tr.events, Event{
 		Name: s.name,
 		Cat:  "vsfs",

@@ -13,6 +13,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 
 	"vsfs/internal/andersen"
@@ -22,7 +23,9 @@ import (
 	"vsfs/internal/ir"
 	"vsfs/internal/irparse"
 	"vsfs/internal/memssa"
+	"vsfs/internal/obs"
 	"vsfs/internal/sfs"
+	"vsfs/internal/shape"
 	"vsfs/internal/svfg"
 	"vsfs/internal/workload"
 )
@@ -130,8 +133,10 @@ func Check(b *Bundle, opts Options) []Violation {
 	c.checkCheckers()
 	c.checkWitnesses()
 	c.checkCfgfree()
+	c.checkShape()
 	if !c.opts.SkipResolve {
 		c.checkResolve()
+		c.checkAttribution()
 	}
 	return c.out
 }
@@ -457,6 +462,71 @@ func (c *checker) checkCfgfree() {
 	}
 	if err := cfgfree.Verify(b.Prog, b.Aux, cf); err != nil {
 		c.failf("cfgfree-replay", "%v", err)
+	}
+}
+
+// checkShape asserts the shape profile is a pure function of (program,
+// auxiliary result): computing it twice must be bit-identical
+// (shape-deterministic) — the contract the auto-backend heuristic and
+// the run ledger rely on.
+func (c *checker) checkShape() {
+	p1 := shape.Of(c.b.Prog, c.b.Aux)
+	p2 := shape.Of(c.b.Prog, c.b.Aux)
+	if p1 != p2 {
+		c.failf("shape-deterministic", "re-computed profile differs: %+v vs %+v", p1, p2)
+	}
+}
+
+// checkAttribution re-solves every backend with a cost collector
+// attached and asserts the conservation rule: per-object charges sum
+// exactly to the solver-wide gauges (every counter bump pairs with one
+// charge, with object 0 absorbing unattributable work). Gated with the
+// re-solve battery because it solves all three backends again.
+//
+//	attr-conserved-pops:   Σ pops  = NodesProcessed
+//	attr-conserved-props:  Σ props = Propagations
+//	attr-conserved-sets:   Σ sets  = PtsSets
+//	attr-conserved-melds:  Σ melds = MeldOps (VSFS versioning)
+func (c *checker) checkAttribution() {
+	b := c.b
+	conserve := func(backend string, a *obs.ObjectAttr, pops, props, sets, melds int) {
+		if a.TotalPops() != uint64(pops) {
+			c.failf("attr-conserved-pops", "%s: charged %d, solver processed %d", backend, a.TotalPops(), pops)
+		}
+		if a.TotalProps() != uint64(props) {
+			c.failf("attr-conserved-props", "%s: charged %d, solver propagated %d", backend, a.TotalProps(), props)
+		}
+		if a.TotalSets() != uint64(sets) {
+			c.failf("attr-conserved-sets", "%s: charged %d, solver stored %d", backend, a.TotalSets(), sets)
+		}
+		if a.TotalMelds() != uint64(melds) {
+			c.failf("attr-conserved-melds", "%s: charged %d, versioning melded %d", backend, a.TotalMelds(), melds)
+		}
+	}
+
+	aS := obs.NewObjectAttr(b.Prog.NumValues())
+	s2, err := sfs.SolveContext(obs.WithCollector(context.Background(), aS), b.Graph.Clone())
+	if err != nil {
+		c.failf("attr-conserved-pops", "SFS attributed re-solve failed: %v", err)
+	} else {
+		conserve("sfs", aS, s2.Stats.NodesProcessed, s2.Stats.Propagations, s2.Stats.PtsSets, 0)
+	}
+
+	aV := obs.NewObjectAttr(b.Prog.NumValues())
+	v2, err := core.SolveContext(obs.WithCollector(context.Background(), aV), b.Graph.Clone())
+	if err != nil {
+		c.failf("attr-conserved-pops", "VSFS attributed re-solve failed: %v", err)
+	} else {
+		conserve("vsfs", aV, v2.Stats.NodesProcessed, v2.Stats.Propagations,
+			v2.Stats.PtsSets, v2.Stats.Versioning.MeldOps)
+	}
+
+	aC := obs.NewObjectAttr(b.Prog.NumValues())
+	c2, err := cfgfree.SolveContext(obs.WithCollector(context.Background(), aC), b.Prog, b.Aux)
+	if err != nil {
+		c.failf("attr-conserved-pops", "cfgfree attributed re-solve failed: %v", err)
+	} else {
+		conserve("cfgfree", aC, c2.Stats.NodesProcessed, c2.Stats.Propagations, c2.Stats.PtsSets, 0)
 	}
 }
 

@@ -52,7 +52,23 @@ type serverMetrics struct {
 
 	distinctVersions *obs.Series // gauge: last solve's distinct meld labels
 	prelabels        *obs.Series // gauge: last solve's prelabel count
+
+	// Program-shape gauges: the Table II-style feature vector of the
+	// most recent successful solve (the auto-backend heuristic's input).
+	shapeInstrs          *obs.Series
+	shapeAddressTaken    *obs.Series
+	shapeStoreLoadRatio  *obs.Series
+	shapeSingletonRatio  *obs.Series
+	shapeIndirectDensity *obs.Series
+
+	// Attribution series, populated only when Config.Attribution is on.
+	attrCharges    *obs.Family // counter by kind (pops|props|sets|melds)
+	attrObjectCost *obs.Series // histogram: per-object attributed cost
 }
+
+// attrMetricsTopK bounds how many per-object cost observations one
+// solve feeds into the vsfs_attr_object_cost histogram.
+const attrMetricsTopK = 64
 
 // newServerMetrics registers every family and the instantaneous gauges,
 // which read live state (queue, pool, cache, clock) at scrape time.
@@ -109,7 +125,24 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Distinct meld-labelling versions in the most recent VSFS solve."),
 		prelabels: r.Gauge("vsfs_prelabels",
 			"Prelabel atoms allocated in the most recent VSFS solve."),
+
+		shapeInstrs: r.Gauge("vsfs_shape_instrs",
+			"IR instructions of the most recent successful solve."),
+		shapeAddressTaken: r.Gauge("vsfs_shape_address_taken",
+			"Address-taken abstract objects of the most recent successful solve."),
+		shapeStoreLoadRatio: r.Gauge("vsfs_shape_store_load_ratio",
+			"Store/load ratio of the most recent successful solve."),
+		shapeSingletonRatio: r.Gauge("vsfs_shape_singleton_ratio",
+			"Fraction of address-taken objects that are singletons in the most recent successful solve."),
+		shapeIndirectDensity: r.Gauge("vsfs_shape_indirect_density",
+			"Estimated indirect value-flow edges per instruction of the most recent successful solve."),
+
+		attrCharges: r.CounterVec("vsfs_attr_charges_total",
+			"Per-object cost-attribution charges across attributed solves, by kind."),
+		attrObjectCost: r.Histogram("vsfs_attr_object_cost",
+			"Attributed cost (propagations + pops + melds) per hot object, per attributed solve.", obs.SizeBuckets),
 	}
+	obs.RegisterBuildInfo(r)
 
 	r.GaugeFunc("vsfs_queue_depth",
 		"Solves waiting for a worker right now.",
@@ -151,6 +184,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 		m.guardPanics.With("phase", ph)
 	}
 	m.guardPanics.With("phase", "server")
+	for _, kind := range []string{"pops", "props", "sets", "melds"} {
+		m.attrCharges.With("kind", kind)
+	}
 	return m
 }
 
@@ -173,5 +209,22 @@ func (m *serverMetrics) observeSolve(res *vsfs.Result) {
 	if st.Mode == "vsfs" {
 		m.distinctVersions.Set(float64(st.DistinctVersions))
 		m.prelabels.Set(float64(st.Prelabels))
+	}
+
+	sh := res.Shape()
+	m.shapeInstrs.Set(float64(sh.Instrs))
+	m.shapeAddressTaken.Set(float64(sh.AddressTaken))
+	m.shapeStoreLoadRatio.Set(sh.StoreLoadRatio)
+	m.shapeSingletonRatio.Set(sh.SingletonRatio)
+	m.shapeIndirectDensity.Set(sh.IndirectDensity)
+
+	if a := res.Attr(); a != nil {
+		m.attrCharges.With("kind", "pops").Add(float64(a.TotalPops()))
+		m.attrCharges.With("kind", "props").Add(float64(a.TotalProps()))
+		m.attrCharges.With("kind", "sets").Add(float64(a.TotalSets()))
+		m.attrCharges.With("kind", "melds").Add(float64(a.TotalMelds()))
+		for _, h := range res.HotObjects(attrMetricsTopK) {
+			m.attrObjectCost.Observe(float64(h.Propagations + h.Pops + h.Melds))
+		}
 	}
 }

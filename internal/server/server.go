@@ -40,6 +40,8 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -94,6 +96,19 @@ type Config struct {
 	// Faults injects a deterministic guard.FaultPlan into every solve.
 	// Test and chaos-drill hook; leave nil in production.
 	Faults *guard.FaultPlan
+
+	// Ledger, when non-nil, records every completed solve (including
+	// degraded ones) as a vsfs.RunRecord and serves the tail at
+	// GET /runs. The server does not close it; the owner does.
+	Ledger *obs.Ledger
+	// TraceDir, when non-empty, writes one Chrome trace_event file per
+	// solve into the directory, named and tagged with the request ID of
+	// the single-flight leader.
+	TraceDir string
+	// Attribution enables per-object cost attribution on every solve:
+	// reports embed the hot-object table and /metrics gains the
+	// vsfs_attr_* series. Adds ~four slice writes per solver event.
+	Attribution bool
 }
 
 // Defaults for Config's zero values.
@@ -180,6 +195,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /runs", s.handleRuns)
 	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /check", s.handleCheck)
@@ -401,7 +417,13 @@ func (s *Server) solveOn(solveCtx context.Context, key string, mode vsfs.Mode, i
 		if s.cfg.Faults != nil {
 			ctx = guard.WithFaults(ctx, s.cfg.Faults)
 		}
-		res, err := vsfs.AnalyzeContext(ctx, source, vsfs.Options{Mode: mode, Input: input})
+		if s.cfg.TraceDir != "" {
+			tr := obs.NewTrace()
+			tr.Tag("requestId", reqID)
+			ctx = obs.NewContext(ctx, tr)
+			defer s.writeTrace(tr, reqID)
+		}
+		res, err := vsfs.AnalyzeContext(ctx, source, vsfs.Options{Mode: mode, Input: input, Attr: s.cfg.Attribution})
 		switch {
 		case err == nil:
 			s.met.solveOutcomes.With("outcome", "ok").Inc()
@@ -419,6 +441,15 @@ func (s *Server) solveOn(solveCtx context.Context, key string, mode vsfs.Mode, i
 			// another doomed solve. A cancelled or failed solve can never
 			// corrupt an entry.
 			s.cache.add(key, res)
+			if s.cfg.Ledger != nil {
+				// Each ledger record covers one actual solve (cache hits
+				// re-serve this record's run). The checker pass is paid
+				// only when a ledger wants the finding count.
+				rec := res.RunRecord(time.Now(), len(res.Check()))
+				if lerr := s.cfg.Ledger.Append(rec); lerr != nil {
+					s.logger.Warn("ledger append failed", "id", reqID, "err", lerr)
+				}
+			}
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			s.met.solveOutcomes.With("outcome", "cancelled").Inc()
 			s.logger.Warn("solve cancelled", "id", reqID, "key", key, "err", err)
@@ -462,8 +493,79 @@ func (s *Server) solveOn(solveCtx context.Context, key string, mode vsfs.Mode, i
 	}
 }
 
+// writeTrace persists one solve's Chrome trace under TraceDir, named by
+// the request ID (sanitised — the ID may be client-supplied). Failures
+// are logged, never surfaced: tracing must not affect the solve.
+func (s *Server) writeTrace(tr *obs.Trace, reqID string) {
+	name := "solve-" + sanitizeID(reqID) + ".json"
+	f, err := os.Create(filepath.Join(s.cfg.TraceDir, name))
+	if err != nil {
+		s.logger.Warn("trace create failed", "id", reqID, "err", err)
+		return
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		s.logger.Warn("trace write failed", "id", reqID, "err", err)
+	}
+}
+
+// sanitizeID keeps [A-Za-z0-9_-] of a request ID for use in filenames.
+func sanitizeID(id string) string {
+	out := make([]byte, 0, len(id))
+	for i := 0; i < len(id) && len(out) < 64; i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "unknown"
+	}
+	return string(out)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ok",
+		"version": obs.Version,
+		"go":      obs.GoVersion(),
+	})
+}
+
+// RunsResponse is the body of GET /runs: the newest ledger records,
+// oldest first, as raw JSON lines.
+type RunsResponse struct {
+	Runs []json.RawMessage `json:"runs"`
+}
+
+// handleRuns tails the persistent run ledger. 404 when the server was
+// started without one.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Ledger == nil {
+		s.writeError(w, r, http.StatusNotFound, errors.New("no run ledger configured (start with -ledger)"))
+		return
+	}
+	n := 20
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			s.writeError(w, r, http.StatusBadRequest, badRequestf("bad n %q (want a positive integer)", q))
+			return
+		}
+		n = v
+	}
+	runs, err := s.cfg.Ledger.Tail(n)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	if runs == nil {
+		runs = []json.RawMessage{}
+	}
+	writeJSON(w, http.StatusOK, RunsResponse{Runs: runs})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,16 @@ type PhaseMillis struct {
 	Solve    float64 `json:"solveMs"`
 }
 
+// LastShape mirrors the vsfs_shape_* gauges: the Table II-style feature
+// vector of the most recent successful solve (zero before any solve).
+type LastShape struct {
+	Instrs          int     `json:"instrs"`
+	AddressTaken    int     `json:"addressTaken"`
+	StoreLoadRatio  float64 `json:"storeLoadRatio"`
+	SingletonRatio  float64 `json:"singletonRatio"`
+	IndirectDensity float64 `json:"indirectDensity"`
+}
+
 // StatsSnapshot is the JSON body of GET /stats. Every field is read
 // back from the metrics registry (or live server state), so /stats and
 // /metrics always agree.
@@ -52,6 +62,8 @@ type StatsSnapshot struct {
 	AvgSolveMs float64     `json:"avgSolveMs"`
 	MaxSolveMs float64     `json:"maxSolveMs"`
 	Phase      PhaseMillis `json:"phase"`
+
+	LastShape LastShape `json:"lastShape"`
 }
 
 func (s *Server) snapshot() StatsSnapshot {
@@ -97,6 +109,14 @@ func (s *Server) snapshot() StatsSnapshot {
 			MemSSA:   phaseSum("memssa"),
 			SVFG:     phaseSum("svfg"),
 			Solve:    phaseSum("solve"),
+		},
+
+		LastShape: LastShape{
+			Instrs:          int(m.shapeInstrs.Value()),
+			AddressTaken:    int(m.shapeAddressTaken.Value()),
+			StoreLoadRatio:  m.shapeStoreLoadRatio.Value(),
+			SingletonRatio:  m.shapeSingletonRatio.Value(),
+			IndirectDensity: m.shapeIndirectDensity.Value(),
 		},
 	}
 	snap.RequestsByMode = make(map[string]int64, len(analysisModes))

@@ -15,6 +15,7 @@ import (
 	"vsfs/internal/bitset"
 	"vsfs/internal/guard"
 	"vsfs/internal/ir"
+	"vsfs/internal/obs"
 	"vsfs/internal/svfg"
 )
 
@@ -148,6 +149,7 @@ func SolveContext(ctx context.Context, g *svfg.Graph) (*Result, error) {
 			callees: make(map[*ir.Instr]map[*ir.Function]bool),
 		},
 		ctx:       ctx,
+		attr:      obs.AttrFrom(ctx),
 		fsCallers: make(map[*ir.Function][]uint32),
 	}
 	if err := s.run(); err != nil {
@@ -167,6 +169,12 @@ type state struct {
 
 	ctx  context.Context
 	work worklist
+
+	// attr charges solver work to owning objects; nil (no-op receiver)
+	// when attribution is off. Every Stats increment pairs with exactly
+	// one charge — object 0 buckets top-level work — so per-object
+	// sums are conserved against the solver-wide gauges.
+	attr *obs.ObjectAttr
 
 	// fsCallers maps a function to the call-site labels resolved to it,
 	// so a growing return value reschedules its callers.
@@ -255,6 +263,7 @@ func (s *state) outSet(label uint32, o ir.ID) *bitset.Sparse {
 // on change.
 func (s *state) addPt(v ir.ID, src *bitset.Sparse) {
 	s.Stats.Propagations++
+	s.attr.Prop(0)
 	if s.ptOf(v).UnionWith(src) {
 		s.Stats.Changed++
 		for _, u := range s.Graph.UsersOf(v) {
@@ -270,6 +279,7 @@ func (s *state) propagate(to uint32, o ir.ID, src *bitset.Sparse) {
 		return
 	}
 	s.Stats.Propagations++
+	s.attr.Prop(uint32(o))
 	if s.inSet(to, o).UnionWith(src) {
 		s.Stats.Changed++
 		s.work.push(to)
@@ -292,8 +302,28 @@ func (s *state) run() error {
 			return nil
 		}
 		s.Stats.NodesProcessed++
-		s.process(prog.Instrs[l])
+		in := prog.Instrs[l]
+		s.attr.Pop(popOwner(s.Graph, in))
+		s.process(in)
 	}
+}
+
+// popOwner charges a worklist pop to the object whose memory state the
+// node manipulates: the smallest χ'd object for stores, the smallest
+// μ'd object for loads, the unattributed bucket otherwise. The same
+// rule internal/core uses, so per-backend attribution is comparable.
+func popOwner(g *svfg.Graph, in *ir.Instr) uint32 {
+	switch in.Op {
+	case ir.Store:
+		if chi := g.MSSA.ChiOf(in.Label); !chi.IsEmpty() {
+			return chi.Min()
+		}
+	case ir.Load:
+		if mu := g.MSSA.MuOf(in.Label); !mu.IsEmpty() {
+			return mu.Min()
+		}
+	}
+	return 0
 }
 
 func (s *state) process(in *ir.Instr) {
@@ -302,6 +332,7 @@ func (s *state) process(in *ir.Instr) {
 	switch in.Op {
 	case ir.Alloc:
 		s.Stats.Propagations++
+		s.attr.Prop(0)
 		if s.ptOf(in.Def).Set(uint32(in.Obj)) {
 			s.Stats.Changed++
 			for _, u := range g.UsersOf(in.Def) {
@@ -415,12 +446,15 @@ func (s *state) processStore(in *ir.Instr) {
 		if strong {
 			// Kill: only the stored value survives.
 			s.Stats.Propagations++
+			s.attr.Prop(o32)
 			changed = out.UnionWith(ptq)
 		} else {
 			s.Stats.Propagations++
+			s.attr.Prop(o32)
 			changed = out.UnionWith(s.inPeek(l, o))
 			if ptp.Has(o32) {
 				s.Stats.Propagations++
+				s.attr.Prop(o32)
 				if out.UnionWith(ptq) {
 					changed = true
 				}
@@ -517,15 +551,17 @@ func (s *state) wireCallee(call *ir.Instr, callee *ir.Function) {
 // during solving, so the fixpoint sizes are also the peaks.
 func (s *state) collectStats() {
 	for _, m := range s.in {
-		for _, set := range m {
+		for o, set := range m {
 			s.Stats.PtsSets++
 			s.Stats.PtsWords += set.Words()
+			s.attr.Set(uint32(o))
 		}
 	}
 	for _, m := range s.out {
-		for _, set := range m {
+		for o, set := range m {
 			s.Stats.PtsSets++
 			s.Stats.PtsWords += set.Words()
+			s.attr.Set(uint32(o))
 		}
 	}
 	for _, set := range s.pt {

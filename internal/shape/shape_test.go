@@ -1,0 +1,151 @@
+package shape_test
+
+import (
+	"testing"
+
+	"vsfs/internal/andersen"
+	"vsfs/internal/irparse"
+	"vsfs/internal/shape"
+)
+
+func profileOf(t *testing.T, src string) shape.Profile {
+	t.Helper()
+	prog, err := irparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shape.Of(prog, andersen.Analyze(prog))
+}
+
+func TestProfileCounts(t *testing.T) {
+	const src = `
+func main() {
+entry:
+  pa = alloc a 0
+  pb = alloc b 0
+  q = alloc qcell 0
+  store q, pa
+  x = load q
+  store q, pb
+  y = load q
+  ret
+}
+`
+	p := profileOf(t, src)
+	if p.Functions != 1 {
+		t.Errorf("Functions = %d, want 1", p.Functions)
+	}
+	if p.Loads != 2 || p.Stores != 2 {
+		t.Errorf("Loads/Stores = %d/%d, want 2/2", p.Loads, p.Stores)
+	}
+	if p.StoreLoadRatio != 1.0 {
+		t.Errorf("StoreLoadRatio = %v, want 1.0", p.StoreLoadRatio)
+	}
+	if p.AddressTaken != 3 {
+		t.Errorf("AddressTaken = %d, want 3 (a, b, qcell)", p.AddressTaken)
+	}
+	if p.Calls != 0 || p.IndirectCalls != 0 {
+		t.Errorf("Calls/IndirectCalls = %d/%d, want 0/0", p.Calls, p.IndirectCalls)
+	}
+	if p.Instrs < 7 {
+		t.Errorf("Instrs = %d, want at least the 7 visible instructions", p.Instrs)
+	}
+	// x and y each reach {a, b} in the flow-insensitive auxiliary.
+	if p.MaxPtsSize != 2 {
+		t.Errorf("MaxPtsSize = %d, want 2", p.MaxPtsSize)
+	}
+	if p.AvgPtsSize < 1 || p.AvgPtsSize > 2 {
+		t.Errorf("AvgPtsSize = %v, want within [1, 2]", p.AvgPtsSize)
+	}
+	// All four memory accesses go through q with |pts(q)| = 1, so the
+	// density is exactly 4/Instrs.
+	if want := 4.0 / float64(p.Instrs); p.IndirectDensity != want {
+		t.Errorf("IndirectDensity = %v, want %v", p.IndirectDensity, want)
+	}
+	if p.AddressTaken > 0 {
+		if want := float64(p.Singletons) / float64(p.AddressTaken); p.SingletonRatio != want {
+			t.Errorf("SingletonRatio = %v, want %v", p.SingletonRatio, want)
+		}
+	}
+}
+
+func TestProfileCallMix(t *testing.T) {
+	const src = `
+func helper() {
+entry:
+  ret
+}
+
+func main() {
+entry:
+  fp = funcaddr helper
+  call helper()
+  calli fp()
+  ret
+}
+`
+	p := profileOf(t, src)
+	if p.Functions != 2 {
+		t.Errorf("Functions = %d, want 2", p.Functions)
+	}
+	if p.Calls != 2 {
+		t.Errorf("Calls = %d, want 2", p.Calls)
+	}
+	if p.IndirectCalls != 1 {
+		t.Errorf("IndirectCalls = %d, want 1 (the calli)", p.IndirectCalls)
+	}
+}
+
+// TestProfileZeroDenominators pins the contract that every ratio is 0
+// (not NaN) when its denominator is 0.
+func TestProfileZeroDenominators(t *testing.T) {
+	const src = `
+func main() {
+entry:
+  ret
+}
+`
+	p := profileOf(t, src)
+	if p.Loads != 0 || p.Stores != 0 || p.AddressTaken != 0 {
+		t.Fatalf("unexpected counts in empty program: %+v", p)
+	}
+	if p.StoreLoadRatio != 0 || p.SingletonRatio != 0 || p.AvgPtsSize != 0 || p.IndirectDensity != 0 {
+		t.Errorf("ratios must be 0 with zero denominators, got %+v", p)
+	}
+}
+
+// TestProfileDeterministic is the oracle invariant: the profile is a
+// pure function of (program, aux), so recomputing — and re-solving from
+// source — must reproduce it exactly. Profile is a comparable struct,
+// so != is a field-for-field check.
+func TestProfileDeterministic(t *testing.T) {
+	const src = `
+func main() {
+entry:
+  pa = alloc a 0
+  q = alloc qcell 0
+  store q, pa
+  x = load q
+  call main()
+  ret
+}
+`
+	prog, err := irparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux := andersen.Analyze(prog)
+	p1 := shape.Of(prog, aux)
+	p2 := shape.Of(prog, aux)
+	if p1 != p2 {
+		t.Errorf("recompute differs:\n%+v\n%+v", p1, p2)
+	}
+	prog2, err := irparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := shape.Of(prog2, andersen.Analyze(prog2))
+	if p1 != p3 {
+		t.Errorf("re-solve differs:\n%+v\n%+v", p1, p3)
+	}
+}

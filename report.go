@@ -6,6 +6,7 @@ import (
 	"vsfs/internal/bitset"
 	"vsfs/internal/checker"
 	"vsfs/internal/ir"
+	"vsfs/internal/obs"
 )
 
 // VarFacts is one source-level variable's points-to facts.
@@ -45,6 +46,16 @@ type Report struct {
 	Findings  []Finding    `json:"findings"`
 	Stats     Summary      `json:"stats"`
 
+	// Shape is the Table II-style program feature vector; deterministic
+	// for a given input, so it never breaks the byte-identity the result
+	// cache keys on.
+	Shape Shape `json:"shape"`
+
+	// HotObjects is the per-object cost attribution top-K, present only
+	// when the run enabled Options.Attr (so default reports stay
+	// byte-identical to pre-attribution ones).
+	HotObjects []obs.HotObject `json:"hotObjects,omitempty"`
+
 	// Degraded marks a run that exhausted its resource budget and fell
 	// down the backend ladder; Degradation is the human-readable
 	// reason. Mode reflects the analysis that actually produced the
@@ -52,6 +63,10 @@ type Report struct {
 	Degraded    bool   `json:"degraded,omitempty"`
 	Degradation string `json:"degradation,omitempty"`
 }
+
+// reportTopK bounds the hot-object table embedded in reports; clients
+// needing more call Result.HotObjects directly.
+const reportTopK = 10
 
 // Report builds the structured result. Order is deterministic
 // everywhere: functions in definition order, variables and callees
@@ -61,6 +76,8 @@ func (r *Result) Report() Report {
 		Mode:        r.mode.String(),
 		Findings:    r.Check(),
 		Stats:       r.Stats(),
+		Shape:       r.shape,
+		HotObjects:  r.HotObjects(reportTopK),
 		Degraded:    r.degraded,
 		Degradation: r.degradation,
 	}

@@ -49,6 +49,7 @@ import (
 	"vsfs/internal/memssa"
 	"vsfs/internal/obs"
 	"vsfs/internal/sfs"
+	"vsfs/internal/shape"
 	"vsfs/internal/svfg"
 )
 
@@ -137,7 +138,17 @@ type Options struct {
 	// program (ir.Program.File) so checker diagnostics can point at
 	// file:line:col. Purely cosmetic; empty is fine.
 	Filename string
+	// Attr enables per-object cost attribution: solver work (worklist
+	// pops, propagations, materialised sets, meld operations) is charged
+	// to the owning abstract object and surfaced via Result.HotObjects
+	// and Report.HotObjects. Off by default — the disabled path costs
+	// one predicted nil-check per counter bump.
+	Attr bool
 }
+
+// Shape is the Table II-style program feature vector computed during
+// the auxiliary phase; see internal/shape.
+type Shape = shape.Profile
 
 // Timings records per-phase wall-clock durations of one Analyze run.
 type Timings struct {
@@ -164,6 +175,22 @@ type Result struct {
 
 	timings Timings
 
+	// hash identifies the source text (guard.Hash); "" for runs over
+	// pre-built programs.
+	hash string
+	// shape is the Table II-style feature vector, computed right after
+	// the auxiliary phase and therefore present even on degraded runs.
+	shape Shape
+	// attr holds per-object cost attribution when Options.Attr was set;
+	// nil otherwise. On degraded runs it accumulates across ladder
+	// rungs, so conservation against single-solver gauges holds only
+	// for clean runs.
+	attr *obs.ObjectAttr
+	// budgetSteps/budgetBytes record governed-run spend at completion
+	// (0 when no budget was attached).
+	budgetSteps int64
+	budgetBytes int64
+
 	// Degradation state: when a resource budget is exhausted after the
 	// auxiliary phase has completed, the run walks down a ladder instead
 	// of failing: a VSFS/SFS run first retries on the CFG-free backend
@@ -181,6 +208,77 @@ type Result struct {
 
 // Timings returns the per-phase wall-clock durations of the run.
 func (r *Result) Timings() Timings { return r.timings }
+
+// Shape returns the Table II-style program feature vector. It is
+// computed right after the auxiliary phase, so it is valid even on
+// degraded runs, and deterministic: re-analysing the same source
+// reproduces it bit-for-bit.
+func (r *Result) Shape() Shape { return r.shape }
+
+// Attr returns the per-object cost attribution of the run, or nil when
+// Options.Attr was not set. On degraded runs the counters accumulate
+// across ladder rungs.
+func (r *Result) Attr() *obs.ObjectAttr { return r.attr }
+
+// HotObjects returns the k most expensive abstract objects of the run
+// by attributed solver cost (propagations + pops + melds), or nil when
+// attribution was off. Object ID 0 is the "(unattributed)" bucket
+// holding top-level (non-object) work.
+func (r *Result) HotObjects(k int) []obs.HotObject {
+	if r.attr == nil {
+		return nil
+	}
+	return r.attr.TopK(k, func(o uint32) string { return r.prog.NameOf(ir.ID(o)) })
+}
+
+// RunRecord is one entry of the persistent run ledger (obs.Ledger): a
+// compact, append-only summary of a completed analysis. Fields are
+// append-only so old ledgers stay parseable.
+type RunRecord struct {
+	Time        string `json:"time"`
+	Program     string `json:"program,omitempty"` // source hash (guard.Hash)
+	Requested   string `json:"requested"`
+	Backend     string `json:"backend"` // mode that actually answered
+	Degraded    bool   `json:"degraded,omitempty"`
+	Degradation string `json:"degradation,omitempty"`
+	Shape       Shape  `json:"shape"`
+
+	AndersenMs float64 `json:"andersenMs"`
+	MemSSAMs   float64 `json:"memSSAMs"`
+	SVFGMs     float64 `json:"svfgMs"`
+	SolveMs    float64 `json:"solveMs"`
+	TotalMs    float64 `json:"totalMs"`
+
+	BudgetSteps int64 `json:"budgetSteps,omitempty"`
+	BudgetBytes int64 `json:"budgetBytes,omitempty"`
+
+	Findings int `json:"findings"`
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// RunRecord builds the ledger entry for this run. The caller supplies
+// the timestamp and the findings count (len(r.Check()) or a cached
+// value) so building a record never re-runs the checkers.
+func (r *Result) RunRecord(now time.Time, findings int) RunRecord {
+	return RunRecord{
+		Time:        now.UTC().Format(time.RFC3339Nano),
+		Program:     r.hash,
+		Requested:   r.requested.String(),
+		Backend:     r.mode.String(),
+		Degraded:    r.degraded,
+		Degradation: r.degradation,
+		Shape:       r.shape,
+		AndersenMs:  millis(r.timings.Andersen),
+		MemSSAMs:    millis(r.timings.MemSSA),
+		SVFGMs:      millis(r.timings.SVFG),
+		SolveMs:     millis(r.timings.Solve),
+		TotalMs:     millis(r.timings.Total),
+		BudgetSteps: r.budgetSteps,
+		BudgetBytes: r.budgetBytes,
+		Findings:    findings,
+	}
+}
 
 // Mode returns the analysis mode that produced the answers: the
 // requested mode, or the degradation-ladder rung that answered
@@ -250,7 +348,7 @@ func (r *Result) degradeVia(ctx context.Context, hash string, be *guard.ErrBudge
 	// markers, MEMPHIs) — only labels shift.
 	r.prog.Renumber()
 	t := time.Now()
-	sp := obs.StartSpan(ctx, "cfgfree").Arg("after", be.Phase)
+	sp := obs.StartSpan(ctx, "cfgfree-retry").Arg("after", be.Phase)
 	var cf *cfgfree.Result
 	// The rung runs under its own phase name: re-entering the breached
 	// phase would replay that phase's injected faults into the fresh
@@ -379,7 +477,11 @@ func budgetBreach(err error) (*guard.ErrBudgetExceeded, bool) {
 }
 
 func analyzeProgram(ctx context.Context, prog *ir.Program, opts Options, hash string) (*Result, error) {
-	r := &Result{mode: opts.Mode, requested: opts.Mode, prog: prog}
+	r := &Result{mode: opts.Mode, requested: opts.Mode, prog: prog, hash: hash}
+	if opts.Attr {
+		r.attr = obs.NewObjectAttr(prog.NumValues())
+		ctx = obs.WithCollector(ctx, r.attr)
+	}
 	start := time.Now()
 	sp := obs.StartSpan(ctx, "andersen")
 	err := guard.Recover(ctx, "andersen", hash, func() error {
@@ -393,9 +495,17 @@ func analyzeProgram(ctx context.Context, prog *ir.Program, opts Options, hash st
 	}
 	sp.Arg("pops", r.aux.Stats.Pops).Arg("propagations", r.aux.Stats.Propagations).End()
 	r.timings.Andersen = time.Since(start)
+	// The shape profile needs only the IR and the auxiliary result, so
+	// it is available to every later consumer — including the backend
+	// chooser that runs before the staged pipeline, and degraded runs.
+	r.shape = shape.Of(prog, r.aux)
 
 	finish := func() (*Result, error) {
 		r.timings.Total = time.Since(start)
+		if b := guard.BudgetFrom(ctx); b != nil {
+			r.budgetSteps = b.StepsUsed()
+			r.budgetBytes = b.BytesUsed()
+		}
 		return r, nil
 	}
 
