@@ -38,13 +38,15 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/server/
 
 # Regenerate the committed bench baseline after a deliberate perf change
-# (all 15 profiles; takes a few minutes).
+# (all 15 profiles, parallel engine included; takes a few minutes).
 bench-baseline:
-	$(GO) run ./cmd/vsfs-bench -json > BENCH_BASELINE.json
+	$(GO) run ./cmd/vsfs-bench -parallel 4 -json > BENCH_BASELINE.json
 
-# The CI regression gate, locally: exits 1 past the thresholds.
+# The CI regression gate, locally: exits 1 past the thresholds. The
+# -parallel 4 run adds the vsfs-parallel rows so the gate covers the
+# sharded engine too.
 bench-gate:
-	$(GO) run ./cmd/vsfs-bench -bench du,nano -json \
+	$(GO) run ./cmd/vsfs-bench -bench du,nano -parallel 4 -json \
 		-compare BENCH_BASELINE.json -threshold 200 -mem-threshold 25 > /dev/null
 
 serve:

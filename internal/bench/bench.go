@@ -41,6 +41,11 @@ type Options struct {
 	// modelled memory exceeds this many bytes (the paper capped runs at
 	// 120 GB, which SFS exceeded on lynx).
 	MemLimit int64
+
+	// Parallel, when ≥ 2, also times the sharded parallel VSFS engine
+	// at that worker count and reports ParallelTime/ParallelSpeedup per
+	// row (plus a "vsfs-parallel" backend row in JSON artifacts).
+	Parallel int
 }
 
 // Row holds every measured quantity for one benchmark.
@@ -63,8 +68,19 @@ type Row struct {
 	VersionTime  time.Duration
 	VSFSTime     time.Duration
 	VSFSMem      int64
-	Speedup      float64 // SFSTime / VSFSTime (main phases)
-	MemRatio     float64 // SFSMem / VSFSMem
+	// Speedup is SFSTime / (VSFSTime + VersionTime); MemRatio is
+	// SFSMem / VSFSMem. Both are zero when SFS OOMed: its time and
+	// memory are not measurements there, so any ratio over them would
+	// be garbage (tables render the column as "—" and means skip it).
+	Speedup  float64
+	MemRatio float64
+
+	// Parallel engine (Options.Parallel ≥ 2 only): the sharded solve's
+	// versioning + main-phase time and its speedup over the sequential
+	// VSFS solve of the same graph. Memory is not reported separately —
+	// the parallel engine stores the identical (object, version) sets.
+	ParallelTime    time.Duration
+	ParallelSpeedup float64
 
 	// CFG-free backend (the Andersen-style flow-sensitive solver):
 	// solving time over the program plus the auxiliary result, and the
@@ -151,7 +167,7 @@ func RunProfile(p workload.Profile, opts Options) Row {
 	row.TopLevel = g.NumTopLevel
 	row.AddressTaken = g.NumAddressTaken
 
-	var sfsTotal, vsfsTotal, verTotal, cfTotal time.Duration
+	var sfsTotal, vsfsTotal, verTotal, cfTotal, parTotal time.Duration
 	var lastVR *core.Result
 	for i := 0; i < opts.Runs; i++ {
 		gs := g.Clone()
@@ -166,6 +182,11 @@ func RunProfile(p workload.Profile, opts Options) Row {
 		verTotal += vr.Stats.Versioning.Duration
 		row.VSFSStats = vr.Stats
 		lastVR = vr
+
+		if opts.Parallel > 1 {
+			pr := core.SolveParallel(g.Clone(), opts.Parallel)
+			parTotal += pr.Stats.SolveTime + pr.Stats.Versioning.Duration
+		}
 
 		start = time.Now()
 		cr := cfgfree.Solve(prog, aux)
@@ -184,13 +205,23 @@ func RunProfile(p workload.Profile, opts Options) Row {
 	row.VSFSMem = VSFSMemBytes(row.VSFSStats)
 	row.CfgfreeMem = CfgfreeMemBytes(row.CfgfreeStats)
 	if opts.MemLimit > 0 && row.SFSMem > opts.MemLimit {
+		// An OOMed SFS never finished: its time and modelled memory are
+		// where it gave up, not measurements, so the SFS/VSFS ratios
+		// stay zero rather than flattering VSFS with garbage.
 		row.SFSOOM = true
+	} else {
+		if row.VSFSTime+row.VersionTime > 0 {
+			row.Speedup = float64(row.SFSTime) / float64(row.VSFSTime+row.VersionTime)
+		}
+		if row.VSFSMem > 0 {
+			row.MemRatio = float64(row.SFSMem) / float64(row.VSFSMem)
+		}
 	}
-	if row.VSFSTime+row.VersionTime > 0 {
-		row.Speedup = float64(row.SFSTime) / float64(row.VSFSTime+row.VersionTime)
-	}
-	if row.VSFSMem > 0 {
-		row.MemRatio = float64(row.SFSMem) / float64(row.VSFSMem)
+	if opts.Parallel > 1 {
+		row.ParallelTime = parTotal / time.Duration(opts.Runs)
+		if row.ParallelTime > 0 {
+			row.ParallelSpeedup = float64(row.VSFSTime+row.VersionTime) / float64(row.ParallelTime)
+		}
 	}
 	return row
 }
@@ -248,18 +279,42 @@ func FormatTable3(rows []Row) string {
 		sfsT := fmt.Sprintf("%9.1f", ms(r.SFSTime))
 		sfsM := fmt.Sprintf("%9.2f", mb(r.SFSMem))
 		diffT := fmt.Sprintf("%8.2fx", r.Speedup)
+		diffM := fmt.Sprintf("%7.2fx", r.MemRatio)
 		if r.SFSOOM {
-			sfsT, diffT = "      OOM", "        —"
+			// Both ratios are meaningless when SFS never finished; keep
+			// them out of the table and the averages entirely.
+			sfsT, diffT, diffM = "      OOM", "        —", "      —"
 		} else {
 			speedups = append(speedups, r.Speedup)
+			memRatios = append(memRatios, r.MemRatio)
 		}
-		memRatios = append(memRatios, r.MemRatio)
-		fmt.Fprintf(&b, "%-14s %9.1f | %s %s | %7.1f %9.1f %9.2f | %s %7.2fx\n",
+		fmt.Fprintf(&b, "%-14s %9.1f | %s %s | %7.1f %9.1f %9.2f | %s %s\n",
 			r.Profile.Name, ms(r.AndersenTime), sfsT, sfsM,
-			ms(r.VersionTime), ms(r.VSFSTime), mb(r.VSFSMem), diffT, r.MemRatio)
+			ms(r.VersionTime), ms(r.VSFSTime), mb(r.VSFSMem), diffT, diffM)
 	}
 	fmt.Fprintf(&b, "\n%-14s %s %8.2fx %s %7.2fx\n", "Average", strings.Repeat(" ", 63),
 		geoMean(speedups), strings.Repeat(" ", 1), geoMean(memRatios))
+	return b.String()
+}
+
+// FormatParallel renders the parallel-engine comparison: the sequential
+// VSFS solve (versioning + main phase) against the sharded engine at the
+// measured worker count, per benchmark. Rows that never ran the parallel
+// engine are skipped.
+func FormatParallel(rows []Row, workers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel VSFS: sequential vs sharded solve at %d workers\n\n", workers)
+	fmt.Fprintf(&b, "%-14s %11s %11s %9s\n", "Bench.", "seq ms", "par ms", "speedup")
+	var speedups []float64
+	for _, r := range rows {
+		if r.ParallelTime <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %11.1f %11.1f %8.2fx\n",
+			r.Profile.Name, ms(r.VSFSTime+r.VersionTime), ms(r.ParallelTime), r.ParallelSpeedup)
+		speedups = append(speedups, r.ParallelSpeedup)
+	}
+	fmt.Fprintf(&b, "\n%-14s %s %8.2fx\n", "Average", strings.Repeat(" ", 23), geoMean(speedups))
 	return b.String()
 }
 

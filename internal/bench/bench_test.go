@@ -79,6 +79,95 @@ func TestMemLimitMarksOOM(t *testing.T) {
 	}
 }
 
+// TestOOMRowExcludedFromRatios is the regression test for the OOM ratio
+// bug: an OOMed SFS baseline has no meaningful time or memory, so the
+// row's Speedup/MemRatio must stay zero, both diff columns must render
+// as "—", and neither geomean may include the row.
+func TestOOMRowExcludedFromRatios(t *testing.T) {
+	oom := RunProfile(tinyProfile(), Options{Runs: 1, MemLimit: 1})
+	if !oom.SFSOOM {
+		t.Fatal("limit did not trigger OOM")
+	}
+	if oom.Speedup != 0 || oom.MemRatio != 0 {
+		t.Fatalf("OOM row kept ratios: speedup=%f memRatio=%f", oom.Speedup, oom.MemRatio)
+	}
+
+	// A healthy row alongside: the averages must come from it alone.
+	ok := RunProfile(tinyProfile(), Options{Runs: 1})
+	rows := []Row{oom, ok}
+
+	t3 := FormatTable3(rows)
+	oomLine := ""
+	for _, line := range strings.Split(t3, "\n") {
+		if strings.Contains(line, "OOM") {
+			oomLine = line
+		}
+	}
+	if oomLine == "" {
+		t.Fatalf("no OOM line rendered:\n%s", t3)
+	}
+	if strings.Count(oomLine, "—") != 2 {
+		t.Errorf("OOM line should dash out both diff columns: %q", oomLine)
+	}
+	if strings.Contains(oomLine, "0.00x") {
+		t.Errorf("OOM line renders a zero ratio instead of a dash: %q", oomLine)
+	}
+
+	rep := JSONReportOf(rows)
+	if rep.Rows[0].Speedup != 0 || rep.Rows[0].MemRatio != 0 {
+		t.Errorf("JSON OOM row kept ratios: %+v", rep.Rows[0])
+	}
+	if math.Abs(rep.GeoMeanSpeedup-ok.Speedup) > 1e-9 {
+		t.Errorf("speedup geomean = %f, want the healthy row's %f (OOM excluded)",
+			rep.GeoMeanSpeedup, ok.Speedup)
+	}
+	if math.Abs(rep.GeoMeanMemRatio-ok.MemRatio) > 1e-9 {
+		t.Errorf("mem-ratio geomean = %f, want the healthy row's %f (OOM excluded)",
+			rep.GeoMeanMemRatio, ok.MemRatio)
+	}
+}
+
+// TestParallelMeasured: Options.Parallel times the sharded engine and
+// threads it through the JSON artifact and the parallel table.
+func TestParallelMeasured(t *testing.T) {
+	row := RunProfile(tinyProfile(), Options{Runs: 1, Parallel: 2})
+	if row.ParallelTime <= 0 || row.ParallelSpeedup <= 0 {
+		t.Fatalf("parallel engine not measured: t=%v speedup=%f", row.ParallelTime, row.ParallelSpeedup)
+	}
+
+	rep := JSONReportOf([]Row{row})
+	if rep.Rows[0].ParallelMs != ms(row.ParallelTime) || rep.Rows[0].ParallelSpeedup != row.ParallelSpeedup {
+		t.Errorf("JSON row = %+v, want parallelMs %v / speedup %f",
+			rep.Rows[0], ms(row.ParallelTime), row.ParallelSpeedup)
+	}
+	if len(rep.Backends) != 5 || rep.Backends[4].Backend != "vsfs-parallel" {
+		t.Fatalf("backends = %+v, want a fifth vsfs-parallel row", rep.Backends)
+	}
+	if rep.Backends[4].Ms != ms(row.ParallelTime) || rep.Backends[4].MemMB <= 0 {
+		t.Errorf("vsfs-parallel backend row = %+v", rep.Backends[4])
+	}
+
+	table := FormatParallel([]Row{row}, 2)
+	for _, want := range []string{"tiny", "seq ms", "par ms", "Average", "2 workers"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("parallel table missing %q:\n%s", want, table)
+		}
+	}
+
+	// Rows without a measurement stay out of the artifact and the table.
+	seq := RunProfile(tinyProfile(), Options{Runs: 1})
+	if seq.ParallelTime != 0 {
+		t.Fatalf("sequential-only run measured the parallel engine: %+v", seq)
+	}
+	rep = JSONReportOf([]Row{seq})
+	if len(rep.Backends) != 4 {
+		t.Errorf("sequential-only run emitted %d backend rows, want 4", len(rep.Backends))
+	}
+	if strings.Contains(FormatParallel([]Row{seq}, 4), "tiny") {
+		t.Error("parallel table rendered a row that was never measured")
+	}
+}
+
 func TestFormatting(t *testing.T) {
 	rows := Run([]workload.Profile{tinyProfile()}, Options{Runs: 1}, nil)
 	t2 := FormatTable2(rows)

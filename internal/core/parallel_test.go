@@ -1,0 +1,318 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"vsfs/internal/andersen"
+	"vsfs/internal/guard"
+	"vsfs/internal/ir"
+	"vsfs/internal/memssa"
+	"vsfs/internal/obs"
+	"vsfs/internal/svfg"
+	"vsfs/internal/workload"
+)
+
+// buildGraph stages one random program up to its SVFG. Andersen runs
+// first and materialises every field object the flow-sensitive solves
+// can reach, so value IDs are stable across all solves of the shared
+// program.
+func buildGraph(t *testing.T, seed int64) (*ir.Program, *svfg.Graph) {
+	t.Helper()
+	prog := workload.Random(seed, workload.DefaultRandomConfig())
+	aux := andersen.Analyze(prog)
+	mssa := memssa.Build(prog, aux)
+	return prog, svfg.Build(prog, aux, mssa)
+}
+
+// requireSameFacts asserts the two results agree on every fact a
+// client can observe: top-level points-to sets, per-(load/store)
+// consumed and yielded sets, object summaries, and the resolved call
+// graph. Schedule-effort counters are deliberately not compared here.
+func requireSameFacts(t *testing.T, prog *ir.Program, g *svfg.Graph, a, b *Result) {
+	t.Helper()
+	for v := ir.ID(1); int(v) < prog.NumValues(); v++ {
+		if !a.PointsTo(v).Equal(b.PointsTo(v)) {
+			t.Fatalf("pts(%s): sequential %v ≠ parallel %v", prog.NameOf(v), a.PointsTo(v), b.PointsTo(v))
+		}
+	}
+	for l := uint32(1); l < uint32(len(prog.Instrs)); l++ {
+		in := prog.Instrs[l]
+		switch in.Op {
+		case ir.Load:
+			g.MSSA.MuOf(l).ForEach(func(o uint32) {
+				if !a.ConsumedSet(l, ir.ID(o)).Equal(b.ConsumedSet(l, ir.ID(o))) {
+					t.Fatalf("consumed set at load %d, %s differs", l, prog.NameOf(ir.ID(o)))
+				}
+			})
+		case ir.Store:
+			g.MSSA.ChiOf(l).ForEach(func(o uint32) {
+				if !a.ConsumedSet(l, ir.ID(o)).Equal(b.ConsumedSet(l, ir.ID(o))) {
+					t.Fatalf("consumed set at store %d, %s differs", l, prog.NameOf(ir.ID(o)))
+				}
+				if !a.YieldedSet(l, ir.ID(o)).Equal(b.YieldedSet(l, ir.ID(o))) {
+					t.Fatalf("yielded set at store %d, %s differs", l, prog.NameOf(ir.ID(o)))
+				}
+			})
+		case ir.Call:
+			ac, bc := a.CalleesOf(in), b.CalleesOf(in)
+			if len(ac) != len(bc) {
+				t.Fatalf("call %d: sequential resolves %d callees, parallel %d", l, len(ac), len(bc))
+			}
+			for i := range ac {
+				if ac[i] != bc[i] {
+					t.Fatalf("call %d: callee %d differs (%s vs %s)", l, i, ac[i].Name, bc[i].Name)
+				}
+			}
+		}
+	}
+	for o := ir.ID(1); int(o) < prog.NumValues(); o++ {
+		if prog.Value(o).Kind != ir.Object {
+			continue
+		}
+		if !a.ObjectSummary(o).Equal(b.ObjectSummary(o)) {
+			t.Fatalf("object summary of %s differs", prog.NameOf(o))
+		}
+	}
+}
+
+// TestParallelEquivalenceWithSequential is the parallel engine's core
+// contract: the monotone equations have a unique least fixpoint, so
+// the sharded bulk-synchronous schedule must land on exactly the
+// sequential facts — including the invariant counters that measure the
+// fixpoint rather than the schedule.
+func TestParallelEquivalenceWithSequential(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			prog, g := buildGraph(t, seed)
+			seq := Solve(g.Clone())
+			par := SolveParallel(g.Clone(), 4)
+			if par.Stats.Parallel == nil {
+				t.Fatalf("parallel solve did not record ParallelStats")
+			}
+			requireSameFacts(t, prog, g, seq, par)
+
+			// The fixpoint-shaped (schedule-independent) counters must
+			// match the sequential engine exactly.
+			if seq.Stats.PtsSets != par.Stats.PtsSets {
+				t.Errorf("PtsSets: sequential %d, parallel %d", seq.Stats.PtsSets, par.Stats.PtsSets)
+			}
+			if seq.Stats.CallEdges != par.Stats.CallEdges {
+				t.Errorf("CallEdges: sequential %d, parallel %d", seq.Stats.CallEdges, par.Stats.CallEdges)
+			}
+			if seq.Stats.VersionConstraints != par.Stats.VersionConstraints {
+				t.Errorf("VersionConstraints: sequential %d, parallel %d",
+					seq.Stats.VersionConstraints, par.Stats.VersionConstraints)
+			}
+			if seq.Stats.Versioning.Prelabels != par.Stats.Versioning.Prelabels {
+				t.Errorf("Prelabels: sequential %d, parallel %d",
+					seq.Stats.Versioning.Prelabels, par.Stats.Versioning.Prelabels)
+			}
+			if seq.Stats.Versioning.ConsumeEntries != par.Stats.Versioning.ConsumeEntries ||
+				seq.Stats.Versioning.YieldEntries != par.Stats.Versioning.YieldEntries {
+				t.Errorf("consume/yield entries differ: sequential %d/%d, parallel %d/%d",
+					seq.Stats.Versioning.ConsumeEntries, seq.Stats.Versioning.YieldEntries,
+					par.Stats.Versioning.ConsumeEntries, par.Stats.Versioning.YieldEntries)
+			}
+		})
+	}
+}
+
+// normalizeParallelStats strips the only legitimately
+// schedule-dependent values so everything that remains must be
+// byte-identical across worker counts and GOMAXPROCS settings.
+func normalizeParallelStats(s Stats) Stats {
+	s.SolveTime = 0
+	s.Versioning.Duration = 0
+	if s.Parallel != nil {
+		ps := *s.Parallel
+		ps.Workers = 0
+		ps.Steals = 0
+		s.Parallel = &ps
+	}
+	return s
+}
+
+// TestParallelDeterminismAcrossWorkers pins the engine's central
+// design property: ShardCount is a constant, batches are sorted into a
+// canonical order, and per-shard counters merge in shard order — so
+// every stat except wall clock and steal counts is identical for any
+// worker count ≥ 2, which is what lets all parallel requests share one
+// cache entry.
+func TestParallelDeterminismAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{1, 7, 19} {
+		prog, g := buildGraph(t, seed)
+		var ref *Result
+		for _, w := range []int{2, 3, 4, 8, 16} {
+			r := SolveParallel(g.Clone(), w)
+			if ref == nil {
+				ref = r
+				continue
+			}
+			requireSameFacts(t, prog, g, ref, r)
+			a, b := normalizeParallelStats(ref.Stats), normalizeParallelStats(r.Stats)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d: stats differ between 2 and %d workers:\n%+v\nvs\n%+v", seed, w, a, b)
+			}
+		}
+		// GOMAXPROCS must not leak into anything observable either.
+		old := runtime.GOMAXPROCS(1)
+		r1 := SolveParallel(g.Clone(), 4)
+		runtime.GOMAXPROCS(old)
+		requireSameFacts(t, prog, g, ref, r1)
+		if !reflect.DeepEqual(normalizeParallelStats(ref.Stats), normalizeParallelStats(r1.Stats)) {
+			t.Fatalf("seed %d: stats differ under GOMAXPROCS=1", seed)
+		}
+	}
+}
+
+// TestParallelAttributionDeterministic: per-worker and per-shard
+// collectors merge by commutative sums, so the hot-objects table —
+// ranked by cost with ID tie-breaks — is identical across worker
+// counts and identical to the sequential charge-out.
+func TestParallelAttributionDeterministic(t *testing.T) {
+	prog, g := buildGraph(t, 5)
+	top := func(workers int) []obs.HotObject {
+		attr := obs.NewObjectAttr(prog.NumValues())
+		ctx := obs.WithCollector(context.Background(), attr)
+		r, err := SolveParallelContext(ctx, g.Clone(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got, want := attr.TotalPops(), uint64(r.Stats.NodesProcessed); got != want {
+			t.Fatalf("workers=%d: attributed pops %d ≠ NodesProcessed %d", workers, got, want)
+		}
+		if got, want := attr.TotalProps(), uint64(r.Stats.Propagations); got != want {
+			t.Fatalf("workers=%d: attributed props %d ≠ Propagations %d", workers, got, want)
+		}
+		if got, want := attr.TotalSets(), uint64(r.Stats.PtsSets); got != want {
+			t.Fatalf("workers=%d: attributed sets %d ≠ PtsSets %d", workers, got, want)
+		}
+		if got, want := attr.TotalMelds(), uint64(r.Stats.Versioning.MeldOps); got != want {
+			t.Fatalf("workers=%d: attributed melds %d ≠ MeldOps %d", workers, got, want)
+		}
+		return attr.TopK(10, func(o uint32) string { return prog.NameOf(ir.ID(o)) })
+	}
+	ref := top(2)
+	for _, w := range []int{4, 8} {
+		if got := top(w); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("hot objects differ between 2 and %d workers:\n%+v\nvs\n%+v", w, ref, got)
+		}
+	}
+}
+
+// settleGoroutines waits for the runtime to return to the baseline
+// goroutine count, failing if anything the solve spawned outlives it.
+func settleGoroutines(t *testing.T, label string, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d goroutines still alive, baseline %d", label, runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParallelCancellationNoLeaks cancels solves mid-flight at every
+// required worker count and asserts (a) a cancelled solve reports the
+// context error and no result, and (b) every worker goroutine is
+// joined before SolveParallelContext returns — nothing outlives the
+// call, whether the cancel landed in versioning, a process phase, an
+// apply phase, or a stint.
+func TestParallelCancellationNoLeaks(t *testing.T) {
+	_, g := buildGraph(t, 11)
+	for _, w := range []int{1, 2, 8} {
+		w := w
+		t.Run(fmt.Sprintf("workers%d", w), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+
+			// Pre-cancelled: deterministic error path.
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if r, err := SolveParallelContext(ctx, g.Clone(), w); !errors.Is(err, context.Canceled) || r != nil {
+				t.Fatalf("pre-cancelled solve: result=%v err=%v, want nil result and context.Canceled", r, err)
+			}
+			settleGoroutines(t, "pre-cancelled", base)
+
+			// Racing cancels at staggered delays so aborts land in
+			// different phases across iterations.
+			for i := 0; i < 8; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				go func(d time.Duration) {
+					time.Sleep(d)
+					cancel()
+				}(time.Duration(i*150) * time.Microsecond)
+				r, err := SolveParallelContext(ctx, g.Clone(), w)
+				if err != nil {
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("iteration %d: unexpected error %v", i, err)
+					}
+					if r != nil {
+						t.Fatalf("iteration %d: cancelled solve also returned a result", i)
+					}
+				}
+				cancel()
+				settleGoroutines(t, fmt.Sprintf("iteration %d", i), base)
+			}
+		})
+	}
+}
+
+// TestParallelBudgetConservation is the DESIGN §13 conservation rule:
+// the engine's per-shard guard ledger must sum exactly to what the
+// shared budget was charged — no double-charged and no unmetered work,
+// no matter how shards interleaved.
+func TestParallelBudgetConservation(t *testing.T) {
+	_, g := buildGraph(t, 13)
+	for _, w := range []int{2, 8} {
+		b := guard.NewBudget(1<<40, 0, 0)
+		ctx := guard.WithBudget(context.Background(), b)
+		r, err := SolveParallelContext(ctx, g.Clone(), w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		var sum int64
+		for _, c := range r.Stats.Parallel.GuardCharges {
+			sum += c
+		}
+		if sum != b.StepsUsed() {
+			t.Fatalf("workers=%d: ledger sums to %d, budget charged %d", w, sum, b.StepsUsed())
+		}
+		if sum == 0 {
+			t.Fatalf("workers=%d: no guard charges recorded", w)
+		}
+	}
+}
+
+// TestParallelShardBreachProvenance: with a budget so tight the very
+// first sharded charge breaches it, the typed error must carry the
+// charging shard — the provenance the degradation ladder reports.
+func TestParallelShardBreachProvenance(t *testing.T) {
+	_, g := buildGraph(t, 17)
+	b := guard.NewBudget(1, 0, 0)
+	ctx := guard.WithBudget(context.Background(), b)
+	r, err := SolveParallelContext(ctx, g.Clone(), 4)
+	if r != nil || err == nil {
+		t.Fatalf("solve under a 1-step budget returned result=%v err=%v", r, err)
+	}
+	var be *guard.ErrBudgetExceeded
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not *guard.ErrBudgetExceeded", err)
+	}
+	if be.Shard < 0 || be.Shard >= ShardCount {
+		t.Fatalf("breach not attributed to a shard: %+v", be)
+	}
+	if be.Phase != "solve" {
+		t.Fatalf("breach attributed to phase %q, want solve", be.Phase)
+	}
+}

@@ -28,6 +28,10 @@ type Stats struct {
 
 	Versioning VersionStats
 	SolveTime  time.Duration
+
+	// Parallel quantifies the sharded engine's schedule; nil for
+	// sequential solves. See parallel.go.
+	Parallel *ParallelStats
 }
 
 // Result is the outcome of versioned staged flow-sensitive analysis.
@@ -38,8 +42,12 @@ type Result struct {
 
 	pt []*bitset.Sparse // top-level points-to sets
 
-	// ptv maps (object, version) to its global points-to set.
-	ptv map[verKey]*bitset.Sparse
+	// ptv maps (object, version) to its global points-to set. Storage
+	// is split into ShardCount maps keyed by the owning object's shard
+	// (shardOf) so the parallel engine's apply phase can mutate shards
+	// concurrently without sharing map internals; the sequential solver
+	// pays one mask per access for the same layout.
+	ptv [ShardCount]map[verKey]*bitset.Sparse
 
 	callees map[*ir.Instr]map[*ir.Function]bool
 
@@ -93,7 +101,7 @@ func funcLess(a, b *ir.Function) bool {
 // version: everything the object may ever hold.
 func (r *Result) ObjectSummary(o ir.ID) *bitset.Sparse {
 	out := bitset.New()
-	for key, set := range r.ptv {
+	for key, set := range r.ptv[shardOf(o)] {
 		if key.obj == o {
 			out.UnionWith(set)
 		}
@@ -123,7 +131,7 @@ func (r *Result) YieldVersion(label uint32, o ir.ID) meld.Version {
 }
 
 func (r *Result) ptvOf(o ir.ID, v meld.Version) *bitset.Sparse {
-	if s := r.ptv[verKey{obj: o, ver: v}]; s != nil {
+	if s := r.ptv[shardOf(o)][verKey{obj: o, ver: v}]; s != nil {
 		return s
 	}
 	return empty
@@ -154,13 +162,7 @@ func SolveContext(ctx context.Context, g *svfg.Graph) (*Result, error) {
 		Arg("meldOps", ver.stats.MeldOps).
 		End()
 	s := &state{
-		Result: &Result{
-			Graph:   g,
-			ver:     ver,
-			pt:      make([]*bitset.Sparse, g.Prog.NumValues()+1),
-			ptv:     make(map[verKey]*bitset.Sparse),
-			callees: make(map[*ir.Instr]map[*ir.Function]bool),
-		},
+		Result:       newResult(g, ver),
 		ctx:          ctx,
 		attr:         attr,
 		verReliance:  make(map[verKey][]meld.Version),
@@ -188,6 +190,20 @@ func SolveContext(ctx context.Context, g *svfg.Graph) (*Result, error) {
 // cancelCheckInterval is how many worklist iterations pass between
 // context polls in this package's fixpoint loops.
 const cancelCheckInterval = 1024
+
+// newResult allocates the shared result shell both engines solve into.
+func newResult(g *svfg.Graph, ver *versioning) *Result {
+	r := &Result{
+		Graph:   g,
+		ver:     ver,
+		pt:      make([]*bitset.Sparse, g.Prog.NumValues()+1),
+		callees: make(map[*ir.Instr]map[*ir.Function]bool),
+	}
+	for i := range r.ptv {
+		r.ptv[i] = make(map[verKey]*bitset.Sparse)
+	}
+	return r
+}
 
 type state struct {
 	*Result
@@ -284,10 +300,11 @@ func (s *state) ptOf(v ir.ID) *bitset.Sparse {
 
 func (s *state) ptvSet(o ir.ID, v meld.Version) *bitset.Sparse {
 	key := verKey{obj: o, ver: v}
-	set := s.ptv[key]
+	m := s.ptv[shardOf(o)]
+	set := m[key]
 	if set == nil {
 		set = bitset.New()
-		s.ptv[key] = set
+		m[key] = set
 	}
 	return set
 }
@@ -327,7 +344,7 @@ func (s *state) growVersion(o ir.ID, v meld.Version, src *bitset.Sparse) {
 		for _, l := range s.stmtReliance[key] {
 			s.work.push(l)
 		}
-		cur := s.ptv[key]
+		cur := s.ptv[shardOf(o)][key]
 		for _, to := range s.verReliance[key] {
 			s.Stats.Propagations++
 			s.Stats.VersionProps++
@@ -554,10 +571,12 @@ func (s *state) collectStats() {
 	for _, targets := range s.verReliance {
 		s.Stats.VersionConstraints += len(targets)
 	}
-	for key, set := range s.ptv {
-		s.Stats.PtsSets++
-		s.Stats.PtsWords += set.Words()
-		s.attr.Set(uint32(key.obj))
+	for sh := range s.ptv {
+		for key, set := range s.ptv[sh] {
+			s.Stats.PtsSets++
+			s.Stats.PtsWords += set.Words()
+			s.attr.Set(uint32(key.obj))
+		}
 	}
 	for _, set := range s.pt {
 		if set != nil {

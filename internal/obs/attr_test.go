@@ -126,3 +126,107 @@ func TestCollectorContextRoundTrip(t *testing.T) {
 		t.Fatalf("AttrFrom = %p, want %p", got, a)
 	}
 }
+
+// TestMergeCommutesAndConserves pins the property the parallel solver
+// leans on: folding per-worker collectors together in ANY order yields
+// identical totals and an identical TopK, and merged totals are the sum
+// of the parts. Uses mismatched slice lengths so the grow-on-merge path
+// is exercised too.
+func TestMergeCommutesAndConserves(t *testing.T) {
+	build := func(charges [][2]uint32) *ObjectAttr {
+		a := NewObjectAttr(1)
+		for _, c := range charges {
+			switch c[0] {
+			case 0:
+				a.Pop(c[1])
+			case 1:
+				a.Prop(c[1])
+			case 2:
+				a.Set(c[1])
+			case 3:
+				a.Meld(c[1])
+			}
+		}
+		return a
+	}
+	parts := [][][2]uint32{
+		{{0, 1}, {0, 1}, {1, 5}, {3, 200}},
+		{{0, 2}, {2, 2}, {1, 1}},
+		{{0, 1}, {0, 5}, {1, 5}, {2, 999}},
+	}
+	nameOf := func(o uint32) string { return fmt.Sprintf("o%d", o) }
+
+	var want []HotObject
+	var wantPops, wantProps uint64
+	orders := [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}}
+	for _, ord := range orders {
+		m := NewObjectAttr(1)
+		for _, i := range ord {
+			m.Merge(build(parts[i]))
+		}
+		top := m.TopK(10, nameOf)
+		if want == nil {
+			want, wantPops, wantProps = top, m.TotalPops(), m.TotalProps()
+			continue
+		}
+		if m.TotalPops() != wantPops || m.TotalProps() != wantProps {
+			t.Fatalf("order %v: totals differ (%d/%d vs %d/%d)",
+				ord, m.TotalPops(), m.TotalProps(), wantPops, wantProps)
+		}
+		if fmt.Sprint(top) != fmt.Sprint(want) {
+			t.Fatalf("order %v: TopK differs:\n%v\nvs\n%v", ord, top, want)
+		}
+	}
+
+	// Conservation: the merged totals are the sum of the parts'.
+	var popSum uint64
+	for _, p := range parts {
+		popSum += build(p).TotalPops()
+	}
+	if wantPops != popSum {
+		t.Fatalf("merged pops = %d, parts sum to %d", wantPops, popSum)
+	}
+
+	// Merging into or from nil stays a no-op.
+	var nilAttr *ObjectAttr
+	nilAttr.Merge(build(parts[0]))
+	m := build(parts[0])
+	m.Merge(nil)
+	if m.TotalPops() != build(parts[0]).TotalPops() {
+		t.Fatal("Merge(nil) changed the receiver")
+	}
+}
+
+// TestTopKTieOrderingDeterministic: objects with equal cost must rank by
+// ascending ID, so a tie-heavy table renders identically run after run —
+// the determinism the report byte-identity contract depends on.
+func TestTopKTieOrderingDeterministic(t *testing.T) {
+	a := NewObjectAttr(64)
+	// Ten objects, every one charged exactly 3 cost units (2 pops + 1
+	// prop), IDs deliberately out of charge order.
+	ids := []uint32{9, 3, 14, 1, 30, 7, 22, 5, 11, 2}
+	for _, o := range ids {
+		a.Pop(o)
+		a.Pop(o)
+		a.Prop(o)
+	}
+	nameOf := func(o uint32) string { return fmt.Sprintf("o%d", o) }
+	top := a.TopK(len(ids), nameOf)
+	if len(top) != len(ids) {
+		t.Fatalf("TopK returned %d rows, want %d", len(top), len(ids))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].cost() != top[i].cost() {
+			t.Fatalf("rows %d/%d have unequal cost in a pure tie table", i-1, i)
+		}
+		if top[i-1].ID >= top[i].ID {
+			t.Fatalf("tie not broken by ascending ID: row %d ID %d, row %d ID %d",
+				i-1, top[i-1].ID, i, top[i].ID)
+		}
+	}
+	// Truncation keeps the lowest-ID ties.
+	top3 := a.TopK(3, nameOf)
+	if len(top3) != 3 || top3[0].ID != 1 || top3[1].ID != 2 || top3[2].ID != 3 {
+		t.Fatalf("truncated tie table = %v, want IDs 1,2,3", top3)
+	}
+}

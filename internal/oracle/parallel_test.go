@@ -1,0 +1,47 @@
+package oracle
+
+import (
+	"testing"
+
+	"vsfs"
+	"vsfs/internal/guard"
+	"vsfs/internal/workload"
+)
+
+// TestCheckParallelHolds runs the facade-level parallel contract over
+// random workload programs: every worker count produces the sequential
+// facts, and every worker count ≥ 2 produces byte-identical reports.
+func TestCheckParallelHolds(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		src := workload.Random(seed, workload.DefaultRandomConfig()).String()
+		if vs := CheckParallel(src, Options{}); len(vs) > 0 {
+			for _, v := range vs {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+		}
+	}
+}
+
+// TestParallelDegradesDownLadder: a parallel request whose solve
+// breaches the budget must walk the same degradation ladder as a
+// sequential one — landing on the (sequential) CFG-free rung with the
+// breach attributed to the solve phase — and, having degraded onto a
+// sequential backend, must not report a parallel schedule.
+func TestParallelDegradesDownLadder(t *testing.T) {
+	src := workload.Random(3, workload.DefaultRandomConfig()).String()
+	plan := guard.NewFaultPlan(guard.Fault{Phase: "solve", Step: 0, Kind: guard.FaultSlow})
+	ctx := guard.WithFaults(guard.WithBudget(t.Context(), guard.NewBudget(1<<30, 0, 0)), plan)
+	res, err := vsfs.AnalyzeContext(ctx, src, vsfs.Options{Mode: vsfs.VSFS, Input: vsfs.InputIR, Parallel: 4})
+	if err != nil {
+		t.Fatalf("budget blowout became an error: %v", err)
+	}
+	if !res.Degraded() || res.Mode() != vsfs.CFGFree {
+		t.Fatalf("degraded=%v mode=%v, want a degraded CFG-free run", res.Degraded(), res.Mode())
+	}
+	if phase, _ := res.DegradedCause(); phase != "solve" {
+		t.Fatalf("degradation attributed to %q, want solve", phase)
+	}
+	if res.Parallelism() != nil {
+		t.Fatal("degraded sequential rung still reports parallel schedule stats")
+	}
+}

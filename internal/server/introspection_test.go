@@ -110,8 +110,33 @@ func TestRunsTailsLedger(t *testing.T) {
 	if code, _ := get(t, s, "/runs?n=bogus"); code != http.StatusBadRequest {
 		t.Fatalf("GET /runs?n=bogus = %d, want 400", code)
 	}
-	if code, _ := get(t, s, "/runs?n=-3"); code != http.StatusBadRequest {
-		t.Fatalf("GET /runs?n=-3 = %d, want 400", code)
+
+	// Out-of-range counts clamp to the documented edges instead of
+	// erroring: dashboards that miscompute zero or ask for "everything"
+	// still get an answer.
+	for _, q := range []string{"-3", "0"} {
+		code, body = get(t, s, "/runs?n="+q)
+		if code != http.StatusOK {
+			t.Fatalf("GET /runs?n=%s = %d, want 200 (clamped to 1)", q, code)
+		}
+		resp = RunsResponse{}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Runs) != 1 {
+			t.Fatalf("GET /runs?n=%s returned %d records, want 1 (clamped)", q, len(resp.Runs))
+		}
+	}
+	code, body = get(t, s, "/runs?n=99999999")
+	if code != http.StatusOK {
+		t.Fatalf("GET /runs?n=99999999 = %d, want 200 (clamped to MaxRunsTail)", code)
+	}
+	resp = RunsResponse{}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Runs) != 2 {
+		t.Fatalf("GET /runs?n=99999999 returned %d records, want all 2", len(resp.Runs))
 	}
 }
 

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestParallelRequestByteIdentical is the service half of the
+// parallel-eq-sequential invariant: the same program solved
+// sequentially and at several parallel worker counts must produce
+// byte-identical /analyze bodies after dropping the schedule-shaped
+// effort counters, and all parallel worker counts must agree on every
+// byte — which is what justifies caching them under one "par" class.
+func TestParallelRequestByteIdentical(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	strip := func(body []byte) []byte {
+		var resp struct {
+			Report map[string]json.RawMessage `json:"report"`
+			Dump   string                     `json:"dump"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("bad body: %v", err)
+		}
+		var stats map[string]any
+		if err := json.Unmarshal(resp.Report["stats"], &stats); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []string{"nodesProcessed", "propagations", "changed",
+			"worklistHighWater", "meldOps", "meldIterations", "distinctVersions"} {
+			delete(stats, k)
+		}
+		stripped, err := json.Marshal(stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Report["stats"] = stripped
+		norm, err := json.Marshal(map[string]any{"report": resp.Report, "dump": resp.Dump})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return norm
+	}
+
+	code, _, seqBody := post(t, s, "/analyze", AnalyzeRequest{Source: smallC})
+	if code != http.StatusOK {
+		t.Fatalf("sequential analyze = %d: %s", code, seqBody)
+	}
+
+	var parRef []byte
+	for _, w := range []int{2, 4, 8} {
+		code, hdr, body := post(t, s, "/analyze", AnalyzeRequest{Source: smallC, Parallel: w})
+		if code != http.StatusOK {
+			t.Fatalf("parallel=%d analyze = %d: %s", w, code, body)
+		}
+		if !bytes.Equal(strip(body), strip(seqBody)) {
+			t.Fatalf("parallel=%d response differs from sequential beyond the schedule counters", w)
+		}
+		if parRef == nil {
+			parRef = body
+			if hdr.Get("X-Vsfs-Cache") != "miss" {
+				t.Fatalf("first parallel request: cache = %q, want miss", hdr.Get("X-Vsfs-Cache"))
+			}
+			continue
+		}
+		// Worker counts beyond the first share the "par" cache class:
+		// byte-identical body, served as a hit.
+		if !bytes.Equal(body, parRef) {
+			t.Fatalf("parallel=%d full response differs from parallel=2", w)
+		}
+		if hdr.Get("X-Vsfs-Cache") != "hit" {
+			t.Fatalf("parallel=%d: cache = %q, want hit (shared parallel class)", w, hdr.Get("X-Vsfs-Cache"))
+		}
+	}
+
+	// The sequential entry is a distinct class: re-requesting it hits.
+	code, hdr, _ := post(t, s, "/analyze", AnalyzeRequest{Source: smallC})
+	if code != http.StatusOK || hdr.Get("X-Vsfs-Cache") != "hit" {
+		t.Fatalf("sequential re-request = %d cache %q, want 200 hit", code, hdr.Get("X-Vsfs-Cache"))
+	}
+
+	if code, _, body := post(t, s, "/analyze", AnalyzeRequest{Source: smallC, Parallel: -1}); code != http.StatusBadRequest {
+		t.Fatalf("parallel=-1 = %d, want 400: %s", code, body)
+	}
+}
+
+// TestParallelShardMetrics: a parallel solve must light up the
+// vsfs_parallel_* and vsfs_shard_* series on /metrics and the parallel
+// section of /stats, with per-shard pops that sum to something
+// positive.
+func TestParallelShardMetrics(t *testing.T) {
+	s := newTestServer(t, Config{Parallel: 4})
+	if code, _, body := post(t, s, "/analyze", AnalyzeRequest{Source: smallC}); code != http.StatusOK {
+		t.Fatalf("analyze = %d: %s", code, body)
+	}
+
+	code, body := get(t, s, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Parallel.Solves != 1 {
+		t.Fatalf("stats parallel solves = %d, want 1", snap.Parallel.Solves)
+	}
+	var total int64
+	for _, pops := range snap.Parallel.ShardPops {
+		total += pops
+	}
+	if total <= 0 {
+		t.Fatalf("stats shard pops sum to %d, want > 0", total)
+	}
+	if snap.Parallel.LastImbalance < 1 {
+		t.Fatalf("stats last imbalance = %v, want >= 1", snap.Parallel.LastImbalance)
+	}
+
+	code, body = get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"vsfs_parallel_solves_total 1",
+		`vsfs_shard_pops_total{shard="0"}`,
+		`vsfs_shard_pops_total{shard="15"}`,
+		"vsfs_shard_steals_total",
+		"vsfs_shard_imbalance",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestParallelConfigDefaultAndOverride: Config.Parallel makes parallel
+// the server default, and a request's parallel=1 opts back into the
+// sequential engine (landing in the sequential cache class).
+func TestParallelConfigDefaultAndOverride(t *testing.T) {
+	s := newTestServer(t, Config{Parallel: 4})
+
+	code, hdr, _ := post(t, s, "/analyze", AnalyzeRequest{Source: smallC})
+	if code != http.StatusOK {
+		t.Fatalf("analyze = %d", code)
+	}
+	parKey := hdr.Get("X-Vsfs-Key")
+
+	code, hdr, _ = post(t, s, "/analyze", AnalyzeRequest{Source: smallC, Parallel: 1})
+	if code != http.StatusOK {
+		t.Fatalf("parallel=1 analyze = %d", code)
+	}
+	if hdr.Get("X-Vsfs-Cache") != "miss" {
+		t.Fatalf("sequential override: cache = %q, want miss (distinct class)", hdr.Get("X-Vsfs-Cache"))
+	}
+	if hdr.Get("X-Vsfs-Key") == parKey {
+		t.Fatal("sequential override shares the parallel cache key")
+	}
+
+	var snap StatsSnapshot
+	_, body := get(t, s, "/stats")
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Parallel.Solves != 1 {
+		t.Fatalf("parallel solves = %d, want 1 (the override solve was sequential)", snap.Parallel.Solves)
+	}
+}

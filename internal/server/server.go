@@ -109,6 +109,14 @@ type Config struct {
 	// reports embed the hot-object table and /metrics gains the
 	// vsfs_attr_* series. Adds ~four slice writes per solver event.
 	Attribution bool
+
+	// Parallel is the default worker count for VSFS main solves: values
+	// ≥ 2 run the sharded parallel engine, 0/1 solve sequentially. A
+	// request's "parallel" field overrides it. Parallel and sequential
+	// solves produce byte-identical responses (the parallel-eq-sequential
+	// invariant), so results are cached in just two classes — sequential
+	// and parallel — rather than one per worker count.
+	Parallel int
 }
 
 // Defaults for Config's zero values.
@@ -259,6 +267,13 @@ type AnalyzeRequest struct {
 	Lang      string `json:"lang,omitempty"` // "c" (default) or "ir"
 	Mode      string `json:"mode,omitempty"` // "vsfs" (default), "sfs", "cfgfree", "andersen"
 	TimeoutMs int    `json:"timeoutMs,omitempty"`
+	// Parallel overrides the server's default VSFS solver worker count
+	// for this request: ≥ 2 solves on the sharded parallel engine, 1
+	// forces a sequential solve, 0 defers to Config.Parallel. Only the
+	// solver schedule changes — the response is byte-identical either
+	// way — so only the sequential/parallel class (not the exact count)
+	// enters the cache key.
+	Parallel int `json:"parallel,omitempty"`
 }
 
 // AnalyzeResponse is the body of a successful POST /analyze.
@@ -346,8 +361,15 @@ func (s *Server) resolve(ctx context.Context, req AnalyzeRequest) (res *vsfs.Res
 	if strings.TrimSpace(req.Source) == "" {
 		return nil, "", false, badRequestf("empty source")
 	}
+	if req.Parallel < 0 {
+		return nil, "", false, badRequestf("bad parallel %d (want 0 for the server default, 1 for sequential, or a worker count)", req.Parallel)
+	}
+	workers := s.cfg.Parallel
+	if req.Parallel > 0 {
+		workers = req.Parallel
+	}
 	s.met.requestsByMode.With("mode", mode.String()).Inc()
-	key = cacheKey(mode, input, req.Source)
+	key = cacheKey(mode, input, req.Source, workers)
 	if r, ok := s.cache.get(key); ok {
 		s.met.cacheReqs.With("result", "hit").Inc()
 		return r, key, true, nil
@@ -372,7 +394,7 @@ func (s *Server) resolve(ctx context.Context, req AnalyzeRequest) (res *vsfs.Res
 	// must be carried over explicitly for the solve's log lines.
 	reqID := obs.RequestID(ctx)
 	r, shared, err := s.flight.do(ctx, key, func(solveCtx context.Context) (*vsfs.Result, error) {
-		return s.solveOn(obs.WithRequestID(solveCtx, reqID), key, mode, input, req.Source)
+		return s.solveOn(obs.WithRequestID(solveCtx, reqID), key, mode, input, req.Source, workers)
 	})
 	if shared {
 		s.met.flightShared.Inc()
@@ -383,7 +405,7 @@ func (s *Server) resolve(ctx context.Context, req AnalyzeRequest) (res *vsfs.Res
 // solveOn runs one solve on the worker pool under solveCtx and caches a
 // successful result. It is only ever called as a single-flight leader,
 // so each distinct in-flight program occupies at most one queue slot.
-func (s *Server) solveOn(solveCtx context.Context, key string, mode vsfs.Mode, input vsfs.Input, source string) (*vsfs.Result, error) {
+func (s *Server) solveOn(solveCtx context.Context, key string, mode vsfs.Mode, input vsfs.Input, source string, workers int) (*vsfs.Result, error) {
 	type outcome struct {
 		res *vsfs.Result
 		err error
@@ -423,7 +445,7 @@ func (s *Server) solveOn(solveCtx context.Context, key string, mode vsfs.Mode, i
 			ctx = obs.NewContext(ctx, tr)
 			defer s.writeTrace(tr, reqID)
 		}
-		res, err := vsfs.AnalyzeContext(ctx, source, vsfs.Options{Mode: mode, Input: input, Attr: s.cfg.Attribution})
+		res, err := vsfs.AnalyzeContext(ctx, source, vsfs.Options{Mode: mode, Input: input, Attr: s.cfg.Attribution, Parallel: workers})
 		switch {
 		case err == nil:
 			s.met.solveOutcomes.With("outcome", "ok").Inc()
@@ -541,6 +563,15 @@ type RunsResponse struct {
 	Runs []json.RawMessage `json:"runs"`
 }
 
+// Bounds for GET /runs?n=K: K is clamped into [1, MaxRunsTail] rather
+// than rejected, so dashboards asking for "everything" (huge K) or
+// miscomputing zero get the documented edge value instead of a 400;
+// only non-numeric input is a client error.
+const (
+	DefaultRunsTail = 20
+	MaxRunsTail     = 500
+)
+
 // handleRuns tails the persistent run ledger. 404 when the server was
 // started without one.
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
@@ -548,14 +579,14 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusNotFound, errors.New("no run ledger configured (start with -ledger)"))
 		return
 	}
-	n := 20
+	n := DefaultRunsTail
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
-		if err != nil || v <= 0 {
-			s.writeError(w, r, http.StatusBadRequest, badRequestf("bad n %q (want a positive integer)", q))
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, badRequestf("bad n %q (want an integer)", q))
 			return
 		}
-		n = v
+		n = min(max(v, 1), MaxRunsTail)
 	}
 	runs, err := s.cfg.Ledger.Tail(n)
 	if err != nil {
