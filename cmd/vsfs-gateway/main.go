@@ -1,0 +1,157 @@
+// Command vsfs-gateway fronts a fleet of vsfs-serve replicas with a
+// fault-tolerant routing tier: consistent-hash placement on the content
+// hash (with bounded load), active /readyz health checking with
+// ejection and readmission, retries with jittered exponential backoff
+// under a per-request budget, tail-latency hedging, and failover to the
+// next ring replica on connect errors, timeouts, and 5xx.
+//
+//	vsfs-gateway -replicas http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+//	curl localhost:8081/healthz
+//	curl localhost:8081/readyz
+//	curl localhost:8081/stats
+//	curl localhost:8081/metrics
+//	curl -d '{"source":"int main(){return 0;}"}' localhost:8081/analyze
+//
+// Because every replica's responses are content-addressed and
+// deterministic, retries, failover, and hedging can never change an
+// answer — only who computes it. The oracle's gateway-eq-direct
+// invariant holds the gateway to exactly that.
+//
+// The process exits cleanly on SIGINT/SIGTERM: /readyz flips to 503
+// immediately (so load balancers stop sending work) and in-flight
+// proxied requests drain for up to -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vsfs/internal/cluster"
+	"vsfs/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], context.Background(), nil, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point, mirroring vsfs-serve: if ready is
+// non-nil it receives the bound address once the listener is up.
+func run(args []string, ctx context.Context, ready chan<- string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vsfs-gateway", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8081", "listen address")
+	replicas := fs.String("replicas", "", "comma-separated vsfs-serve base URLs (required)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per replica on the hash ring")
+	loadFactor := fs.Float64("load-factor", cluster.DefaultLoadFactor, "bounded-load constant c (>1); a replica holding more than ceil(c*mean) in-flight requests spills to the next")
+	attempts := fs.Int("attempts", cluster.DefaultMaxAttempts, "per-request upstream attempt budget (first try + retries + hedges)")
+	retryBase := fs.Duration("retry-base", cluster.DefaultRetryBase, "base retry backoff (full jitter, doubling per round)")
+	retryCap := fs.Duration("retry-cap", cluster.DefaultRetryCap, "retry backoff ceiling; also caps an upstream Retry-After")
+	attemptTimeout := fs.Duration("attempt-timeout", cluster.DefaultAttemptTimeout, "wall-clock cap per upstream attempt")
+	hedgeAfter := fs.Duration("hedge-after", 0, "launch a hedge at the next replica after this long (0 = adapt to -hedge-quantile of recent latency, <0 = disable hedging)")
+	hedgeQuantile := fs.Float64("hedge-quantile", cluster.DefaultHedgeQuantile, "latency quantile driving the adaptive hedge threshold")
+	probeInterval := fs.Duration("probe-interval", cluster.DefaultProbeInterval, "readiness probe period")
+	probeTimeout := fs.Duration("probe-timeout", cluster.DefaultProbeTimeout, "readiness probe timeout")
+	ejectAfter := fs.Int("eject-after", cluster.DefaultEjectAfter, "consecutive failed probes before a replica is ejected from the ring")
+	readmitAfter := fs.Int("readmit-after", cluster.DefaultReadmitAfter, "consecutive successful probes before an ejected replica is readmitted")
+	maxBody := fs.Int64("max-body", cluster.DefaultMaxBodyBytes, "largest accepted request body in bytes")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	logFormat := fs.String("log-format", "text", `structured access-log format: "text", "json", or "off"`)
+	metricsOn := fs.Bool("metrics", true, "expose Prometheus metrics at /metrics")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 || *replicas == "" {
+		fmt.Fprintln(stderr, "usage: vsfs-gateway -replicas URL[,URL...] [flags]")
+		fs.PrintDefaults()
+		return 2
+	}
+	logger, err := obs.NewLogger(stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintln(stderr, "vsfs-gateway:", err)
+		return 2
+	}
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		urls = append(urls, u)
+	}
+	gw, err := cluster.New(cluster.Config{
+		Replicas:       urls,
+		VirtualNodes:   *vnodes,
+		LoadFactor:     *loadFactor,
+		MaxAttempts:    *attempts,
+		RetryBase:      *retryBase,
+		RetryCap:       *retryCap,
+		AttemptTimeout: *attemptTimeout,
+		HedgeAfter:     *hedgeAfter,
+		HedgeQuantile:  *hedgeQuantile,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		EjectAfter:     *ejectAfter,
+		ReadmitAfter:   *readmitAfter,
+		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
+		DisableMetrics: !*metricsOn,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "vsfs-gateway:", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "vsfs-gateway:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: gw}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	fmt.Fprintf(stdout, "vsfs-gateway: vsfs %s %s\n", obs.Version, obs.GoVersion())
+	fmt.Fprintf(stdout, "vsfs-gateway: listening on %s, %d replicas\n", ln.Addr(), len(urls))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "vsfs-gateway:", err)
+			return 1
+		}
+	}
+
+	// Graceful shutdown: stop accepting, then drain proxied requests.
+	fmt.Fprintln(stdout, "vsfs-gateway: shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "vsfs-gateway: shutdown:", err)
+	}
+	if err := gw.Close(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "vsfs-gateway: drain:", err)
+		return 1
+	}
+	return 0
+}

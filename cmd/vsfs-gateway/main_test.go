@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vsfs/internal/server"
+)
+
+// TestGatewayEndToEnd boots two real replicas and the gateway binary's
+// run() on an ephemeral port, proxies an analyze through it, checks the
+// operational surfaces, and shuts down via context cancellation (the
+// SIGTERM path).
+func TestGatewayEndToEnd(t *testing.T) {
+	newReplica := func() (*httptest.Server, *server.Server) {
+		svc := server.New(server.Config{Workers: 2})
+		return httptest.NewServer(svc), svc
+	}
+	ts1, svc1 := newReplica()
+	ts2, svc2 := newReplica()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		ts1.Close()
+		ts2.Close()
+		svc1.Close(ctx)
+		svc2.Close(ctx)
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	var out, errb strings.Builder
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-replicas", ts1.URL + "," + ts2.URL,
+			"-hedge-after", "-1ms",
+			"-log-format", "off",
+		}, ctx, ready, &out, &errb)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway did not become ready")
+	}
+	base := "http://" + addr
+
+	getBody := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := getBody("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %s", code, body)
+	}
+	if code, body := getBody("/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz: %d %s", code, body)
+	}
+
+	// The proxied answer must match a direct replica solve byte for
+	// byte; determinism makes any replica's answer canonical.
+	payload := `{"source":"int main() { int a; int *p; p = &a; return 0; }"}`
+	resp, err := http.Post(base+"/analyze", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGateway, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/analyze via gateway: %d %s", resp.StatusCode, viaGateway)
+	}
+	if resp.Header.Get("X-Vsfs-Replica") == "" || resp.Header.Get("X-Vsfs-Gateway-Attempts") != "1" {
+		t.Fatalf("routing annotations missing: replica %q attempts %q",
+			resp.Header.Get("X-Vsfs-Replica"), resp.Header.Get("X-Vsfs-Gateway-Attempts"))
+	}
+
+	direct, err := http.Post(ts1.URL+"/analyze", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	directBody, _ := io.ReadAll(direct.Body)
+	direct.Body.Close()
+	if !bytes.Equal(viaGateway, directBody) {
+		t.Fatalf("gateway answer differs from direct solve:\n gateway: %.200s\n direct:  %.200s", viaGateway, directBody)
+	}
+
+	if code, body := getBody("/stats"); code != 200 || !strings.Contains(body, `"replicas"`) {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	if code, body := getBody("/metrics"); code != 200 || !strings.Contains(body, "vsfs_gateway_requests_total") {
+		t.Fatalf("/metrics: %d %.200s", code, body)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("gateway did not drain and exit")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown log; stdout: %s", out.String())
+	}
+}
+
+func TestGatewayUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                      // -replicas required
+		{"-replicas", ""},       // empty
+		{"-bogus-flag"},         // unknown flag
+		{"-replicas", "x", "y"}, // stray positional arg
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(args, context.Background(), nil, &out, &errb); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", fmt.Sprint(args), code)
+		}
+	}
+}

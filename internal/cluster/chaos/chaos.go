@@ -1,0 +1,260 @@
+// Package chaos injects deterministic network faults into an in-process
+// fleet. It extends the guard.FaultPlan philosophy — "fail at the Nth
+// checkpoint", never "fail randomly with probability p" — to the wire:
+// a Plan names exactly which accepted connection at which replica
+// misbehaves and how, so a chaos run is a reproducible test case, not a
+// dice roll. Faults are indexed by each replica's accepted-connection
+// count (the fleet harness disables HTTP keep-alives, making connection
+// index line up with request order), and a Plan records how many faults
+// actually fired so tests can assert the drill really happened.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is what a fault does to its connection.
+type Kind int
+
+const (
+	// Refuse closes the connection the instant it is accepted: the
+	// client sees a connect-time failure (EOF or ECONNRESET before any
+	// response bytes).
+	Refuse Kind = iota
+	// Reset lets the connection proceed, then hard-closes it after the
+	// replica has written After response bytes — a mid-body reset that
+	// corrupts the response in flight.
+	Reset
+	// Delay stalls the replica's first response write by the fault's
+	// Delay — a latency spike shaped to trip the gateway's hedging
+	// threshold without failing anything.
+	Delay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Refuse:
+		return "refuse"
+	case Reset:
+		return "reset"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("chaos.Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled misbehaviour: connection number Conn (0-based,
+// in accepted order) at Replica suffers Kind.
+type Fault struct {
+	Replica string
+	Conn    int
+	Kind    Kind
+	// Delay is the stall for Kind Delay.
+	Delay time.Duration
+	// After is how many response bytes escape before a Reset. Zero
+	// resets before the first byte.
+	After int
+}
+
+// Plan is a deterministic schedule of connection faults. Wrap each
+// replica's listener with Wrap; all methods are safe for concurrent
+// use.
+type Plan struct {
+	mu       sync.Mutex
+	faults   map[string]map[int]Fault // replica → conn index → fault
+	accepted map[string]int           // replica → next conn index
+	injected []Fault
+}
+
+// NewPlan builds a plan from an explicit fault list. Later faults for
+// the same (replica, conn) slot overwrite earlier ones.
+func NewPlan(faults ...Fault) *Plan {
+	p := &Plan{
+		faults:   make(map[string]map[int]Fault),
+		accepted: make(map[string]int),
+	}
+	for _, f := range faults {
+		byConn := p.faults[f.Replica]
+		if byConn == nil {
+			byConn = make(map[int]Fault)
+			p.faults[f.Replica] = byConn
+		}
+		byConn[f.Conn] = f
+	}
+	return p
+}
+
+// Seeded derives a reproducible plan from a seed: count faults spread
+// over the replicas' first conns connections, with kinds, offsets, and
+// delays drawn from a seeded PRNG. Same arguments, same plan — a chaos
+// run is re-runnable from its seed alone.
+func Seeded(seed int64, replicas []string, conns, count int) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	names := append([]string(nil), replicas...)
+	sort.Strings(names)
+	var faults []Fault
+	used := make(map[string]bool)
+	for len(faults) < count && len(used) < len(names)*conns {
+		rep := names[rng.Intn(len(names))]
+		conn := rng.Intn(conns)
+		slot := fmt.Sprintf("%s#%d", rep, conn)
+		if used[slot] {
+			continue
+		}
+		used[slot] = true
+		f := Fault{Replica: rep, Conn: conn, Kind: Kind(rng.Intn(3))}
+		switch f.Kind {
+		case Reset:
+			f.After = rng.Intn(512)
+		case Delay:
+			f.Delay = time.Duration(50+rng.Intn(200)) * time.Millisecond
+		}
+		faults = append(faults, f)
+	}
+	return NewPlan(faults...)
+}
+
+// Injected returns the faults that have actually fired, in firing
+// order. Tests assert on it to prove a drill exercised what it claims.
+func (p *Plan) Injected() []Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Fault(nil), p.injected...)
+}
+
+// Accepted returns how many connections replica has accepted so far.
+func (p *Plan) Accepted(replica string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted[replica]
+}
+
+// next claims the next connection index for replica and returns its
+// scheduled fault, if any.
+func (p *Plan) next(replica string) (Fault, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx := p.accepted[replica]
+	p.accepted[replica] = idx + 1
+	f, ok := p.faults[replica][idx]
+	return f, ok
+}
+
+func (p *Plan) fired(f Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.injected = append(p.injected, f)
+}
+
+// String renders the schedule for logs and failure messages.
+func (p *Plan) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var parts []string
+	for rep, byConn := range p.faults {
+		for conn, f := range byConn {
+			parts = append(parts, fmt.Sprintf("%s conn %d: %s", rep, conn, f.Kind))
+		}
+	}
+	sort.Strings(parts)
+	return "chaos.Plan{" + strings.Join(parts, "; ") + "}"
+}
+
+// Wrap returns ln with the plan's faults for replica applied to its
+// accepted connections.
+func (p *Plan) Wrap(ln net.Listener, replica string) net.Listener {
+	return &faultListener{Listener: ln, plan: p, replica: replica}
+}
+
+type faultListener struct {
+	net.Listener
+	plan    *Plan
+	replica string
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return c, err
+		}
+		f, ok := l.plan.next(l.replica)
+		if !ok {
+			return c, nil
+		}
+		switch f.Kind {
+		case Refuse:
+			hardClose(c)
+			l.plan.fired(f)
+			continue
+		case Delay:
+			l.plan.fired(f)
+			return &delayConn{Conn: c, delay: f.Delay}, nil
+		case Reset:
+			// fired is recorded when the reset actually triggers.
+			return &resetConn{Conn: c, plan: l.plan, fault: f, budget: f.After}, nil
+		default:
+			return c, nil
+		}
+	}
+}
+
+// hardClose makes Close look like a crash, not a goodbye: SO_LINGER 0
+// turns the FIN into an RST so the peer sees "connection reset", the
+// honest signature of a killed process.
+func hardClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// delayConn stalls the first response write.
+type delayConn struct {
+	net.Conn
+	delay   time.Duration
+	delayed bool
+}
+
+func (c *delayConn) Write(b []byte) (int, error) {
+	if !c.delayed {
+		c.delayed = true
+		time.Sleep(c.delay)
+	}
+	return c.Conn.Write(b)
+}
+
+// resetConn lets budget response bytes escape, then kills the
+// connection mid-body.
+type resetConn struct {
+	net.Conn
+	plan   *Plan
+	fault  Fault
+	budget int
+	dead   bool
+}
+
+func (c *resetConn) Write(b []byte) (int, error) {
+	if c.dead {
+		return 0, net.ErrClosed
+	}
+	if len(b) <= c.budget {
+		c.budget -= len(b)
+		return c.Conn.Write(b)
+	}
+	n := 0
+	if c.budget > 0 {
+		n, _ = c.Conn.Write(b[:c.budget])
+	}
+	c.dead = true
+	hardClose(c.Conn)
+	c.plan.fired(c.fault)
+	return n, fmt.Errorf("chaos: reset %s conn %d after %d bytes", c.fault.Replica, c.fault.Conn, c.fault.After)
+}

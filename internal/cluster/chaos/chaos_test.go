@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startVictim serves a fixed body behind a chaos-wrapped listener and
+// returns its URL plus a keep-alive-free client (one connection per
+// request, so connection index == request index).
+func startVictim(t *testing.T, plan *Plan, replica, body string) (string, *http.Client) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})}
+	go srv.Serve(plan.Wrap(ln, replica))
+	t.Cleanup(func() { srv.Close() })
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+	return "http://" + ln.Addr().String(), client
+}
+
+func TestRefuseKillsExactlyTheScheduledConn(t *testing.T) {
+	plan := NewPlan(Fault{Replica: "r0", Conn: 1, Kind: Refuse})
+	url, client := startVictim(t, plan, "r0", "hello")
+
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(url)
+		if i == 1 {
+			if err == nil {
+				resp.Body.Close()
+				t.Fatalf("conn %d: want a refused connection, got status %d", i, resp.StatusCode)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("conn %d: unscheduled failure: %v", i, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(data) != "hello" {
+			t.Fatalf("conn %d: body %q", i, data)
+		}
+	}
+	inj := plan.Injected()
+	if len(inj) != 1 || inj[0].Kind != Refuse || inj[0].Conn != 1 {
+		t.Errorf("Injected = %+v, want the one scheduled refusal", inj)
+	}
+}
+
+func TestResetCorruptsTheBodyMidFlight(t *testing.T) {
+	big := strings.Repeat("x", 64<<10)
+	plan := NewPlan(Fault{Replica: "r0", Conn: 0, Kind: Reset, After: 128})
+	url, client := startVictim(t, plan, "r0", big)
+
+	resp, err := client.Get(url)
+	if err == nil {
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil {
+			t.Fatal("want a mid-body failure, got the whole response")
+		}
+	}
+	if len(plan.Injected()) != 1 {
+		t.Errorf("Injected = %+v, want the reset", plan.Injected())
+	}
+
+	// The next connection is untouched.
+	resp, err = client.Get(url)
+	if err != nil {
+		t.Fatalf("conn 1 should be clean: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(data) != big {
+		t.Fatalf("conn 1: got %d bytes, want %d", len(data), len(big))
+	}
+}
+
+func TestDelayStallsTheResponse(t *testing.T) {
+	const stall = 150 * time.Millisecond
+	plan := NewPlan(Fault{Replica: "r0", Conn: 0, Kind: Delay, Delay: stall})
+	url, client := startVictim(t, plan, "r0", "slow")
+
+	start := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Errorf("response arrived in %v, scheduled stall was %v", elapsed, stall)
+	}
+	if len(plan.Injected()) != 1 {
+		t.Errorf("Injected = %+v, want the delay", plan.Injected())
+	}
+}
+
+func TestSeededPlansAreReproducible(t *testing.T) {
+	reps := []string{"r0", "r1", "r2"}
+	a := Seeded(42, reps, 20, 6)
+	b := Seeded(42, reps, 20, 6)
+	if a.String() != b.String() {
+		t.Errorf("same seed, different plans:\n%s\n%s", a, b)
+	}
+	if got := Seeded(43, reps, 20, 6).String(); got == a.String() {
+		t.Errorf("seeds 42 and 43 built the identical plan %s", got)
+	}
+}
+
+func TestPlanCountsAccepts(t *testing.T) {
+	plan := NewPlan()
+	url, client := startVictim(t, plan, "r0", "ok")
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if got := plan.Accepted("r0"); got != 3 {
+		t.Errorf("Accepted = %d, want 3", got)
+	}
+}

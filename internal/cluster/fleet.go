@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"vsfs/internal/cluster/chaos"
+	"vsfs/internal/server"
+)
+
+// Fleet is an in-process analysis fleet: n real vsfs-serve replicas
+// (each a full server.Server on its own TCP listener) behind one
+// Gateway, with an optional chaos plan wired into every replica's
+// listener. Tests, the oracle, and the CI smoke drill all share it —
+// the same harness that proves gateway-eq-direct is the one that kills
+// replicas mid-corpus.
+//
+// Chaos plans address replicas by index name: replica i is "r<i>"
+// (chaos.Seeded(seed, FleetNames(n), ...) builds a matching list).
+type Fleet struct {
+	mu       sync.Mutex
+	replicas []*fleetReplica
+	scfg     server.Config
+	plan     *chaos.Plan
+
+	gw    *Gateway
+	gwSrv *http.Server
+	gwURL string
+}
+
+type fleetReplica struct {
+	name  string // chaos plan name: r0, r1, ...
+	url   string // http://127.0.0.1:port
+	addr  string // 127.0.0.1:port, pinned across restarts
+	svc   *server.Server
+	srv   *http.Server
+	alive bool
+}
+
+// FleetNames returns the chaos-plan names of an n-replica fleet.
+func FleetNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%d", i)
+	}
+	return names
+}
+
+// StartFleet boots n replicas with scfg and a gateway with gcfg in
+// front of them (gcfg.Replicas is filled in; gcfg.Transport defaults to
+// a keep-alive-free transport so each request is one connection, which
+// is what makes connection-indexed chaos line up with request order).
+// plan may be nil for a calm fleet. Always Close the fleet.
+func StartFleet(n int, scfg server.Config, gcfg Config, plan *chaos.Plan) (*Fleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one replica")
+	}
+	f := &Fleet{scfg: scfg, plan: plan}
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		r := &fleetReplica{name: fmt.Sprintf("r%d", i)}
+		if err := f.boot(r, "127.0.0.1:0"); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.replicas = append(f.replicas, r)
+		urls = append(urls, r.url)
+	}
+
+	gcfg.Replicas = urls
+	if gcfg.Transport == nil {
+		gcfg.Transport = &http.Transport{
+			DisableKeepAlives: true,
+			DialContext:       (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+		}
+	}
+	gw, err := New(gcfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.gw = gw
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.gwURL = "http://" + ln.Addr().String()
+	f.gwSrv = &http.Server{Handler: gw}
+	go f.gwSrv.Serve(ln)
+	return f, nil
+}
+
+// boot listens on addr (a concrete port on restart, :0 on first boot),
+// wraps the listener in the chaos plan, and serves a fresh
+// server.Server — fresh meaning cold cache and zeroed breakers, the
+// same state a restarted process would have.
+func (f *Fleet) boot(r *fleetReplica, addr string) error {
+	var ln net.Listener
+	var err error
+	// A replica restarting onto its old port can transiently collide
+	// with the dying listener; retry briefly rather than fail the drill.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: replica %s cannot listen on %s: %w", r.name, addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r.addr = ln.Addr().String()
+	r.url = "http://" + r.addr
+	if f.plan != nil {
+		ln = f.plan.Wrap(ln, r.name)
+	}
+	r.svc = server.New(f.scfg)
+	r.srv = &http.Server{Handler: r.svc}
+	r.alive = true
+	go r.srv.Serve(ln)
+	return nil
+}
+
+// GatewayURL is the base URL clients should hit.
+func (f *Fleet) GatewayURL() string { return f.gwURL }
+
+// Gateway exposes the gateway for assertions on stats and the ring.
+func (f *Fleet) Gateway() *Gateway { return f.gw }
+
+// ReplicaURL returns replica i's base URL (stable across restarts).
+func (f *Fleet) ReplicaURL(i int) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.replicas[i].url
+}
+
+// Kill crashes replica i: its listener and every open connection are
+// torn down immediately, with no drain — the fleet-level analogue of
+// kill -9. Idempotent.
+func (f *Fleet) Kill(i int) {
+	f.mu.Lock()
+	r := f.replicas[i]
+	alive := r.alive
+	r.alive = false
+	f.mu.Unlock()
+	if !alive {
+		return
+	}
+	r.srv.Close()
+	// Reap the worker pool in the background; a crashed process would
+	// not drain, but a leaked test goroutine helps nobody.
+	svc := r.svc
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Close(ctx)
+	}()
+}
+
+// Restart brings a killed replica back on its original port with a
+// fresh server (cold cache), as a supervisor would. Its chaos
+// connection counter keeps counting from where the old incarnation
+// stopped.
+func (f *Fleet) Restart(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.replicas[i]
+	if r.alive {
+		return nil
+	}
+	return f.boot(r, r.addr)
+}
+
+// Close tears the whole fleet down: gateway drain first (so no request
+// is mid-flight when replicas vanish), then every live replica.
+func (f *Fleet) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if f.gw != nil {
+		f.gw.Close(ctx)
+	}
+	if f.gwSrv != nil {
+		f.gwSrv.Close()
+	}
+	f.mu.Lock()
+	replicas := append([]*fleetReplica(nil), f.replicas...)
+	f.mu.Unlock()
+	for _, r := range replicas {
+		if !r.alive {
+			continue
+		}
+		r.srv.Close()
+		r.svc.Close(ctx)
+		r.alive = false
+	}
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Defaults for the health checker's zero config values.
+const (
+	DefaultProbeInterval = time.Second
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultEjectAfter    = 3
+	DefaultReadmitAfter  = 2
+)
+
+// healthChecker actively probes every replica's GET /readyz and drives
+// ring membership from the results: EjectAfter consecutive failures
+// eject a replica (Pick stops routing to it), ReadmitAfter consecutive
+// successes after that readmit it. A replica that answers /readyz with
+// 503 — the drain signal — is as ejected as one that refuses the
+// connection.
+type healthChecker struct {
+	ring     *Ring
+	client   *http.Client
+	interval time.Duration
+	eject    int
+	readmit  int
+	// onChange is called outside the poll loop's per-replica goroutine
+	// whenever membership flips; the gateway hangs metrics off it.
+	onChange func(name string, healthy bool)
+
+	mu     sync.Mutex
+	fails  map[string]int
+	oks    map[string]int
+	stop   chan struct{}
+	done   chan struct{}
+	booted bool
+}
+
+func newHealthChecker(ring *Ring, interval, timeout time.Duration, eject, readmit int, transport http.RoundTripper, onChange func(string, bool)) *healthChecker {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	if timeout <= 0 {
+		timeout = DefaultProbeTimeout
+	}
+	if eject <= 0 {
+		eject = DefaultEjectAfter
+	}
+	if readmit <= 0 {
+		readmit = DefaultReadmitAfter
+	}
+	return &healthChecker{
+		ring:     ring,
+		client:   &http.Client{Timeout: timeout, Transport: transport},
+		interval: interval,
+		eject:    eject,
+		readmit:  readmit,
+		onChange: onChange,
+		fails:    make(map[string]int),
+		oks:      make(map[string]int),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// start launches the probe loop. One immediate sweep runs before the
+// first tick so a gateway booted against a dead replica ejects it
+// within EjectAfter·interval, not (EjectAfter+1)·interval.
+func (h *healthChecker) start() {
+	h.mu.Lock()
+	booted := h.booted
+	h.booted = true
+	h.mu.Unlock()
+	if booted {
+		return
+	}
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		h.sweep()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.sweep()
+			}
+		}
+	}()
+}
+
+// close stops the loop and waits for the in-flight sweep to finish.
+func (h *healthChecker) close() {
+	h.mu.Lock()
+	booted := h.booted
+	h.mu.Unlock()
+	if !booted {
+		return
+	}
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	<-h.done
+}
+
+// sweep probes every replica concurrently and folds the outcomes into
+// the consecutive-result counters.
+func (h *healthChecker) sweep() {
+	members := h.ring.Members()
+	var wg sync.WaitGroup
+	results := make([]bool, len(members))
+	for i, name := range members {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			results[i] = h.probe(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, name := range members {
+		h.record(name, results[i])
+	}
+}
+
+// probe asks one replica for readiness.
+func (h *healthChecker) probe(name string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), h.client.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, name+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// record folds one probe outcome into the counters and flips membership
+// at the thresholds.
+func (h *healthChecker) record(name string, ok bool) {
+	h.mu.Lock()
+	var flip *bool
+	if ok {
+		h.fails[name] = 0
+		h.oks[name]++
+		if h.oks[name] >= h.readmit && !h.ring.Healthy(name) {
+			t := true
+			flip = &t
+		}
+	} else {
+		h.oks[name] = 0
+		h.fails[name]++
+		if h.fails[name] >= h.eject && h.ring.Healthy(name) {
+			f := false
+			flip = &f
+		}
+	}
+	h.mu.Unlock()
+	if flip != nil {
+		if h.ring.SetHealthy(name, *flip) && h.onChange != nil {
+			h.onChange(name, *flip)
+		}
+	}
+}

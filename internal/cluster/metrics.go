@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"vsfs/internal/obs"
+)
+
+// retryReasons is the bounded label set of vsfs_gateway_retries_total:
+// why an upstream attempt was written off and the request moved on.
+var retryReasons = []string{"connect", "timeout", "reset", "status-503", "status-5xx"}
+
+// gatewayMetrics wires the gateway's counters and gauges into one
+// obs.Registry; GET /metrics renders it and GET /stats reads the same
+// series back, mirroring the replica tier's two-surfaces-one-registry
+// rule.
+type gatewayMetrics struct {
+	reg *obs.Registry
+
+	httpRequests     *obs.Family // counter by endpoint
+	upstreamRequests *obs.Family // counter by replica: attempts sent
+	upstreamErrors   *obs.Family // counter by replica: attempts that failed
+	retries          *obs.Family // counter by reason
+	hedges           *obs.Family // counter by outcome (won|lost)
+	replicaHealthy   *obs.Family // gauge by replica: 1 in the ring, 0 ejected
+	ejections        *obs.Family // counter by replica
+	readmissions     *obs.Family // counter by replica
+	upstreamSeconds  *obs.Family // histogram by replica
+	noReplica        *obs.Series // counter: requests refused with no candidate
+}
+
+func newGatewayMetrics(g *Gateway, replicas []string) *gatewayMetrics {
+	r := obs.NewRegistry()
+	m := &gatewayMetrics{
+		reg: r,
+		httpRequests: r.CounterVec("vsfs_gateway_http_requests_total",
+			"HTTP requests received by the gateway, by endpoint."),
+		upstreamRequests: r.CounterVec("vsfs_gateway_requests_total",
+			"Upstream attempts dispatched, by replica (retries and hedges each count)."),
+		upstreamErrors: r.CounterVec("vsfs_gateway_upstream_errors_total",
+			"Upstream attempts that failed (transport error or 5xx), by replica."),
+		retries: r.CounterVec("vsfs_gateway_retries_total",
+			"Upstream attempts written off and retried or failed over, by reason."),
+		hedges: r.CounterVec("vsfs_gateway_hedges_total",
+			"Hedged attempts launched after the latency threshold, by outcome: won (hedge answered first) or lost."),
+		replicaHealthy: r.GaugeVec("vsfs_gateway_replica_healthy",
+			"Replica ring membership: 1 healthy/routable, 0 ejected by the health checker."),
+		ejections: r.CounterVec("vsfs_gateway_ejections_total",
+			"Replicas ejected from the ring after consecutive failed readiness probes, by replica."),
+		readmissions: r.CounterVec("vsfs_gateway_readmissions_total",
+			"Ejected replicas readmitted after consecutive successful readiness probes, by replica."),
+		upstreamSeconds: r.HistogramVec("vsfs_gateway_upstream_seconds",
+			"Latency of upstream attempts that returned a final answer, by replica.", obs.LatencyBuckets),
+		noReplica: r.Counter("vsfs_gateway_no_replica_total",
+			"Requests refused because the ring had no candidate replica."),
+	}
+	obs.RegisterBuildInfo(r)
+	r.GaugeFunc("vsfs_gateway_ring_rebalances",
+		"Ring membership changes (ejections + readmissions) since the gateway started.",
+		func() float64 { return float64(g.ring.Rebalances()) })
+	r.GaugeFunc("vsfs_gateway_uptime_seconds",
+		"Seconds since the gateway was created.",
+		func() float64 { return time.Since(g.started).Seconds() })
+	r.GaugeFunc("vsfs_gateway_draining",
+		"1 once graceful shutdown has begun, else 0.",
+		func() float64 {
+			if g.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	// Materialise every label combination /stats reads, so a fresh
+	// gateway exposes zeros rather than absent series.
+	for _, ep := range []string{"analyze", "query", "check", "healthz", "readyz", "stats", "metrics", "other"} {
+		m.httpRequests.With("endpoint", ep)
+	}
+	for _, reason := range retryReasons {
+		m.retries.With("reason", reason)
+	}
+	for _, out := range []string{"won", "lost"} {
+		m.hedges.With("outcome", out)
+	}
+	for _, rep := range replicas {
+		m.upstreamRequests.With("replica", rep)
+		m.upstreamErrors.With("replica", rep)
+		m.ejections.With("replica", rep)
+		m.readmissions.With("replica", rep)
+		m.replicaHealthy.With("replica", rep).Set(1)
+	}
+	return m
+}
+
+// latencyWindow is a fixed-size ring of recent latency samples; the
+// hedging threshold and the /stats percentiles read it.
+type latencyWindow struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	idx     int
+	filled  int
+	last    time.Duration
+}
+
+const latencyWindowSize = 256
+
+func newLatencyWindow() *latencyWindow {
+	return &latencyWindow{samples: make([]time.Duration, latencyWindowSize)}
+}
+
+func (w *latencyWindow) add(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.samples[w.idx] = d
+	w.idx = (w.idx + 1) % len(w.samples)
+	if w.filled < len(w.samples) {
+		w.filled++
+	}
+	w.last = d
+}
+
+// quantile returns the q-quantile of the window, or false when empty.
+func (w *latencyWindow) quantile(q float64) (time.Duration, bool) {
+	w.mu.Lock()
+	n := w.filled
+	buf := make([]time.Duration, n)
+	copy(buf, w.samples[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return 0, false
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	i := int(q * float64(n-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return buf[i], true
+}
+
+func (w *latencyWindow) count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.filled
+}
+
+func (w *latencyWindow) lastSample() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.last
+}
+
+// ReplicaStats is one replica's row in the gateway's /stats body.
+type ReplicaStats struct {
+	Name     string  `json:"name"`
+	Healthy  bool    `json:"healthy"`
+	Inflight int     `json:"inflight"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Samples  int     `json:"samples"`
+	P50Ms    float64 `json:"p50Ms"`
+	P95Ms    float64 `json:"p95Ms"`
+	LastMs   float64 `json:"lastMs"`
+}
+
+// StatsSnapshot is the JSON body of the gateway's GET /stats.
+type StatsSnapshot struct {
+	Draining       bool             `json:"draining"`
+	UptimeSeconds  float64          `json:"uptimeSeconds"`
+	Requests       int64            `json:"requests"`
+	NoReplica      int64            `json:"noReplica"`
+	Retries        map[string]int64 `json:"retries"`
+	HedgesWon      int64            `json:"hedgesWon"`
+	HedgesLost     int64            `json:"hedgesLost"`
+	Ejections      int64            `json:"ejections"`
+	Readmissions   int64            `json:"readmissions"`
+	RingRebalances int64            `json:"ringRebalances"`
+	Replicas       []ReplicaStats   `json:"replicas"`
+}
+
+func (g *Gateway) snapshot() StatsSnapshot {
+	m := g.met
+	snap := StatsSnapshot{
+		Draining:       g.draining.Load(),
+		UptimeSeconds:  time.Since(g.started).Seconds(),
+		Requests:       int64(m.httpRequests.With("endpoint", "analyze").Value()) + int64(m.httpRequests.With("endpoint", "query").Value()) + int64(m.httpRequests.With("endpoint", "check").Value()),
+		NoReplica:      int64(m.noReplica.Value()),
+		Retries:        make(map[string]int64, len(retryReasons)),
+		HedgesWon:      int64(m.hedges.With("outcome", "won").Value()),
+		HedgesLost:     int64(m.hedges.With("outcome", "lost").Value()),
+		Ejections:      int64(m.ejections.Total()),
+		Readmissions:   int64(m.readmissions.Total()),
+		RingRebalances: g.ring.Rebalances(),
+	}
+	for _, reason := range retryReasons {
+		snap.Retries[reason] = int64(m.retries.With("reason", reason).Value())
+	}
+	for _, name := range g.ring.Members() {
+		w := g.latencyOf(name)
+		p50, _ := w.quantile(0.50)
+		p95, _ := w.quantile(0.95)
+		snap.Replicas = append(snap.Replicas, ReplicaStats{
+			Name:     name,
+			Healthy:  g.ring.Healthy(name),
+			Inflight: g.ring.Inflight(name),
+			Requests: int64(m.upstreamRequests.With("replica", name).Value()),
+			Errors:   int64(m.upstreamErrors.With("replica", name).Value()),
+			Samples:  w.count(),
+			P50Ms:    float64(p50) / 1e6,
+			P95Ms:    float64(p95) / 1e6,
+			LastMs:   float64(w.lastSample()) / 1e6,
+		})
+	}
+	return snap
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Backoff computes retry delays: capped exponential growth with full
+// jitter (delay drawn uniformly from [0, cap'd exponential]), the
+// combination that de-correlates a burst of clients retrying the same
+// failure. An upstream Retry-After acts as a floor — the server said
+// when it wants us back, and we never come back earlier — but is still
+// capped so a hostile or buggy header cannot park a request forever.
+//
+// The RNG is seeded, never the wall clock, so tests are deterministic.
+type Backoff struct {
+	base time.Duration
+	cap  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Defaults for NewBackoff's zero arguments.
+const (
+	DefaultRetryBase = 25 * time.Millisecond
+	DefaultRetryCap  = 2 * time.Second
+)
+
+// NewBackoff builds a backoff policy. Zero base/cap select the
+// defaults; seed 0 draws a random one.
+func NewBackoff(base, cap time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	if cap <= 0 {
+		cap = DefaultRetryCap
+	}
+	if cap < base {
+		cap = base
+	}
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	return &Backoff{base: base, cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns how long to wait before retry number attempt (0-based:
+// the delay before the first retry is Delay(0)). retryAfter is the
+// upstream's Retry-After wish, or 0.
+func (b *Backoff) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	ceil := b.base
+	for i := 0; i < attempt && ceil < b.cap; i++ {
+		ceil *= 2
+	}
+	if ceil > b.cap {
+		ceil = b.cap
+	}
+	b.mu.Lock()
+	d := time.Duration(b.rng.Int63n(int64(ceil) + 1))
+	b.mu.Unlock()
+	if retryAfter > 0 {
+		if retryAfter > b.cap {
+			retryAfter = b.cap
+		}
+		if d < retryAfter {
+			d = retryAfter
+		}
+	}
+	return d
+}
+
+// retryAfterOf parses a response's Retry-After header (delta-seconds
+// form only — the HTTP-date form is pointless between our own tiers).
+func retryAfterOf(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayWithinExponentialCeiling(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 1)
+	ceilings := []time.Duration{
+		10 * time.Millisecond, // attempt 0
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for attempt, ceil := range ceilings {
+		for i := 0; i < 200; i++ {
+			d := b.Delay(attempt, 0)
+			if d < 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 42)
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 42)
+	for i := 0; i < 50; i++ {
+		if da, db := a.Delay(i%4, 0), b.Delay(i%4, 0); da != db {
+			t.Fatalf("draw %d: same seed gave %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestBackoffJitterActuallySpreads(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 7)
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		distinct[b.Delay(3, 0)] = true
+	}
+	if len(distinct) < 10 {
+		t.Errorf("100 draws produced only %d distinct delays — jitter is not spreading", len(distinct))
+	}
+}
+
+func TestBackoffHonorsRetryAfterAsFloor(t *testing.T) {
+	b := NewBackoff(time.Millisecond, 10*time.Second, 1)
+	for i := 0; i < 50; i++ {
+		if d := b.Delay(0, 2*time.Second); d < 2*time.Second {
+			t.Fatalf("delay %v below the upstream's Retry-After floor of 2s", d)
+		}
+	}
+	// ...but a hostile Retry-After cannot exceed the cap.
+	b = NewBackoff(time.Millisecond, 50*time.Millisecond, 1)
+	if d := b.Delay(0, time.Hour); d > 50*time.Millisecond {
+		t.Errorf("delay %v exceeds cap despite absurd Retry-After", d)
+	}
+}
+
+func TestRetryAfterOf(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-1", 0},
+		{"garbage", 0},
+		{"Tue, 29 Oct 2024 16:56:32 GMT", 0},
+	}
+	for _, c := range cases {
+		if got := retryAfterOf(mk(c.in)); got != c.want {
+			t.Errorf("retryAfterOf(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if retryAfterOf(nil) != 0 {
+		t.Error("retryAfterOf(nil) should be 0")
+	}
+}

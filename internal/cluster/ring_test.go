@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestNewRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0, 0); err == nil {
+		t.Error("empty ring: want error")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0, 0); err == nil {
+		t.Error("duplicate replica: want error")
+	}
+}
+
+func TestPickIsDeterministicAndSticky(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	r1, err := NewRing(names, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(names, 0, 0)
+	for i := 0; i < 50; i++ {
+		key := RouteKey("", "", 0, fmt.Sprintf("prog-%d", i))
+		p1 := r1.Pick(key)
+		p2 := r2.Pick(key)
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("key %d: rings disagree: %v vs %v", i, p1, p2)
+		}
+		if len(p1) != len(names) {
+			t.Fatalf("key %d: Pick returned %d candidates, want %d", i, len(p1), len(names))
+		}
+		seen := map[string]bool{}
+		for _, n := range p1 {
+			if seen[n] {
+				t.Fatalf("key %d: duplicate candidate %s", i, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestPickSpreadsKeys(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	r, _ := NewRing(names, 0, 0)
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[r.Pick(RouteKey("", "", 0, fmt.Sprintf("prog-%d", i)))[0]]++
+	}
+	for _, n := range names {
+		if counts[n] == 0 {
+			t.Errorf("replica %s owns no keys out of 300: %v", n, counts)
+		}
+	}
+}
+
+func TestPickBoundedLoadSpillsHotReplica(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	r, _ := NewRing(names, 0, 1.25)
+	key := RouteKey("", "", 0, "hot program")
+	primary := r.Pick(key)[0]
+
+	// Saturate the primary: with total inflight 4 on it and none
+	// elsewhere, capacity = ceil(1.25·5/3) = 3, so the primary is over
+	// capacity and must move behind the idle replicas.
+	for i := 0; i < 4; i++ {
+		r.Acquire(primary)
+	}
+	got := r.Pick(key)
+	if got[0] == primary {
+		t.Fatalf("saturated primary %s still first in %v", primary, got)
+	}
+	if got[len(got)-1] != primary {
+		t.Errorf("saturated primary %s should be last resort in %v", primary, got)
+	}
+	for i := 0; i < 4; i++ {
+		r.Release(primary)
+	}
+	if got := r.Pick(key)[0]; got != primary {
+		t.Errorf("after release primary = %s, want %s", got, primary)
+	}
+}
+
+func TestSetHealthyRoutesAroundAndRebalances(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	r, _ := NewRing(names, 0, 0)
+	key := RouteKey("", "", 0, "some program")
+	primary := r.Pick(key)[0]
+
+	if !r.SetHealthy(primary, false) {
+		t.Fatal("SetHealthy(false) reported no change")
+	}
+	if r.SetHealthy(primary, false) {
+		t.Error("second SetHealthy(false) should be a no-op")
+	}
+	got := r.Pick(key)
+	if len(got) != 2 {
+		t.Fatalf("with one ejected, Pick = %v, want 2 candidates", got)
+	}
+	for _, n := range got {
+		if n == primary {
+			t.Fatalf("ejected replica %s still routed: %v", primary, got)
+		}
+	}
+	if r.Rebalances() != 1 {
+		t.Errorf("Rebalances = %d, want 1", r.Rebalances())
+	}
+	r.SetHealthy(primary, true)
+	if got := r.Pick(key)[0]; got != primary {
+		t.Errorf("after readmission primary = %s, want %s", got, primary)
+	}
+	if r.Rebalances() != 2 {
+		t.Errorf("Rebalances = %d, want 2", r.Rebalances())
+	}
+}
+
+func TestPickAllUnhealthyStillRoutes(t *testing.T) {
+	names := []string{"http://a", "http://b"}
+	r, _ := NewRing(names, 0, 0)
+	r.SetHealthy("http://a", false)
+	r.SetHealthy("http://b", false)
+	got := r.Pick(RouteKey("", "", 0, "x"))
+	if len(got) != 2 {
+		t.Fatalf("all-unhealthy Pick = %v, want the full membership", got)
+	}
+}
+
+func TestRouteKeyMatchesCacheKeyShape(t *testing.T) {
+	// Defaults fill in exactly like the replica's cache key.
+	if RouteKey("", "", 0, "src") != RouteKey("vsfs", "c", 1, "src") {
+		t.Error("defaulted key differs from explicit (vsfs, c, seq) key")
+	}
+	// Only the parallel class matters, not the worker count.
+	if RouteKey("", "", 2, "src") != RouteKey("", "", 8, "src") {
+		t.Error("parallel=2 and parallel=8 should share a key")
+	}
+	if RouteKey("", "", 1, "src") == RouteKey("", "", 2, "src") {
+		t.Error("sequential and parallel classes should differ")
+	}
+	if RouteKey("sfs", "", 0, "src") == RouteKey("", "", 0, "src") {
+		t.Error("mode should enter the key")
+	}
+	if RouteKey("", "ir", 0, "src") == RouteKey("", "", 0, "src") {
+		t.Error("lang should enter the key")
+	}
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"vsfs/internal/cluster/chaos"
+	"vsfs/internal/server"
+	"vsfs/internal/workload"
+)
+
+// smokeCorpus is a deterministic set of IR programs sized to solve in
+// a few milliseconds each.
+func smokeCorpus(n int) []string {
+	cfg := workload.DefaultRandomConfig()
+	cfg.Funcs = 8
+	cfg.InstrsPerFunc = 25
+	progs := make([]string, n)
+	for i := range progs {
+		progs[i] = workload.Random(int64(100+i), cfg).String()
+	}
+	return progs
+}
+
+func analyzeBody(prog string) []byte {
+	data, _ := json.Marshal(map[string]any{"source": prog, "lang": "ir"})
+	return data
+}
+
+// directAnswers solves the corpus on a lone replica with no gateway and
+// no chaos — the reference the fleet must match byte for byte.
+func directAnswers(t *testing.T, scfg server.Config, corpus []string) [][]byte {
+	t.Helper()
+	f, err := StartFleet(1, scfg, Config{HedgeAfter: -1, ProbeInterval: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	client := &http.Client{Timeout: 30 * time.Second}
+	answers := make([][]byte, len(corpus))
+	for i, prog := range corpus {
+		resp, err := client.Post(f.ReplicaURL(0)+"/analyze", "application/json", bytes.NewReader(analyzeBody(prog)))
+		if err != nil {
+			t.Fatalf("direct solve %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("direct solve %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		answers[i] = body
+	}
+	return answers
+}
+
+// TestFleetSmoke is the full drill: three replicas behind the gateway,
+// a seeded chaos plan faulting their connections, one replica killed a
+// third of the way through the corpus and restarted at two thirds. The
+// bar is absolute: zero client-visible failures and every body
+// byte-identical to the direct single-replica answer.
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet smoke is not a -short test")
+	}
+	scfg := server.Config{Workers: 2}
+	corpus := smokeCorpus(6)
+	want := directAnswers(t, scfg, corpus)
+
+	plan := chaos.Seeded(42, FleetNames(3), 12, 5)
+	gcfg := Config{
+		MaxAttempts:   4,
+		RetryBase:     5 * time.Millisecond,
+		RetryCap:      100 * time.Millisecond,
+		RetrySeed:     7,
+		HedgeAfter:    50 * time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		EjectAfter:    2,
+		ReadmitAfter:  2,
+	}
+	f, err := StartFleet(3, scfg, gcfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	send := func(round, i int, prog string) {
+		t.Helper()
+		resp, err := client.Post(f.GatewayURL()+"/analyze", "application/json", bytes.NewReader(analyzeBody(prog)))
+		if err != nil {
+			t.Fatalf("round %d program %d: client-visible failure: %v", round, i, err)
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			t.Fatalf("round %d program %d: body read failed: %v", round, i, rerr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d program %d: status %d (attempts %s, replica %s): %s",
+				round, i, resp.StatusCode,
+				resp.Header.Get("X-Vsfs-Gateway-Attempts"), resp.Header.Get("X-Vsfs-Replica"), body)
+		}
+		if !bytes.Equal(body, want[i]) {
+			t.Fatalf("round %d program %d: gateway answer differs from direct solve\n gateway: %.200s\n direct:  %.200s",
+				round, i, body, want[i])
+		}
+	}
+
+	// Round 1: calm fleet (modulo the chaos plan's scheduled faults).
+	for i, prog := range corpus {
+		send(1, i, prog)
+	}
+
+	// Kill replica 0 and run the corpus again — failover territory.
+	f.Kill(0)
+	waitFor(t, "killed replica ejection", func() bool {
+		return !f.Gateway().Ring().Healthy(f.ReplicaURL(0))
+	})
+	for i, prog := range corpus {
+		send(2, i, prog)
+	}
+
+	// Restart it (cold cache) and run once more — readmission territory.
+	if err := f.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "restarted replica readmission", func() bool {
+		return f.Gateway().Ring().Healthy(f.ReplicaURL(0))
+	})
+	for i, prog := range corpus {
+		send(3, i, prog)
+	}
+
+	s := f.Gateway().Stats()
+	if s.Ejections < 1 || s.Readmissions < 1 {
+		t.Errorf("drill did not flex membership: ejections=%d readmissions=%d", s.Ejections, s.Readmissions)
+	}
+	var retries int64
+	for _, n := range s.Retries {
+		retries += n
+	}
+	if retries == 0 && len(plan.Injected()) == 0 {
+		t.Error("drill injected nothing and retried nothing — chaos plan never fired")
+	}
+	t.Logf("fleet smoke: %d retries %v, hedges won=%d lost=%d, ejections=%d, readmissions=%d, chaos fired=%d",
+		retries, s.Retries, s.HedgesWon, s.HedgesLost, s.Ejections, s.Readmissions, len(plan.Injected()))
+}
+
+// TestFleetGatewayMatchesDirectPerEndpoint widens byte-identity to the
+// /query and /check endpoints on a calm fleet.
+func TestFleetGatewayMatchesDirectPerEndpoint(t *testing.T) {
+	scfg := server.Config{Workers: 2}
+	prog := smokeCorpus(1)[0]
+
+	direct, err := StartFleet(1, scfg, Config{HedgeAfter: -1, ProbeInterval: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	fleet, err := StartFleet(3, scfg, Config{HedgeAfter: -1, ProbeInterval: time.Hour, RetrySeed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	bodies := map[string][]byte{
+		"/analyze": analyzeBody(prog),
+		"/query":   mustJSON(map[string]any{"source": prog, "lang": "ir", "kind": "callgraph"}),
+		"/check":   mustJSON(map[string]any{"source": prog, "lang": "ir"}),
+	}
+	for path, body := range bodies {
+		var got [2][]byte
+		for j, base := range []string{direct.ReplicaURL(0), fleet.GatewayURL()} {
+			resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("%s via %s: %v", path, base, err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			got[j] = append([]byte(fmt.Sprintf("%d\n", resp.StatusCode)), data...)
+		}
+		if !bytes.Equal(got[0], got[1]) {
+			t.Errorf("%s: gateway differs from direct\n direct:  %.200s\n gateway: %.200s", path, got[0], got[1])
+		}
+	}
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}

@@ -1,0 +1,131 @@
+package oracle
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"vsfs/internal/cluster"
+	"vsfs/internal/cluster/chaos"
+	"vsfs/internal/ir"
+	"vsfs/internal/server"
+)
+
+// CheckGatewayIdentity exercises the routing tier against the direct
+// single-replica answer for prog:
+//
+//	gateway-eq-direct: a request routed through the gateway — across a
+//	                   calm three-replica fleet, and again across a
+//	                   chaos-injected fleet with one replica killed
+//	                   mid-sequence — succeeds and returns a body
+//	                   byte-identical to a direct solve on a lone
+//	                   server. Retries, failover, and hedging are only
+//	                   allowed to move work, never to change answers.
+//
+// This is the cluster-level extension of server-flight-identity: the
+// responses are deterministic and content-addressed, so byte equality
+// across any routing history is the correct notion of "same result".
+func CheckGatewayIdentity(prog *ir.Program) []Violation {
+	src := prog.String()
+	reqBody := []byte(fmt.Sprintf(`{"source": %q, "lang": "ir"}`, src))
+	var out []Violation
+	failf := func(format string, args ...any) {
+		out = append(out, Violation{Invariant: "gateway-eq-direct", Detail: fmt.Sprintf(format, args...)})
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(base string) (int, []byte, error) {
+		resp, err := client.Post(base+"/analyze", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return resp.StatusCode, nil, err
+		}
+		return resp.StatusCode, buf.Bytes(), nil
+	}
+	scfg := server.Config{Workers: 2}
+
+	// The reference: one lone replica, no gateway, no chaos.
+	srv := server.New(scfg)
+	ts := httptest.NewServer(srv)
+	status, direct, err := post(ts.URL)
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	srv.Close(ctx)
+	cancel()
+	if err != nil || status != http.StatusOK {
+		failf("direct solve failed: status %d, err %v", status, err)
+		return out
+	}
+
+	// A calm three-replica fleet: both the cold solve (a miss on some
+	// replica) and the repeat (a hit on the same replica, by routing
+	// stickiness) must match the direct answer.
+	calm, err := cluster.StartFleet(3, scfg, cluster.Config{
+		HedgeAfter:    -1,
+		ProbeInterval: time.Hour,
+		RetrySeed:     1,
+	}, nil)
+	if err != nil {
+		failf("calm fleet failed to start: %v", err)
+		return out
+	}
+	for i := 0; i < 2; i++ {
+		status, body, err := post(calm.GatewayURL())
+		if err != nil || status != http.StatusOK {
+			failf("calm fleet request %d failed: status %d, err %v", i, status, err)
+			calm.Close()
+			return out
+		}
+		if !bytes.Equal(body, direct) {
+			failf("calm fleet request %d body differs from direct solve", i)
+			calm.Close()
+			return out
+		}
+	}
+	calm.Close()
+
+	// The chaos fleet: a seeded plan faults connections, and replica 0
+	// is killed between requests. Every request must still succeed with
+	// the direct answer — failover may cost retries, never correctness.
+	plan := chaos.Seeded(7, cluster.FleetNames(3), 8, 3)
+	rough, err := cluster.StartFleet(3, scfg, cluster.Config{
+		MaxAttempts:   4,
+		RetryBase:     5 * time.Millisecond,
+		RetryCap:      100 * time.Millisecond,
+		RetrySeed:     7,
+		HedgeAfter:    50 * time.Millisecond,
+		ProbeInterval: 20 * time.Millisecond,
+		EjectAfter:    2,
+		ReadmitAfter:  2,
+	}, plan)
+	if err != nil {
+		failf("chaos fleet failed to start: %v", err)
+		return out
+	}
+	defer rough.Close()
+	for i := 0; i < 4; i++ {
+		if i == 2 {
+			rough.Kill(0)
+		}
+		status, body, err := post(rough.GatewayURL())
+		if err != nil {
+			failf("chaos fleet request %d: client-visible failure: %v", i, err)
+			return out
+		}
+		if status != http.StatusOK {
+			failf("chaos fleet request %d: status %d: %.200s", i, status, body)
+			return out
+		}
+		if !bytes.Equal(body, direct) {
+			failf("chaos fleet request %d body differs from direct solve (one replica down)", i)
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package oracle
+
+import (
+	"testing"
+
+	"vsfs/internal/workload"
+)
+
+// TestGatewayIdentity runs the cluster-level half of the battery: a
+// gateway-routed solve — calm, and with chaos plus a killed replica —
+// must be byte-identical to a direct single-server solve.
+func TestGatewayIdentity(t *testing.T) {
+	cfg := workload.RandomConfig{
+		Funcs: 2, MaxParams: 2, InstrsPerFunc: 10, MaxFields: 2,
+		HeapFrac: 0.5, IndirectCalls: true, Globals: 1, StoreFrac: 0.5,
+	}
+	reportAll(t, "gateway seed", CheckGatewayIdentity(workload.Random(0, cfg)))
+}

@@ -26,7 +26,18 @@ type breakerEntry struct {
 	open     bool
 	openedAt time.Time
 	lastErr  error
+	// probing marks that the one half-open probe this cooling-off expiry
+	// admits is in flight; concurrent callers keep getting the cached
+	// failure until the probe resolves.
+	probing bool
 }
+
+// probeRetryAfter is the Retry-After served while a half-open probe is
+// in flight. It is the floor of the open circuit's countdown — the
+// remaining cooling-off shrinks toward zero and this never exceeds one
+// second — so the advertised Retry-After is monotonically non-increasing
+// across one open period.
+const probeRetryAfter = time.Second / 2
 
 // breakerMaxEntries caps the tracked-program map; when full, untripped
 // entries are dropped first so an adversarial key stream cannot grow
@@ -61,8 +72,11 @@ func (e errBreakerOpen) Unwrap() error { return e.cause }
 
 // allow reports whether a solve for key may proceed. While the circuit
 // is open it returns the cached failure; once the cooling-off period
-// ends the next caller is let through half-open (a success resets the
-// entry, a failure reopens it immediately).
+// ends exactly one caller is admitted as the half-open probe (a success
+// resets the entry, a failure reopens it immediately). Concurrent
+// callers racing the probe keep getting the cached failure — admitting
+// the whole herd would defeat the circuit on the programs most likely
+// to take a worker down.
 func (b *breaker) allow(key string) error {
 	if b == nil || b.threshold <= 0 {
 		return nil
@@ -77,14 +91,18 @@ func (b *breaker) allow(key string) error {
 	if remaining > 0 {
 		return errBreakerOpen{retryAfter: remaining, cause: e.lastErr}
 	}
-	// Half-open: admit this probe; one more failure reopens at once.
-	e.open = false
-	e.fails = b.threshold - 1
+	if e.probing {
+		return errBreakerOpen{retryAfter: probeRetryAfter, cause: e.lastErr}
+	}
+	// Half-open: admit this one probe; the entry stays open until the
+	// probe's outcome arrives at recordSuccess or recordFailure.
+	e.probing = true
 	return nil
 }
 
 // recordFailure notes one hard failure for key and reports whether this
-// one tripped the circuit open.
+// one tripped the circuit open (a failed half-open probe reopens it,
+// which counts as a trip).
 func (b *breaker) recordFailure(key string, cause error) bool {
 	if b == nil || b.threshold <= 0 {
 		return false
@@ -101,7 +119,18 @@ func (b *breaker) recordFailure(key string, cause error) bool {
 	}
 	e.fails++
 	e.lastErr = cause
-	if e.fails >= b.threshold && !e.open {
+	if e.open {
+		if e.probing {
+			// The half-open probe failed: restart the cooling-off clock.
+			e.openedAt = b.now()
+			e.probing = false
+			return true
+		}
+		// A straggler failure from a solve admitted before the circuit
+		// opened: recorded, but it neither re-trips nor resets the clock.
+		return false
+	}
+	if e.fails >= b.threshold {
 		e.open = true
 		e.openedAt = b.now()
 		return true

@@ -32,6 +32,8 @@ func endpointOf(path string) string {
 	switch {
 	case path == "/healthz":
 		return "healthz"
+	case path == "/readyz":
+		return "readyz"
 	case path == "/stats":
 		return "stats"
 	case path == "/metrics":

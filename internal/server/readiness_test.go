@@ -1,0 +1,215 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReadyzDrainAware: /readyz is the load-balancer's routing signal —
+// 200 while serving, 503 with Retry-After the moment Close begins —
+// while /healthz stays a pure liveness check that never flips.
+func TestReadyzDrainAware(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+
+	code, body := get(t, s, "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("pre-drain /readyz = %d: %s", code, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() false after Close")
+	}
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain /readyz = %d, want 503", rec.Code)
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 3 {
+		t.Errorf("post-drain Retry-After = %q, want an integer in [1,3]", rec.Header().Get("Retry-After"))
+	}
+
+	if code, _ := get(t, s, "/healthz"); code != http.StatusOK {
+		t.Errorf("post-drain /healthz = %d; liveness must not follow readiness", code)
+	}
+}
+
+// TestRetryAfterJitterSpread is the anti-stampede regression test: the
+// Retry-After on retryable failures must be drawn from a bounded window
+// with real spread, not a fixed constant that synchronizes every
+// client's retry into one thundering herd. Seeded, so no wall clock and
+// no flakes.
+func TestRetryAfterJitterSpread(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, RetryJitterSeed: 42})
+
+	distinctShed := map[int]bool{}
+	distinctBudget := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		shed := s.retryAfterSecs(1, 2)
+		if shed < 1 || shed > 3 {
+			t.Fatalf("draw %d: shed Retry-After %d outside [1,3]", i, shed)
+		}
+		distinctShed[shed] = true
+
+		budget := s.retryAfterSecs(5, 5)
+		if budget < 5 || budget > 10 {
+			t.Fatalf("draw %d: budget Retry-After %d outside [5,10]", i, budget)
+		}
+		distinctBudget[budget] = true
+	}
+	if len(distinctShed) < 3 {
+		t.Errorf("200 shed draws hit only %d distinct values — that is a herd, not jitter", len(distinctShed))
+	}
+	if len(distinctBudget) < 4 {
+		t.Errorf("200 budget draws hit only %d of 6 values — jitter is not spreading", len(distinctBudget))
+	}
+
+	// Same seed, same sequence: the spread is reproducible, not clocky.
+	s2 := newTestServer(t, Config{Workers: 1, RetryJitterSeed: 42})
+	s3 := newTestServer(t, Config{Workers: 1, RetryJitterSeed: 42})
+	for i := 0; i < 50; i++ {
+		if a, b := s2.retryAfterSecs(1, 2), s3.retryAfterSecs(1, 2); a != b {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, a, b)
+		}
+	}
+}
+
+// TestQueueShedRetryAfterJittered rides the full HTTP path: queue-full
+// rejections must carry the jittered window, not a constant.
+func TestQueueShedRetryAfterJittered(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryJitterSeed: 7})
+
+	// Overflow the tiny pool with distinct programs (identical ones
+	// would coalesce in the single-flight layer instead of shedding).
+	const burst = 24
+	headers := make([]http.Header, burst)
+	codes := make([]int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], headers[i], _ = post(t, s, "/analyze",
+				AnalyzeRequest{Source: mediumIR(int64(7100 + i)), Lang: "ir"})
+		}(i)
+	}
+	wg.Wait()
+
+	got := map[int]bool{}
+	for i := 0; i < burst; i++ {
+		if codes[i] != http.StatusServiceUnavailable {
+			continue
+		}
+		ra, err := strconv.Atoi(headers[i].Get("Retry-After"))
+		if err != nil || ra < 1 || ra > 3 {
+			t.Fatalf("shed Retry-After = %q, want integer in [1,3]", headers[i].Get("Retry-After"))
+		}
+		got[ra] = true
+	}
+	if len(got) < 2 {
+		t.Errorf("shed responses carried only %v distinct Retry-After values — no observable jitter", got)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe is the concurrency contract of the
+// half-open state: when the cooling-off period expires, exactly one
+// caller is admitted as the probe; the concurrent herd keeps getting
+// the cached failure until the probe resolves.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	b := newBreaker(1, 10*time.Second, clock)
+	cause := errors.New("boom")
+	if !b.recordFailure("k", cause) {
+		t.Fatal("threshold 1 did not trip on first failure")
+	}
+	advance(11 * time.Second) // cooled off: next allow is the probe
+
+	const herd = 32
+	var wg sync.WaitGroup
+	results := make([]error, herd)
+	start := make(chan struct{})
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i] = b.allow("k")
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	admitted := 0
+	for i, err := range results {
+		if err == nil {
+			admitted++
+			continue
+		}
+		var bo errBreakerOpen
+		if !errors.As(err, &bo) {
+			t.Fatalf("caller %d: unexpected error %v", i, err)
+		}
+		if bo.retryAfter != probeRetryAfter {
+			t.Errorf("caller %d: probe-window Retry-After = %v, want %v", i, bo.retryAfter, probeRetryAfter)
+		}
+	}
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d callers, want exactly 1", admitted)
+	}
+
+	// The probe failing reopens the circuit for everyone at once.
+	if !b.recordFailure("k", cause) {
+		t.Fatal("probe failure did not reopen the circuit")
+	}
+	if err := b.allow("k"); err == nil {
+		t.Fatal("circuit reopened but allow admitted a caller")
+	}
+
+	// Next expiry: one probe again, and its success resets the entry.
+	advance(11 * time.Second)
+	if err := b.allow("k"); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.recordSuccess("k")
+	if err := b.allow("k"); err != nil || b.tracked() != 0 {
+		t.Fatalf("after probe success: allow=%v tracked=%d", err, b.tracked())
+	}
+}
+
+// TestBreakerRetryAfterMonotonicWhileOpen: while one open period cools
+// off, successive callers are told non-increasing waits — the breaker
+// never pushes a client's retry further out than the last answer did.
+func TestBreakerRetryAfterMonotonicWhileOpen(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(1, 10*time.Second, func() time.Time { return now })
+	b.recordFailure("k", errors.New("boom"))
+
+	last := time.Duration(1 << 62)
+	for elapsed := time.Duration(0); elapsed < 10*time.Second; elapsed += 900 * time.Millisecond {
+		var bo errBreakerOpen
+		if err := b.allow("k"); !errors.As(err, &bo) {
+			t.Fatalf("t+%v: want errBreakerOpen, got %v", elapsed, err)
+		}
+		if bo.retryAfter > last {
+			t.Fatalf("t+%v: Retry-After grew from %v to %v", elapsed, last, bo.retryAfter)
+		}
+		last = bo.retryAfter
+		now = now.Add(900 * time.Millisecond)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -45,6 +46,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"vsfs"
@@ -117,6 +120,13 @@ type Config struct {
 	// invariant), so results are cached in just two classes — sequential
 	// and parallel — rather than one per worker count.
 	Parallel int
+
+	// RetryJitterSeed seeds the bounded jitter added to Retry-After
+	// values on shed/shutdown/budget rejections, so a burst of rejected
+	// clients does not resynchronize into a retry stampede. Zero draws a
+	// random seed; tests fix it for deterministic spreads (no wall clock
+	// is involved either way).
+	RetryJitterSeed int64
 }
 
 // Defaults for Config's zero values.
@@ -170,6 +180,16 @@ type Server struct {
 	started time.Time
 	mux     *http.ServeMux
 
+	// draining flips once Close begins: /readyz answers 503 from then
+	// on so load balancers stop routing here while in-flight solves
+	// finish. /healthz stays 200 — the process is alive, just leaving.
+	draining atomic.Bool
+
+	// jitter randomizes Retry-After values under jitterMu; seeded from
+	// Config.RetryJitterSeed.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
 	// Per-solve share of the server-wide budget pools.
 	stepsPerSolve int64
 	memPerSolve   int64
@@ -178,6 +198,10 @@ type Server struct {
 // New builds a Server with its worker pool already running.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	seed := cfg.RetryJitterSeed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   newResultCache(cfg.CacheEntries),
@@ -185,6 +209,7 @@ func New(cfg Config) *Server {
 		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerOpenFor, nil),
 		logger:  cfg.Logger,
 		started: time.Now(),
+		jitter:  rand.New(rand.NewSource(seed)),
 	}
 	if cfg.StepBudget > 0 {
 		s.stepsPerSolve = max64(1, cfg.StepBudget/int64(cfg.Workers))
@@ -202,6 +227,7 @@ func New(cfg Config) *Server {
 	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /runs", s.handleRuns)
 	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
@@ -251,10 +277,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Close stops accepting new solves and drains queued and in-flight
-// work, returning ctx.Err() if draining outlives the context.
+// work, returning ctx.Err() if draining outlives the context. From the
+// first moment of Close, /readyz answers 503 so health-checked routers
+// (the gateway tier) stop sending new work here.
 func (s *Server) Close(ctx context.Context) error {
+	s.draining.Store(true)
 	return s.pool.shutdown(ctx)
 }
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Stats returns a point-in-time snapshot of the service counters.
 func (s *Server) Stats() StatsSnapshot { return s.snapshot() }
@@ -557,6 +589,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the routing probe: 200 while the server accepts new
+// solves, 503 with Retry-After once Close has begun. Liveness
+// (/healthz) deliberately stays 200 through a drain — the process is
+// healthy, it is just not taking new work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs(1, 2)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status":  "draining",
+			"version": obs.Version,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ready",
+		"version": obs.Version,
+	})
+}
+
 // RunsResponse is the body of GET /runs: the newest ledger records,
 // oldest first, as raw JSON lines.
 type RunsResponse struct {
@@ -617,7 +668,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	res, key, hit, err := s.resolve(r.Context(), req)
 	if err != nil {
-		setRetryHeaders(w, err)
+		s.setRetryHeaders(w, err)
 		s.writeError(w, r, statusFor(err), err)
 		return
 	}
@@ -657,7 +708,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	res, key, hit, err := s.resolve(r.Context(), req.AnalyzeRequest)
 	if err != nil {
-		setRetryHeaders(w, err)
+		s.setRetryHeaders(w, err)
 		s.writeError(w, r, statusFor(err), err)
 		return
 	}
@@ -703,7 +754,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, key, hit, err := s.resolve(r.Context(), req.AnalyzeRequest)
 	if err != nil {
-		setRetryHeaders(w, err)
+		s.setRetryHeaders(w, err)
 		s.writeError(w, r, statusFor(err), err)
 		return
 	}
@@ -774,10 +825,24 @@ func setResultHeaders(w http.ResponseWriter, key string, hit bool, res *vsfs.Res
 	}
 }
 
+// retryAfterSecs returns base plus a bounded random offset in
+// [0, spread] seconds. Fixed Retry-After values synchronize every
+// rejected client's retry into the next stampede; the jitter spreads
+// the horde without wall-clock involvement (the RNG is seeded, so tests
+// are deterministic).
+func (s *Server) retryAfterSecs(base, spread int) int {
+	s.jitterMu.Lock()
+	defer s.jitterMu.Unlock()
+	return base + s.jitter.Intn(spread+1)
+}
+
 // setRetryHeaders attaches Retry-After to retryable failures: a shed or
 // shutting-down request may retry almost immediately, an open circuit
-// when it closes, and a budget breach after backing off.
-func setRetryHeaders(w http.ResponseWriter, err error) {
+// when it closes, and a budget breach after backing off. The shed and
+// budget values are jittered (see retryAfterSecs); the breaker value is
+// the circuit's actual remaining cooling-off, which is monotonically
+// non-increasing while the circuit stays open.
+func (s *Server) setRetryHeaders(w http.ResponseWriter, err error) {
 	var bo errBreakerOpen
 	var be *guard.ErrBudgetExceeded
 	switch {
@@ -786,9 +851,9 @@ func setRetryHeaders(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		w.Header().Set("X-Vsfs-Breaker", "open")
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShutdown):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs(1, 2)))
 	case errors.As(err, &be):
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs(5, 5)))
 	}
 }
 
