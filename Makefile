@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check bench bench-baseline bench-gate serve fuzz fuzz-native faults check golden fleet chaos
+.PHONY: build test race vet lint vsfs-lint lint-schema fmt-check bench bench-baseline bench-gate serve fuzz fuzz-native faults check golden fleet chaos
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,17 @@ vet:
 
 lint: vet
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...
+	$(GO) run ./cmd/vsfs-lint ./...
+
+# Run only the in-repo analyzer suite (no network; staticcheck needs
+# the proxy, vsfs-lint never does).
+vsfs-lint:
+	$(GO) run ./cmd/vsfs-lint ./...
+
+# Regenerate the reportcontract golden after deliberately appending
+# report/ledger fields (the contract is append-only; see DESIGN.md §15).
+lint-schema:
+	$(GO) run ./cmd/vsfs-lint -update-schema
 
 # Run the memory-safety checker suite over the corpus (text report).
 # vsfs exits 5 when findings are reported, which is the point here.

@@ -1,0 +1,120 @@
+// Command vsfs-lint runs the internal/lint analyzer suite: five
+// custom static analyzers that enforce the repository's determinism,
+// guard-budget, metric-registry and report-contract invariants at
+// review time instead of leaving them to the fuzzing oracle.
+//
+// Usage:
+//
+//	vsfs-lint [flags] [packages]
+//
+// Packages default to ./... and accept the go list pattern syntax.
+// Exit codes: 0 clean, 1 findings, 2 usage or load failure.
+//
+//	-run list      comma-separated analyzer subset (default: all)
+//	-list          print the analyzers and their contracts, then exit
+//	-sarif         emit SARIF 2.1.0 on stdout instead of text
+//	-update-schema regenerate internal/lint/report_schema.json from
+//	               the current structs (the append-only golden the
+//	               reportcontract analyzer diffs against), then exit
+//	-C dir         change to dir before resolving packages
+//
+// Findings are suppressed in source with
+//
+//	//vsfs:lint-ignore <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory and
+// unused or malformed directives are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vsfs/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("vsfs-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runList      = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list         = fs.Bool("list", false, "list analyzers and exit")
+		sarif        = fs.Bool("sarif", false, "emit SARIF 2.1.0 instead of text")
+		updateSchema = fs.Bool("update-schema", false, "regenerate the reportcontract golden schema and exit")
+		chdir        = fs.String("C", ".", "directory to resolve packages from")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers()
+	if *runList != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "vsfs-lint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	passes, err := lint.Load(*chdir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "vsfs-lint: %v\n", err)
+		return 2
+	}
+	if len(passes) == 0 {
+		fmt.Fprintln(stderr, "vsfs-lint: no packages matched")
+		return 2
+	}
+
+	if *updateSchema {
+		sch, err := lint.BuildSchema(passes)
+		if err != nil {
+			fmt.Fprintf(stderr, "vsfs-lint: -update-schema: %v\n", err)
+			return 2
+		}
+		path := filepath.Join(passes[0].ModuleRoot, filepath.FromSlash(lint.SchemaRelPath))
+		if err := lint.WriteSchema(path, sch); err != nil {
+			fmt.Fprintf(stderr, "vsfs-lint: -update-schema: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d contract types)\n", path, len(sch.Types))
+		return 0
+	}
+
+	findings := lint.Run(passes, analyzers)
+	if *sarif {
+		if err := lint.WriteSARIF(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "vsfs-lint: writing SARIF: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "vsfs-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout/stderr redirected to temp files and
+// returns (exitCode, stdout, stderr).
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, outF, errF)
+	read := func(f *os.File) string {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return string(data)
+	}
+	return code, read(outF), read(errF)
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d, want 0", code)
+	}
+	for _, name := range []string{"detrange", "noclock", "guardtick", "metricname", "reportcontract"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, errOut := capture(t, "-run", "nonsense", "-list=false")
+	if code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown analyzer") {
+		t.Errorf("stderr missing diagnosis:\n%s", errOut)
+	}
+}
+
+// TestCleanPackage loads one real (small) module package through the
+// production `go list` loader and expects a clean detrange run.
+func TestCleanPackage(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := capture(t, "-C", root, "-run", "detrange", "./internal/bitset")
+	if code != 0 {
+		t.Fatalf("exited %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+}

@@ -312,6 +312,7 @@ func (s *solver) owner(n uint32) uint32 {
 }
 
 func (s *solver) ensure(id uint32) {
+	//vsfs:lint-ignore guardtick growth is bounded by the node-ID space; the pop that created the id was charged at the run checkpoint
 	for uint32(len(s.pts)) <= id {
 		s.pts = append(s.pts, nil)
 		s.processed = append(s.processed, nil)

@@ -367,6 +367,7 @@ func (e *parEngine) stint() error {
 // drainWork empties the embedded worklist into a sorted frontier.
 func (e *parEngine) drainWork() []uint32 {
 	var out []uint32
+	//vsfs:lint-ignore guardtick drains a finite worklist snapshot between BSP rounds; each node is charged when its chunk is processed
 	for {
 		l, ok := e.work.pop()
 		if !ok {
@@ -651,6 +652,7 @@ func (e *parEngine) applyBatch(sh int, batch []delta, st *shardDeltaStats, next 
 		}
 		st.changed++
 		queue := []meld.Version{d.ver}
+		//vsfs:lint-ignore guardtick version cascade is finite (monotone sets over prelabelled versions) and metered at the next shard checkpoint; see DESIGN §15
 		for len(queue) > 0 {
 			v := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"vsfs/internal/ir"
+)
+
+// TestSortFuncsDuplicateNames pins the CalleesOf ordering contract:
+// Function.Name is not unique, so the sort must fall back to the
+// entry label or map iteration order leaks into the returned slice.
+func TestSortFuncsDuplicateNames(t *testing.T) {
+	mk := func(name string, label uint32) *ir.Function {
+		return &ir.Function{Name: name, EntryInstr: &ir.Instr{Label: label}}
+	}
+	fs := []*ir.Function{
+		mk("g", 40), mk("f", 30), mk("g", 10), mk("f", 20), mk("f", 20),
+	}
+	sortFuncs(fs)
+	wantNames := []string{"f", "f", "f", "g", "g"}
+	wantLabels := []uint32{20, 20, 30, 10, 40}
+	for i, f := range fs {
+		if f.Name != wantNames[i] || f.EntryInstr.Label != wantLabels[i] {
+			t.Fatalf("position %d: got (%s, %d), want (%s, %d)",
+				i, f.Name, f.EntryInstr.Label, wantNames[i], wantLabels[i])
+		}
+	}
+}
+
+// TestCalleesOfSorted runs the sort through the public accessor: a
+// callee map assembled in arbitrary order must come back in
+// (name, entry label) order.
+func TestCalleesOfSorted(t *testing.T) {
+	mk := func(name string, label uint32) *ir.Function {
+		return &ir.Function{Name: name, EntryInstr: &ir.Instr{Label: label}}
+	}
+	call := &ir.Instr{Label: 99}
+	fns := []*ir.Function{mk("h", 3), mk("g", 2), mk("g", 1), mk("a", 7)}
+	r := &Result{callees: map[*ir.Instr]map[*ir.Function]bool{call: {}}}
+	for _, f := range fns {
+		r.callees[call][f] = true
+	}
+	for trial := 0; trial < 16; trial++ {
+		got := r.CalleesOf(call)
+		if len(got) != len(fns) {
+			t.Fatalf("got %d callees, want %d", len(got), len(fns))
+		}
+		for i := 1; i < len(got); i++ {
+			if funcLess(got[i], got[i-1]) {
+				t.Fatalf("trial %d: callees out of order at %d: %s/%d after %s/%d",
+					trial, i, got[i].Name, got[i].EntryInstr.Label,
+					got[i-1].Name, got[i-1].EntryInstr.Label)
+			}
+		}
+	}
+}

@@ -80,12 +80,19 @@ func (r *Result) CalleesOf(call *ir.Instr) []*ir.Function {
 	for f := range m {
 		out = append(out, f)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && funcLess(out[j], out[j-1]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	sortFuncs(out)
+	return out
+}
+
+// sortFuncs orders functions by funcLess — a total order, so the
+// result is independent of the (randomized) map iteration order the
+// callers collect from.
+func sortFuncs(fs []*ir.Function) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && funcLess(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
 		}
 	}
-	return out
 }
 
 // funcLess orders functions by name, then by entry label (unique per
@@ -337,6 +344,7 @@ func (s *state) growVersion(o ir.ID, v meld.Version, src *bitset.Sparse) {
 	}
 	s.Stats.Changed++
 	queue := []item{{ver: v}}
+	//vsfs:lint-ignore guardtick version cascade is finite (monotone sets over prelabelled versions) and metered at the next run checkpoint; see DESIGN §15
 	for len(queue) > 0 {
 		it := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]

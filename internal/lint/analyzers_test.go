@@ -1,0 +1,56 @@
+package lint
+
+import "testing"
+
+func TestDetRange(t *testing.T) {
+	passes := loadCorpus(t, "detrange",
+		"vsfs/internal/obs", "vsfs/internal/core", "vsfs/internal/other")
+	checkExpectations(t, passes, Run(passes, []*Analyzer{DetRange}))
+}
+
+func TestNoClock(t *testing.T) {
+	passes := loadCorpus(t, "noclock",
+		"vsfs/internal/core", "vsfs/internal/server")
+	checkExpectations(t, passes, Run(passes, []*Analyzer{NoClock}))
+}
+
+func TestGuardTick(t *testing.T) {
+	passes := loadCorpus(t, "guardtick",
+		"vsfs/internal/guard", "vsfs/internal/core", "vsfs/internal/other")
+	checkExpectations(t, passes, Run(passes, []*Analyzer{GuardTick}))
+}
+
+func TestMetricName(t *testing.T) {
+	passes := loadCorpus(t, "metricname",
+		"vsfs/internal/obs", "vsfs/internal/srv")
+	checkExpectations(t, passes, Run(passes, []*Analyzer{MetricName}))
+}
+
+func TestReportContract(t *testing.T) {
+	for _, corpus := range []string{"ok", "brk", "missing"} {
+		t.Run(corpus, func(t *testing.T) {
+			paths := []string{"vsfs"}
+			if corpus == "ok" {
+				paths = append(paths, "vsfs/internal/shape")
+			}
+			passes := loadCorpus(t, "reportcontract/"+corpus, paths...)
+			checkExpectations(t, passes, Run(passes, []*Analyzer{ReportContract}))
+		})
+	}
+}
+
+// TestByName pins the suite roster: suppression directives and -run
+// flags resolve analyzers through these names.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"detrange", "noclock", "guardtick", "metricname", "reportcontract"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil, want analyzer", name)
+		}
+	}
+	if ByName("bogus") != nil {
+		t.Error("ByName(bogus) resolved to an analyzer")
+	}
+	if got := len(Analyzers()); got != 5 {
+		t.Errorf("Analyzers() returned %d analyzers, want 5", got)
+	}
+}

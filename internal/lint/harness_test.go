@@ -1,0 +1,207 @@
+package lint
+
+// The analyzer tests follow the x/tools analysistest pattern without
+// the x/tools dependency: each analyzer owns a GOPATH-style corpus
+// under testdata/<name>/src/<importpath>/ whose sources carry
+// expectation comments
+//
+//	code()          // want "regex" "another regex"
+//	/* want "regex" */ //vsfs:lint-ignore ...
+//
+// (the block form exists so a want can share a line with a directive
+// under test). Every finding must match a want on its line and every
+// want must match a finding. Corpora are real compiling Go: module
+// packages are parsed from the corpus and type-checked against stub
+// vsfs packages in the same corpus, stdlib against the source
+// importer — the same Pass shape the production `go list` loader
+// builds, so analyzers cannot tell the difference.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testFset is shared by every corpus and the stdlib importer so all
+// positions resolve in one space.
+var testFset = token.NewFileSet()
+
+// stdImporter type-checks stdlib dependencies from GOROOT source,
+// shared (and internally cached) across corpora.
+var stdImporter = importer.ForCompiler(testFset, "source", nil).(types.ImporterFrom)
+
+// corpusLoader resolves module import paths from one corpus root.
+type corpusLoader struct {
+	root   string
+	passes map[string]*Pass
+}
+
+// loadCorpus type-checks the named packages (and, transitively, their
+// module imports) from testdata/<corpus>, returning passes sorted by
+// import path as the production loader does.
+func loadCorpus(t *testing.T, corpus string, paths ...string) []*Pass {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", filepath.FromSlash(corpus)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &corpusLoader{root: root, passes: map[string]*Pass{}}
+	var out []*Pass
+	for _, path := range paths {
+		p, err := cl.load(path)
+		if err != nil {
+			t.Fatalf("loading %s from corpus %s: %v", path, corpus, err)
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+func (cl *corpusLoader) Import(path string) (*types.Package, error) {
+	return cl.ImportFrom(path, "", 0)
+}
+
+func (cl *corpusLoader) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if inModule(path) {
+		p, err := cl.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return stdImporter.ImportFrom(path, dir, 0)
+}
+
+func (cl *corpusLoader) load(path string) (*Pass, error) {
+	if p, ok := cl.passes[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(cl.root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(testFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: cl}
+	pkg, err := conf.Check(path, testFset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pass{
+		Path: path, Dir: dir, Fset: testFset, Files: files,
+		Pkg: pkg, Info: info, ModuleRoot: cl.root,
+	}
+	cl.passes[path] = p
+	return p, nil
+}
+
+// wantRe matches an expectation comment: a line comment or a
+// same-line block comment beginning with "want", followed by one or
+// more quoted regexes.
+var wantRe = regexp.MustCompile(`^(?://|/\*)\s*want\b(.*?)(?:\*/)?\s*$`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re  *regexp.Regexp
+	src string
+	hit bool
+}
+
+// checkExpectations cross-checks findings against the corpus's want
+// comments: each finding must match a want on its exact line, each
+// want must match at least one finding.
+func checkExpectations(t *testing.T, passes []*Pass, findings []Finding) {
+	t.Helper()
+	wants := map[wantKey][]*want{}
+	for _, p := range passes {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					k := wantKey{pos.Filename, pos.Line}
+					rest := strings.TrimSpace(m[1])
+					for rest != "" {
+						q, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							t.Errorf("%s:%d: malformed want clause %q", pos.Filename, pos.Line, rest)
+							break
+						}
+						rest = strings.TrimSpace(rest[len(q):])
+						expr, _ := strconv.Unquote(q)
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+							continue
+						}
+						wants[k] = append(wants[k], &want{re: re, src: expr})
+					}
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants[wantKey{f.Pos.Filename, f.Pos.Line}] {
+			if w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	keys := make([]wantKey, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.hit {
+				t.Errorf("%s:%d: no finding matched want %q", k.file, k.line, w.src)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// ignoreRe matches a suppression directive inside a line comment. The
+// grammar extends the product checkers' vsfs:ignore with a mandatory
+// analyzer name and reason:
+//
+//	//vsfs:lint-ignore <analyzer> <reason...>
+//
+// A directive covers its own source line (trailing form) and the line
+// below it (standalone form) — the conventional nolint placement.
+var ignoreRe = regexp.MustCompile(`^//\s*vsfs:lint-ignore\b[ \t]*(.*)$`)
+
+// directive is one parsed //vsfs:lint-ignore comment.
+type directive struct {
+	pos      token.Position // where the directive itself sits
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// directiveSet indexes directives by (filename, covered line).
+type directiveSet struct {
+	byLine    map[string]map[int][]*directive
+	malformed []Finding
+	all       []*directive
+}
+
+// collectDirectives parses every //vsfs:lint-ignore in the loaded
+// files. Malformed directives (no analyzer, unknown analyzer, or a
+// missing reason) become unsuppressible meta-findings immediately.
+func collectDirectives(passes []*Pass) *directiveSet {
+	ds := &directiveSet{byLine: map[string]map[int][]*directive{}}
+	for _, p := range passes {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					ds.add(pos, strings.TrimSpace(m[1]))
+				}
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *directiveSet) add(pos token.Position, rest string) {
+	meta := func(format string, args ...any) {
+		ds.malformed = append(ds.malformed, Finding{
+			Analyzer: "lint-ignore",
+			Pos:      pos,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	name, reason, _ := strings.Cut(rest, " ")
+	if name == "" {
+		meta("malformed //vsfs:lint-ignore: want \"//vsfs:lint-ignore <analyzer> <reason>\"")
+		return
+	}
+	if ByName(name) == nil {
+		meta("//vsfs:lint-ignore names unknown analyzer %q", name)
+		return
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		meta("//vsfs:lint-ignore %s is missing its reason: every suppression must say why", name)
+		return
+	}
+	d := &directive{pos: pos, analyzer: name, reason: reason}
+	ds.all = append(ds.all, d)
+	lines := ds.byLine[pos.Filename]
+	if lines == nil {
+		lines = map[int][]*directive{}
+		ds.byLine[pos.Filename] = lines
+	}
+	// Trailing form covers its own line, standalone form the next.
+	lines[pos.Line] = append(lines[pos.Line], d)
+	lines[pos.Line+1] = append(lines[pos.Line+1], d)
+}
+
+// suppress reports whether a matching directive covers f, marking the
+// directive used.
+func (ds *directiveSet) suppress(f Finding) bool {
+	hit := false
+	for _, d := range ds.byLine[f.Pos.Filename][f.Pos.Line] {
+		if d.analyzer == f.Analyzer {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// metaFindings reports malformed directives plus directives that
+// suppressed nothing during this run. Unused detection only applies
+// to directives naming an analyzer that actually ran, so selective
+// `-run` invocations don't misreport the rest as stale.
+func (ds *directiveSet) metaFindings(ran []*Analyzer) []Finding {
+	active := map[string]bool{}
+	for _, a := range ran {
+		active[a.Name] = true
+	}
+	out := append([]Finding(nil), ds.malformed...)
+	for _, d := range ds.all {
+		if d.used || !active[d.analyzer] {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "lint-ignore",
+			Pos:      d.pos,
+			Message:  fmt.Sprintf("unused //vsfs:lint-ignore %s (%s): nothing here triggers it anymore", d.analyzer, d.reason),
+		})
+	}
+	return out
+}

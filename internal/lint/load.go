@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the slice of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Dir string }
+}
+
+// Load type-checks the module packages matched by patterns (typically
+// ["./..."]) rooted at dir and returns one Pass per package, sorted by
+// import path.
+//
+// The loader shells out to the already-present go toolchain —
+// `go list -deps -export -json` — which yields every dependency in
+// topological order together with compiled export data for the
+// non-module ones. Module packages are then parsed and type-checked
+// from source (so analyzers get syntax trees), while imports outside
+// the module resolve through the stdlib gc importer reading that
+// export data: the exact scheme x/tools/go/packages uses, minus the
+// dependency. Only non-test GoFiles are linted; the contracts being
+// enforced are production-path invariants.
+func Load(dir string, patterns ...string) ([]*Pass, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Export,Standard,Dir,GoFiles,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var modPkgs []listPackage
+	moduleRoot := ""
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		modPkgs = append(modPkgs, p)
+		if moduleRoot == "" {
+			moduleRoot = p.Module.Dir
+		}
+	}
+
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := &chainImporter{
+		gc:      importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		checked: checked,
+	}
+
+	var passes []*Pass
+	// -deps emits dependencies before dependents, so by the time a
+	// package is checked every module import it names is in `checked`.
+	for _, p := range modPkgs {
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := checkFiles(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		checked[p.ImportPath] = pkg
+		passes = append(passes, &Pass{
+			Path:       p.ImportPath,
+			Dir:        p.Dir,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+			ModuleRoot: moduleRoot,
+		})
+	}
+	// go list emits the -deps closure in dependency order; surface
+	// passes in deterministic path order instead.
+	sortPasses(passes)
+	return passes, nil
+}
+
+func sortPasses(passes []*Pass) {
+	for i := 1; i < len(passes); i++ {
+		for j := i; j > 0 && passes[j].Path < passes[j-1].Path; j-- {
+			passes[j], passes[j-1] = passes[j-1], passes[j]
+		}
+	}
+}
+
+// checkFiles type-checks one package's parsed files with full
+// expression type and object-use information recorded.
+func checkFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// chainImporter resolves module packages from the already-checked map
+// and everything else through gc export data. A single shared gc
+// importer instance keeps stdlib package identity consistent across
+// the whole load.
+type chainImporter struct {
+	gc      types.ImporterFrom
+	checked map[string]*types.Package
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.checked[path]; ok {
+		return p, nil
+	}
+	return c.gc.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName cross-checks every obs metric registration in the module
+// against the single declared registry, obs.MetricNames. The
+// dynamic registry already dedups identical re-registrations, but it
+// cannot catch a typo'd family name, a counter registered as a gauge
+// at a second call site, or a dashboard-facing name that silently
+// stopped being registered — all of which this analyzer makes a vet
+// failure by construction:
+//
+//   - every Registry.Counter/Gauge/Histogram(+Vec)/GaugeFunc call must
+//     pass a compile-time constant name that appears in
+//     obs.MetricNames with the matching kind;
+//   - every obs.MetricNames entry must be registered by some call
+//     site (no stale declarations);
+//   - declared names must satisfy the naming convention: vsfs_
+//     prefix, [a-z0-9_] characters, counters (and only counters)
+//     ending in _total.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "every obs metric registration must name a compile-time constant declared in " +
+		"obs.MetricNames with the matching kind; declared names must all be registered",
+	RunModule: runMetricName,
+}
+
+const obsPath = "vsfs/internal/obs"
+
+// registerKinds maps obs.Registry registration methods to the Kind
+// constant their family is created with.
+var registerKinds = map[string]string{
+	"Counter": "KindCounter", "CounterVec": "KindCounter",
+	"Gauge": "KindGauge", "GaugeVec": "KindGauge", "GaugeFunc": "KindGauge",
+	"Histogram": "KindHistogram", "HistogramVec": "KindHistogram",
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// declaredMetric is one obs.MetricNames entry.
+type declaredMetric struct {
+	kind string // "KindCounter", ...
+	pos  token.Pos
+}
+
+func runMetricName(passes []*Pass) []Finding {
+	var obsPass *Pass
+	for _, p := range passes {
+		if p.Path == obsPath {
+			obsPass = p
+		}
+	}
+	if obsPass == nil {
+		// Nothing in the load touches obs; nothing to check.
+		return nil
+	}
+	declared, out := declaredMetrics(obsPass)
+
+	registered := map[string]bool{}
+	for _, p := range passes {
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				method, ok := registrationCall(p, call)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				name, isConst := constString(p, call.Args[0])
+				if !isConst {
+					out = append(out, findingf(p, "metricname", call.Args[0].Pos(),
+						"metric name passed to Registry.%s must be a compile-time constant string "+
+							"so the declared registry can be checked statically", method))
+					return true
+				}
+				registered[name] = true
+				d, ok := declared[name]
+				if !ok {
+					out = append(out, findingf(p, "metricname", call.Args[0].Pos(),
+						"metric %q is not declared in obs.MetricNames; add it there (the registry is "+
+							"the single source of truth for /metrics families)", name))
+					return true
+				}
+				if want := registerKinds[method]; d.kind != want {
+					out = append(out, findingf(p, "metricname", call.Args[0].Pos(),
+						"metric %q registered via %s (%s) but declared %s in obs.MetricNames",
+						name, method, want, d.kind))
+				}
+				return true
+			})
+		}
+	}
+
+	// Stale declarations: names nothing registers anymore.
+	for name, d := range declared {
+		if !registered[name] {
+			out = append(out, findingf(obsPass, "metricname", d.pos,
+				"obs.MetricNames declares %q but no call site registers it; delete the entry "+
+					"or restore the registration", name))
+		}
+	}
+	return out
+}
+
+// declaredMetrics extracts the obs.MetricNames map literal, emitting
+// convention findings for malformed entries as it goes.
+func declaredMetrics(p *Pass) (map[string]declaredMetric, []Finding) {
+	declared := map[string]declaredMetric{}
+	var out []Finding
+	var lit *ast.CompositeLit
+	var declPos token.Pos
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if name.Name != "MetricNames" || i >= len(vs.Values) {
+					continue
+				}
+				declPos = name.Pos()
+				if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+					lit = cl
+				}
+			}
+			return true
+		})
+	}
+	if lit == nil {
+		pos := declPos
+		if pos == token.NoPos {
+			pos = p.Files[0].Pos()
+		}
+		return declared, []Finding{findingf(p, "metricname", pos,
+			"obs.MetricNames map literal not found: the metricname analyzer needs the declared "+
+				"registry to check registrations against")}
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		name, isConst := constString(p, kv.Key)
+		if !isConst {
+			out = append(out, findingf(p, "metricname", kv.Key.Pos(),
+				"obs.MetricNames keys must be string literals"))
+			continue
+		}
+		kindID, ok := kv.Value.(*ast.Ident)
+		if !ok {
+			out = append(out, findingf(p, "metricname", kv.Value.Pos(),
+				"obs.MetricNames values must be Kind constants"))
+			continue
+		}
+		declared[name] = declaredMetric{kind: kindID.Name, pos: kv.Key.Pos()}
+		out = append(out, metricConvention(p, kv.Key.Pos(), name, kindID.Name)...)
+	}
+	return declared, out
+}
+
+// metricConvention enforces the naming rules on one declared entry.
+func metricConvention(p *Pass, pos token.Pos, name, kind string) []Finding {
+	var out []Finding
+	if !strings.HasPrefix(name, "vsfs_") {
+		out = append(out, findingf(p, "metricname", pos,
+			"metric %q must carry the vsfs_ namespace prefix", name))
+	}
+	if !metricNameRe.MatchString(name) {
+		out = append(out, findingf(p, "metricname", pos,
+			"metric %q is not a valid Prometheus family name ([a-z][a-z0-9_]*)", name))
+	}
+	hasTotal := strings.HasSuffix(name, "_total")
+	if kind == "KindCounter" && !hasTotal {
+		out = append(out, findingf(p, "metricname", pos,
+			"counter %q must end in _total (Prometheus counter convention)", name))
+	}
+	if kind != "KindCounter" && hasTotal {
+		out = append(out, findingf(p, "metricname", pos,
+			"%q ends in _total but is not a counter", name))
+	}
+	return out
+}
+
+// registrationCall reports whether call is a Registry
+// registration method from the obs package, returning the method
+// name.
+func registrationCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, ok := registerKinds[sel.Sel.Name]; !ok {
+		return "", false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !typeFromPkg(sig.Recv().Type(), obsPath) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// constString evaluates e as a compile-time constant string.
+func constString(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

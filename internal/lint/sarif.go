@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"io"
+	"sort"
+
+	"vsfs/internal/diag"
+)
+
+// WriteSARIF renders lint findings through internal/diag's SARIF
+// 2.1.0 writer, so vsfs-lint output lands in the exact pipeline the
+// product's own checkers use (same tool driver shape, severities as
+// levels, stable fingerprints). Each analyzer becomes a SARIF rule
+// keyed by its name; analyzer findings are errors (they gate CI), and
+// suppression-hygiene findings from lint-ignore are warnings.
+func WriteSARIF(w io.Writer, findings []Finding) error {
+	byFile := map[string][]diag.Raw{}
+	for _, f := range findings {
+		byFile[f.Pos.Filename] = append(byFile[f.Pos.Filename], diag.Raw{
+			Kind:    f.Analyzer,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Message: f.Message,
+		})
+	}
+	severities := map[string]diag.Severity{"lint-ignore": diag.Warning}
+	for _, a := range Analyzers() {
+		severities[a.Name] = diag.Error
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var all []diag.Finding
+	for _, file := range files {
+		all = append(all, diag.New(file, byFile[file], severities)...)
+	}
+	return diag.WriteSARIF(w, all)
+}

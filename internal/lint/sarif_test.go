@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	findings := []Finding{
+		{
+			Analyzer: "detrange",
+			Pos:      token.Position{Filename: "b.go", Line: 4, Column: 2},
+			Message:  "map iteration order reaches slice out",
+		},
+		{
+			Analyzer: "lint-ignore",
+			Pos:      token.Position{Filename: "a.go", Line: 9, Column: 1},
+			Message:  "unused //vsfs:lint-ignore noclock (stale)",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) == 0 {
+		t.Fatal("no runs in SARIF output")
+	}
+	var results int
+	for _, r := range doc.Runs {
+		results += len(r.Results)
+	}
+	if results != len(findings) {
+		t.Errorf("SARIF carries %d results, want %d", results, len(findings))
+	}
+	if !strings.Contains(buf.String(), "detrange") {
+		t.Error("SARIF output does not mention the detrange rule")
+	}
+}

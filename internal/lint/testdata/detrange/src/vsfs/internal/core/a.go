@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vsfs/internal/obs"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map iteration order reaches slice out"
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysHelperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortRows(out)
+	return out
+}
+
+func sortRows(rows []string) { sort.Strings(rows) }
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt output"
+	}
+}
+
+func accumulate(m map[string]int) string {
+	var b strings.Builder
+	total := 0.0
+	s := ""
+	for k, v := range m {
+		b.WriteString(k)    // want "ordered output"
+		total += float64(v) // want "floating-point accumulator"
+		s += k              // want "string accumulator"
+	}
+	_ = total
+	return b.String() + s
+}
+
+func sendAll(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send"
+	}
+}
+
+// groupByKey is the order-insensitive shape: one slot per key.
+func groupByKey(m map[string]int, groups map[string][]int) {
+	for k, v := range m {
+		groups[k] = append(groups[k], v)
+	}
+}
+
+func nested(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		func() { out = append(out, k) }() // want "slice out via append"
+	}
+	return out
+}
+
+func sample(m map[string]float64, s *obs.Series, a *obs.ObjectAttr) {
+	for o, v := range m {
+		s.Set(v) // want "obs metric sample"
+		s.Inc()
+		a.Set(uint32(len(o)), 1)
+	}
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//vsfs:lint-ignore detrange iteration order is laundered by the caller
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+package core
+
+// Suppression hygiene: malformed and stale directives are findings in
+// their own right, and cannot suppress themselves.
+
+/* want "malformed" */ //vsfs:lint-ignore
+
+/* want "unknown analyzer" */ //vsfs:lint-ignore bogus never heard of it
+
+/* want "missing its reason" */ //vsfs:lint-ignore detrange
+
+/* want "unused" */                      //vsfs:lint-ignore detrange nothing below triggers anymore
+func sortedAlready(xs []string) []string { return xs }

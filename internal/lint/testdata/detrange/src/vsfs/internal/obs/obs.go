@@ -1,0 +1,19 @@
+// Package obs is a corpus stub: just enough surface for the detrange
+// analyzer's obs-sink classification (Series/Family mutators are
+// order-sensitive, ObjectAttr is a commutative per-object counter).
+package obs
+
+type Series struct{}
+
+func (s *Series) Add(v float64)     {}
+func (s *Series) Set(v float64)     {}
+func (s *Series) Observe(v float64) {}
+func (s *Series) Inc()              {}
+
+type Family struct{}
+
+func (f *Family) Set(v float64, labels ...string) {}
+
+type ObjectAttr struct{}
+
+func (a *ObjectAttr) Set(obj uint32, n int) {}

@@ -1,0 +1,9 @@
+// Package other is outside the guardtick scope: unbounded loops in
+// non-worklist packages are not this analyzer's business.
+package other
+
+func drain(q []int) {
+	for len(q) > 0 {
+		q = q[1:]
+	}
+}

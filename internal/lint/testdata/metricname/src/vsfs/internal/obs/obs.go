@@ -1,0 +1,46 @@
+// Package obs is a corpus stub of the metric registry surface the
+// metricname analyzer checks: the declared MetricNames table and the
+// Registry registration methods.
+package obs
+
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+var dyn = "vsfs_dyn"
+
+func kindOf() Kind { return KindGauge }
+
+var MetricNames = map[string]Kind{
+	"vsfs_good_total":    KindCounter,
+	"vsfs_const_total":   KindCounter,
+	"vsfs_labeled_total": KindCounter,
+	"vsfs_depth":         KindGauge,
+	"vsfs_cost":          KindHistogram,
+	"vsfs_wrong_total":   KindCounter,
+	"vsfs_stale_total":   KindCounter, // want "no call site registers it"
+	"bad_name":           KindGauge,   // want "vsfs_ namespace prefix"
+	"vsfs_gauge_total":   KindGauge,   // want "_total but is not a counter"
+	"vsfs_counts":        KindCounter, // want "must end in _total"
+	"Vsfs_Upper":         KindGauge,   // want "vsfs_ namespace prefix" "not a valid Prometheus family name"
+	dyn:                  KindGauge,   // want "keys must be string literals"
+	"vsfs_dynkind":       kindOf(),    // want "values must be Kind constants"
+}
+
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, help string) *Series                      { return &Series{} }
+func (r *Registry) Gauge(name, help string) *Series                        { return &Series{} }
+func (r *Registry) Histogram(name, help string, buckets []float64) *Series { return &Series{} }
+func (r *Registry) CounterVec(name, help string, labels ...string) *Family { return &Family{} }
+func (r *Registry) GaugeFunc(name, help string, f func() float64)          {}
+
+type Series struct{}
+
+type Family struct{}

@@ -1,0 +1,27 @@
+package srv
+
+import "vsfs/internal/obs"
+
+const constName = "vsfs_const_total"
+
+// fake shadows the registration method names on a non-obs receiver:
+// must not be mistaken for a registration.
+type fake struct{}
+
+func (fake) Counter(name, help string) {}
+
+func register(reg *obs.Registry, dynamic string) {
+	reg.Counter("vsfs_good_total", "solves completed")
+	reg.Counter(constName, "named-constant names are fine")
+	reg.CounterVec("vsfs_labeled_total", "per-shard pops", "shard")
+	reg.Gauge("vsfs_depth", "queue depth")
+	reg.Histogram("vsfs_cost", "per-object cost", nil)
+	reg.Gauge("vsfs_wrong_total", "kind drift") // want "registered via Gauge"
+	reg.Counter("vsfs_rogue_total", "typo'd")   // want "not declared in obs.MetricNames"
+	reg.Counter(dynamic, "runtime-built name")  // want "compile-time constant"
+	reg.Gauge("bad_name", "prefix checked at the declaration")
+	reg.Gauge("vsfs_gauge_total", "suffix checked at the declaration")
+	reg.Counter("vsfs_counts", "suffix checked at the declaration")
+	reg.Gauge("Vsfs_Upper", "case checked at the declaration")
+	fake{}.Counter("vsfs_never_declared", "different receiver type")
+}

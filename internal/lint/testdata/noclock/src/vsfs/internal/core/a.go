@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+type stats struct {
+	Solve time.Duration
+}
+
+// timed is the blessed timing-struct pattern: Now/Since as the whole
+// right-hand side of assignments.
+func timed(st *stats) {
+	start := time.Now()
+	work()
+	st.Solve += time.Since(start)
+}
+
+func work() {}
+
+func clocked(limit time.Duration) time.Time {
+	start := time.Now()
+	if time.Since(start) > limit { // want "time.Since in deterministic solver path"
+		work()
+	}
+	observe(time.Now())          // want "time.Now in deterministic solver path"
+	time.Sleep(time.Millisecond) // want "time.Sleep in deterministic solver path"
+	return time.Now()            // want "time.Now in deterministic solver path"
+}
+
+func observe(t time.Time) {}
+
+func mixedRHS(start time.Time, overhead time.Duration) time.Duration {
+	total := time.Since(start) + overhead // want "time.Since in deterministic solver path"
+	return total
+}
+
+func shuffleBad(xs []int) int {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global unseeded source"
+	return rand.Intn(10)                                                  // want "global unseeded source"
+}
+
+func shuffleGood(xs []int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func suppressedClock() time.Time {
+	//vsfs:lint-ignore noclock diagnostic-only stamp, never feeds facts
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+package vsfs // want "contract type vsfs.FuncReport was removed"
+
+// Report breaks the golden four ways: Funcs changed type (which also
+// severs FuncReport from the contract closure), Total's json tag was
+// renamed and the field moved above Funcs, and Gone was deleted.
+type Report struct { // want "type changed" "json tag changed" "moved before an earlier contract field" "Gone.*was removed"
+	Total int    `json:"count"`
+	Funcs string `json:"funcs"`
+}
+
+type RunRecord struct {
+	ID string `json:"id"`
+}

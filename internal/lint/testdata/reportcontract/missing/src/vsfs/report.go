@@ -1,0 +1,9 @@
+package vsfs // want "missing golden schema"
+
+type Report struct {
+	Total int `json:"total"`
+}
+
+type RunRecord struct {
+	ID string `json:"id"`
+}

@@ -1,0 +1,5 @@
+package shape
+
+type Profile struct {
+	Instrs int `json:"instrs"`
+}

@@ -1,0 +1,25 @@
+// Package vsfs is a corpus twin of the facade's report surface. The
+// committed golden (../../internal/lint/report_schema.json) predates
+// the Appended field: appending is legal, so this corpus is clean.
+package vsfs
+
+import "vsfs/internal/shape"
+
+type Report struct {
+	Funcs    []FuncReport  `json:"funcs"`
+	Total    int           `json:"total"`
+	Shape    shape.Profile `json:"shape"`
+	hidden   int
+	Skipped  int    `json:"-"`
+	Appended string `json:"appended"`
+}
+
+type FuncReport struct {
+	Name string         `json:"name"`
+	Vars map[string]int `json:"vars"`
+}
+
+type RunRecord struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}

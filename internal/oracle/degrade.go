@@ -117,8 +117,9 @@ func CheckDegradation(src string, opts Options) []Violation {
 		// The degraded program went through (part of) the memory-SSA
 		// rewrite, so labels differ from the standalone run's raw
 		// program even though the facts agree; compare label-free.
-		if !bytes.Equal(factsJSON(deg, true), factsJSON(cfree, true)) {
-			v.failf("degrade-eq-cfgfree", "%s: degraded facts differ from standalone cfgfree", phase)
+		if dj, cj := factsJSON(deg, true), factsJSON(cfree, true); !bytes.Equal(dj, cj) {
+			v.failf("degrade-eq-cfgfree", "%s: degraded facts differ from standalone cfgfree at %s",
+				phase, jsonDiffPath(dj, cj))
 		}
 		if deg.Dump() != cfree.Dump() {
 			v.failf("degrade-eq-cfgfree", "%s: degraded Dump differs from standalone cfgfree", phase)
@@ -149,8 +150,9 @@ func CheckDegradation(src string, opts Options) []Violation {
 		if causePhase, _ := bot.DegradedCause(); causePhase != phase {
 			v.failf("degrade-cause", "%s+cfgfree: degradation attributed to %q, want the original breach", phase, causePhase)
 		}
-		if !bytes.Equal(factsJSON(bot, true), factsJSON(plain, true)) {
-			v.failf("degrade-eq-aux", "%s+cfgfree: ladder-bottom facts differ from standalone Andersen", phase)
+		if bj, pj := factsJSON(bot, true), factsJSON(plain, true); !bytes.Equal(bj, pj) {
+			v.failf("degrade-eq-aux", "%s+cfgfree: ladder-bottom facts differ from standalone Andersen at %s",
+				phase, jsonDiffPath(bj, pj))
 		}
 		if bot.Dump() != plain.Dump() {
 			v.failf("degrade-eq-aux", "%s+cfgfree: ladder-bottom Dump differs from standalone Andersen", phase)
@@ -231,8 +233,9 @@ func CheckFaults(src string, seed int64, opts Options) []Violation {
 				v.failf("fault-baseline", "seed %d: standalone cfgfree failed: %v", seed, perr)
 				break
 			}
-			if !bytes.Equal(factsJSON(res, true), factsJSON(cfree, true)) {
-				v.failf("degrade-eq-cfgfree", "seed %d: degraded facts differ from standalone cfgfree", seed)
+			if rj, cj := factsJSON(res, true), factsJSON(cfree, true); !bytes.Equal(rj, cj) {
+				v.failf("degrade-eq-cfgfree", "seed %d: degraded facts differ from standalone cfgfree at %s",
+					seed, jsonDiffPath(rj, cj))
 			}
 		case vsfs.FlowInsensitive:
 			plain, perr := analyzeIR(src, vsfs.FlowInsensitive, nil, nil)
@@ -240,8 +243,9 @@ func CheckFaults(src string, seed int64, opts Options) []Violation {
 				v.failf("fault-baseline", "seed %d: standalone Andersen failed: %v", seed, perr)
 				break
 			}
-			if !bytes.Equal(factsJSON(res, true), factsJSON(plain, true)) {
-				v.failf("degrade-eq-aux", "seed %d: degraded facts differ from standalone Andersen", seed)
+			if rj, pj := factsJSON(res, true), factsJSON(plain, true); !bytes.Equal(rj, pj) {
+				v.failf("degrade-eq-aux", "seed %d: degraded facts differ from standalone Andersen at %s",
+					seed, jsonDiffPath(rj, pj))
 			}
 		default:
 			v.failf("degrade-mode", "seed %d: degraded run answers in mode %v", seed, res.Mode())

@@ -83,7 +83,7 @@ func CheckGatewayIdentity(prog *ir.Program) []Violation {
 			return out
 		}
 		if !bytes.Equal(body, direct) {
-			failf("calm fleet request %d body differs from direct solve", i)
+			failf("calm fleet request %d body differs from direct solve at %s", i, jsonDiffPath(body, direct))
 			calm.Close()
 			return out
 		}
@@ -123,7 +123,8 @@ func CheckGatewayIdentity(prog *ir.Program) []Violation {
 			return out
 		}
 		if !bytes.Equal(body, direct) {
-			failf("chaos fleet request %d body differs from direct solve (one replica down)", i)
+			failf("chaos fleet request %d body differs from direct solve (one replica down) at %s",
+				i, jsonDiffPath(body, direct))
 			return out
 		}
 	}

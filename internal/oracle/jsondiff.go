@@ -1,0 +1,138 @@
+package oracle
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// jsonDiffPath names the first difference between two JSON documents
+// as a key path with both values rendered — `funcs[2].vars.p: "a" !=
+// "b"` — so a byte-identity violation points at the offending field
+// instead of leaving the maintainer to eyeball two multi-kilobyte
+// reports. Returns "" when the documents are structurally equal.
+// Inputs that fail to parse as JSON are diffed by byte offset.
+func jsonDiffPath(a, b []byte) string {
+	av, aErr := decodeJSON(a)
+	bv, bErr := decodeJSON(b)
+	if aErr != nil || bErr != nil {
+		return byteDiff(a, b)
+	}
+	if msg, ok := diffValue("$", av, bv); ok {
+		return msg
+	}
+	// Byte-unequal but structurally equal: whitespace or key-order
+	// differences the decoder normalized away.
+	return byteDiff(a, b)
+}
+
+// decodeJSON parses with UseNumber so large integers keep their exact
+// rendering in diff output.
+func decodeJSON(data []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// diffValue walks both values in lockstep and reports the first
+// mismatch under path.
+func diffValue(path string, a, b any) (string, bool) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			return fmt.Sprintf("%s: %s != %s", path, renderJSON(a), renderJSON(b)), true
+		}
+		var keys []string
+		for k := range av {
+			keys = append(keys, k)
+		}
+		for k := range bv {
+			if _, dup := av[k]; !dup {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			x, inA := av[k]
+			y, inB := bv[k]
+			sub := path + "." + k
+			switch {
+			case !inA:
+				return fmt.Sprintf("%s: missing on the left, %s on the right", sub, renderJSON(y)), true
+			case !inB:
+				return fmt.Sprintf("%s: %s on the left, missing on the right", sub, renderJSON(x)), true
+			}
+			if msg, ok := diffValue(sub, x, y); ok {
+				return msg, true
+			}
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok {
+			return fmt.Sprintf("%s: %s != %s", path, renderJSON(a), renderJSON(b)), true
+		}
+		n := len(av)
+		if len(bv) < n {
+			n = len(bv)
+		}
+		for i := 0; i < n; i++ {
+			if msg, ok := diffValue(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i]); ok {
+				return msg, true
+			}
+		}
+		if len(av) != len(bv) {
+			return fmt.Sprintf("%s: length %d != %d", path, len(av), len(bv)), true
+		}
+	default:
+		if !scalarEqual(a, b) {
+			return fmt.Sprintf("%s: %s != %s", path, renderJSON(a), renderJSON(b)), true
+		}
+	}
+	return "", false
+}
+
+func scalarEqual(a, b any) bool {
+	if an, ok := a.(json.Number); ok {
+		bn, ok := b.(json.Number)
+		return ok && an == bn
+	}
+	return a == b
+}
+
+// renderJSON shows a value compactly, truncating composites so a diff
+// line stays one line.
+func renderJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	const max = 60
+	if len(data) > max {
+		return string(data[:max]) + "..."
+	}
+	return string(data)
+}
+
+// byteDiff locates the first differing byte for non-JSON (or
+// structurally equal but byte-unequal) payloads.
+func byteDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("$: byte %d: %q != %q", i, a[i], b[i])
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Sprintf("$: length %d != %d", len(a), len(b))
+	}
+	return ""
+}

@@ -1,0 +1,63 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONDiffPath(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+		want string // substring of the diff, "" for equal
+	}{
+		{"equal", `{"x": 1}`, `{"x": 1}`, ""},
+		{"nested key", `{"a": {"b": {"c": 1}}}`, `{"a": {"b": {"c": 2}}}`, "$.a.b.c: 1 != 2"},
+		{"array index", `{"xs": [1, 2, 3]}`, `{"xs": [1, 9, 3]}`, "$.xs[1]: 2 != 9"},
+		{"array length", `{"xs": [1, 2]}`, `{"xs": [1, 2, 3]}`, "$.xs: length 2 != 3"},
+		{"missing left", `{"a": 1}`, `{"a": 1, "b": 2}`, "$.b: missing on the left"},
+		{"missing right", `{"a": 1, "b": 2}`, `{"a": 1}`, "$.b: 2 on the left, missing on the right"},
+		{"type change", `{"a": [1]}`, `{"a": {"x": 1}}`, "$.a: [1] != {\"x\":1}"},
+		{"string value", `{"s": "cold"}`, `{"s": "warm"}`, `$.s: "cold" != "warm"`},
+		{"scalar root", `1`, `2`, "$: 1 != 2"},
+		{"big int fidelity", `{"n": 9007199254740993}`, `{"n": 9007199254740992}`, "$.n: 9007199254740993 != 9007199254740992"},
+		{"non-json", "abc", "abd", `$: byte 2`},
+		{"null vs zero", `{"v": null}`, `{"v": 0}`, "$.v: null != 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := jsonDiffPath([]byte(tc.a), []byte(tc.b))
+			if tc.want == "" {
+				if got != "" {
+					t.Fatalf("jsonDiffPath = %q, want empty (documents equal)", got)
+				}
+				return
+			}
+			if !strings.Contains(got, tc.want) {
+				t.Fatalf("jsonDiffPath = %q, want it to contain %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestJSONDiffPathWhitespace pins the fallback: byte-unequal but
+// structurally equal documents still produce a located diff, since
+// the byte-identity invariants compare raw bodies.
+func TestJSONDiffPathWhitespace(t *testing.T) {
+	got := jsonDiffPath([]byte(`{"a":1}`), []byte(`{ "a":1}`))
+	if !strings.Contains(got, "byte 1") {
+		t.Fatalf("jsonDiffPath = %q, want a byte-offset diff", got)
+	}
+}
+
+// TestJSONDiffPathNamesFirstKey checks the report-shaped case the
+// oracle hits: two large objects differing in one nested counter.
+func TestJSONDiffPathNamesFirstKey(t *testing.T) {
+	a := `{"funcs":[{"name":"f","vars":{"p":{"points_to":["a","b"]}}}],"summary":{"stores":4}}`
+	b := `{"funcs":[{"name":"f","vars":{"p":{"points_to":["a","c"]}}}],"summary":{"stores":4}}`
+	got := jsonDiffPath([]byte(a), []byte(b))
+	want := `$.funcs[0].vars.p.points_to[1]: "b" != "c"`
+	if got != want {
+		t.Fatalf("jsonDiffPath = %q, want %q", got, want)
+	}
+}

@@ -199,15 +199,17 @@ func CheckParallel(src string, opts Options) []Violation {
 		if par.Dump() != seq.Dump() {
 			v.failf("parallel-eq-sequential", "workers=%d: Dump differs from sequential run", w)
 		}
-		if !bytes.Equal(parallelReportJSON(par), parallelReportJSON(seq)) {
-			v.failf("parallel-eq-sequential", "workers=%d: report (schedule counters zeroed) differs from sequential run", w)
+		if pj, sj := parallelReportJSON(par), parallelReportJSON(seq); !bytes.Equal(pj, sj) {
+			v.failf("parallel-eq-sequential", "workers=%d: report (schedule counters zeroed) differs from sequential run at %s",
+				w, jsonDiffPath(pj, sj))
 		}
 		if ref == nil {
 			ref = par
 			continue
 		}
-		if !bytes.Equal(fullReportJSON(par), fullReportJSON(ref)) {
-			v.failf("parallel-determinism", "workers=%d: full report differs from workers=2 run", w)
+		if pj, rj := fullReportJSON(par), fullReportJSON(ref); !bytes.Equal(pj, rj) {
+			v.failf("parallel-determinism", "workers=%d: full report differs from workers=2 run at %s",
+				w, jsonDiffPath(pj, rj))
 		}
 	}
 	if v.full() || ref == nil {
@@ -223,8 +225,9 @@ func CheckParallel(src string, opts Options) []Violation {
 		v.failf("parallel-run", "GOMAXPROCS=1: %v", err)
 		return v.out
 	}
-	if !bytes.Equal(fullReportJSON(single), fullReportJSON(ref)) {
-		v.failf("parallel-determinism", "GOMAXPROCS=1 full report differs from unrestricted run")
+	if sj, rj := fullReportJSON(single), fullReportJSON(ref); !bytes.Equal(sj, rj) {
+		v.failf("parallel-determinism", "GOMAXPROCS=1 full report differs from unrestricted run at %s",
+			jsonDiffPath(sj, rj))
 	}
 	return v.out
 }

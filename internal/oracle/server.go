@@ -89,7 +89,8 @@ func CheckServerIdentity(prog *ir.Program) []Violation {
 			failf("server-cache-identity", "%s: repeat request marked %q, want hit", mode, warmCache)
 		}
 		if !bytes.Equal(coldBody, warmBody) {
-			failf("server-cache-identity", "%s: cache hit body differs from the miss that populated it", mode)
+			failf("server-cache-identity", "%s: cache hit body differs from the miss that populated it at %s",
+				mode, jsonDiffPath(coldBody, warmBody))
 		}
 	}
 	closeAll(srv, ts)
